@@ -1,0 +1,29 @@
+//! Criterion benchmark of the generator itself: how long the scheduling
+//! recipes take to produce a kernel (the "development cost" axis of the
+//! paper's argument — generating a new edge-case kernel is cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exo_isa::{avx512_f32, neon_f32};
+use std::hint::black_box;
+use ukernel_gen::MicroKernelGenerator;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_generation");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let neon = MicroKernelGenerator::new(neon_f32());
+    for (mr, nr) in [(8usize, 12usize), (4, 4), (1, 12)] {
+        group.bench_function(BenchmarkId::new("neon", format!("{mr}x{nr}")), |bench| {
+            bench.iter(|| black_box(neon.generate(mr, nr).unwrap()));
+        });
+    }
+    let avx = MicroKernelGenerator::new(avx512_f32());
+    group.bench_function(BenchmarkId::new("avx512", "16x8"), |bench| {
+        bench.iter(|| black_box(avx.generate(16, 8).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

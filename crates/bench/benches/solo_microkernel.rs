@@ -1,0 +1,45 @@
+//! Wall-clock Criterion benchmark of the solo micro-kernel experiment
+//! (the functional counterpart of Fig. 13).
+//!
+//! Absolute numbers here reflect the executable lowering running on the host
+//! CPU, not the modelled Carmel core — the interesting signal is the relative
+//! cost of kernel shapes and the comparison against the scalar reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exo_isa::neon_f32;
+use gemm_blis::reference_kernel;
+use std::hint::black_box;
+use ukernel_gen::MicroKernelGenerator;
+
+fn bench_solo(c: &mut Criterion) {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kc = 128usize;
+    let mut group = c.benchmark_group("solo_microkernel");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (mr, nr) in [(8usize, 12usize), (4, 4), (8, 8), (1, 12)] {
+        let kernel = generator.generate(mr, nr).expect("kernel generates");
+        let a = vec![1.0f32; kc * mr];
+        let b = vec![0.5f32; kc * nr];
+        group.bench_with_input(BenchmarkId::new("exo", format!("{mr}x{nr}")), &kernel, |bench, kernel| {
+            bench.iter(|| {
+                let mut c_tile = vec![0.0f32; mr * nr];
+                kernel.run_packed(kc, black_box(&a), black_box(&b), &mut c_tile).unwrap();
+                black_box(c_tile);
+            });
+        });
+        let reference = reference_kernel(mr, nr);
+        group.bench_with_input(BenchmarkId::new("reference", format!("{mr}x{nr}")), &reference, |bench, k| {
+            bench.iter(|| {
+                let mut c_tile = vec![0.0f32; mr * nr];
+                k.run(kc, black_box(&a), black_box(&b), &mut c_tile).unwrap();
+                black_box(c_tile);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Reproduces the step-by-step generation of Section III (Figs. 4–11), the
+//! generated C code, and the pseudo-assembly of the k-loop (Fig. 12).
+//!
+//! Usage: `cargo run -p exo-bench --bin codegen_steps [-- --asm]`
+
+use exo_ir::printer::proc_to_string;
+use exo_isa::{neon_f32, ukernel_ref_general, ukernel_ref_simple};
+use exo_ir::ScalarType;
+use ukernel_gen::MicroKernelGenerator;
+
+fn main() {
+    let asm_only = std::env::args().any(|a| a == "--asm");
+
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = generator.generate(8, 12).expect("8x12 generation succeeds");
+
+    if asm_only {
+        println!("== Fig. 12: pseudo-assembly of the k-loop ==\n{}", kernel.asm);
+        return;
+    }
+
+    println!("== Fig. 4: general alpha/beta reference micro-kernel ==");
+    println!("{}", proc_to_string(&ukernel_ref_general(ScalarType::F32)));
+    println!("== Fig. 5: simplified reference micro-kernel (alpha = beta = 1) ==");
+    println!("{}", proc_to_string(&ukernel_ref_simple(ScalarType::F32)));
+
+    for step in &kernel.steps {
+        println!("== {} ==", step.label);
+        println!("{}", proc_to_string(&step.proc));
+    }
+
+    println!("== Generated C code (Section III, step g) ==");
+    println!("{}", kernel.c_code);
+    println!("== Fig. 12: pseudo-assembly of the k-loop ==");
+    println!("{}", kernel.asm);
+}

@@ -1,0 +1,25 @@
+//! Reproduces Fig. 13: solo-mode micro-kernel GFLOPS for the tile shapes
+//! 8x12, 4x4, 4x8, 4x12, 8x4, 8x8 with KC = 512.
+//!
+//! `NEON` and `BLIS` always run the monolithic 8x12 kernel (crediting only
+//! the useful flops of the probed shape); `EXO` runs a specialised kernel per
+//! shape.
+
+use exo_bench::format_row;
+use gemm_blis::{GemmSimulator, Implementation};
+
+fn main() {
+    let sim = GemmSimulator::new().expect("simulator builds");
+    let kc = 512;
+    let shapes = [(8, 12), (4, 4), (4, 8), (4, 12), (8, 4), (8, 8)];
+
+    println!("Fig. 13 — micro-kernel performance in solo mode (GFLOPS, KC = {kc})");
+    println!("{:<22}{:>10} {:>10} {:>10}", "mr x nr", "NEON", "BLIS", "EXO");
+    for (mr, nr) in shapes {
+        let neon = sim.simulate_solo(Implementation::AlgNeon, mr, nr, kc).gflops;
+        let blis = sim.simulate_solo(Implementation::BlisLib, mr, nr, kc).gflops;
+        let exo = sim.simulate_solo(Implementation::AlgExo, mr, nr, kc).gflops;
+        println!("{}", format_row(&format!("{mr}x{nr}"), &[neon, blis, exo]));
+    }
+    println!("\npeak (single Carmel core @ 2.3 GHz): {:.1} GFLOPS", sim.core().peak_gflops());
+}

@@ -1,0 +1,17 @@
+//! Reproduces Fig. 14: GFLOPS of the complete GEMM for square problems
+//! m = n = k in {1000, 2000, 3000, 4000, 5000}.
+
+use exo_bench::{format_header, format_row, gflops_for_all};
+use gemm_blis::{GemmSimulator, Implementation};
+
+fn main() {
+    let sim = GemmSimulator::new().expect("simulator builds");
+    println!("Fig. 14 — squarish GEMM (GFLOPS)");
+    println!("{}", format_header("m = n = k"));
+    for size in [1000usize, 2000, 3000, 4000, 5000] {
+        let values = gflops_for_all(&sim, size, size, size);
+        println!("{}", format_row(&size.to_string(), &values));
+    }
+    let chosen = sim.select_kernel(Implementation::AlgExo, 2000, 2000, 2000);
+    println!("\nALG+EXO kernel selected for 2000^3: {}", chosen.name);
+}

@@ -1,0 +1,28 @@
+//! Reproduces Fig. 16: aggregated (cumulative) inference time over the 53
+//! convolution layer instances of ResNet50 v1.5.
+
+use dnn_models::resnet50_table;
+use exo_bench::seconds_for_all;
+use gemm_blis::{GemmSimulator, Implementation};
+
+fn main() {
+    let sim = GemmSimulator::new().expect("simulator builds");
+    let workload = resnet50_table();
+    println!("Fig. 16 — ResNet50 v1.5 aggregated inference time (seconds, cumulative)");
+    println!("{:<10}{:>12}{:>12}{:>12}{:>12}", "# layer", "ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO");
+    let mut totals = [0.0f64; 4];
+    for (layer_number, problem) in workload.instances() {
+        let secs = seconds_for_all(&sim, problem.m, problem.n, problem.k);
+        for (t, s) in totals.iter_mut().zip(&secs) {
+            *t += s;
+        }
+        println!(
+            "{:<10}{:>12.5}{:>12.5}{:>12.5}{:>12.5}",
+            layer_number, totals[0], totals[1], totals[2], totals[3]
+        );
+    }
+    println!("\ntotal inference time (convolutions only):");
+    for (imp, t) in Implementation::all().iter().zip(totals) {
+        println!("  {:<10} {:.4} s", imp.label(), t);
+    }
+}

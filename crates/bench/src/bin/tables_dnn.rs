@@ -1,0 +1,25 @@
+//! Reproduces Tables I and II: the GEMM dimensions obtained by applying the
+//! IM2ROW transform to the convolution layers of ResNet50 v1.5 and VGG16 at
+//! batch size 1.
+
+use dnn_models::{resnet50_table, vgg16_table};
+
+fn print_table(title: &str, workload: &dnn_models::ModelWorkload) {
+    println!("{title}");
+    println!("{:<10}{:<28}{:>8}{:>8}{:>8}", "Layer id", "Layer numbers", "m", "n", "k");
+    for (idx, p) in workload.unique_layers.iter().enumerate() {
+        let numbers: Vec<String> = p.layer_numbers.iter().map(|n| format!("{n:03}")).collect();
+        println!("{:<10}{:<28}{:>8}{:>8}{:>8}", idx + 1, numbers.join("/"), p.m, p.n, p.k);
+    }
+    println!(
+        "total: {} unique problems, {} layer instances, {:.2} GFLOP per inference\n",
+        workload.unique_layers.len(),
+        workload.instances().len(),
+        workload.total_flops() as f64 / 1e9
+    );
+}
+
+fn main() {
+    print_table("Table I — ResNet50 v1.5 (batch size 1)", &resnet50_table());
+    print_table("Table II — VGG16 (batch size 1)", &vgg16_table());
+}

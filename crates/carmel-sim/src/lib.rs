@@ -1,0 +1,55 @@
+//! # carmel-sim
+//!
+//! A performance model of the paper's evaluation platform — one core of the
+//! NVIDIA Carmel (ARM v8.2) processor on a Jetson AGX Xavier — used in place
+//! of the physical board.
+//!
+//! The model has two layers:
+//!
+//! * [`CarmelCore`]: an issue/throughput/latency model of the core's vector
+//!   pipelines that turns a micro-kernel `KernelTrace` into cycles per
+//!   invocation ([`CarmelCore::kernel_cycles`]);
+//! * [`CacheHierarchy`]: capacities, latencies and bandwidths of the L1/L2/L3
+//!   caches and DRAM, used to charge operand traffic and packing
+//!   ([`CacheHierarchy::stream_cycles`], [`CacheHierarchy::copy_cycles`]).
+//!
+//! The absolute numbers are calibrated to the Carmel's public parameters
+//! (2 x 128-bit FMA pipes at 2.3 GHz, 64 KiB L1D, 2 MiB L2 per cluster,
+//! 4 MiB L3), giving a single-core FP32 peak of 36.8 GFLOPS. The goal is the
+//! *shape* of the paper's figures — which implementation wins where and by
+//! roughly what factor — not cycle-exact agreement with the testbed.
+
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod memory;
+
+pub use core_model::{CarmelCore, KernelPerf, Residency};
+pub use memory::{CacheHierarchy, CacheLevel};
+
+/// Converts cycles at a clock frequency into seconds.
+pub fn cycles_to_seconds(cycles: f64, freq_ghz: f64) -> f64 {
+    cycles / (freq_ghz * 1.0e9)
+}
+
+/// Computes GFLOPS from a flop count and a cycle count at a clock frequency.
+pub fn gflops(flops: f64, cycles: f64, freq_ghz: f64) -> f64 {
+    if cycles <= 0.0 {
+        return 0.0;
+    }
+    flops / cycles_to_seconds(cycles, freq_ghz) / 1.0e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let secs = cycles_to_seconds(2.3e9, 2.3);
+        assert!((secs - 1.0).abs() < 1e-12);
+        let g = gflops(36.8e9, 2.3e9, 2.3);
+        assert!((g - 36.8).abs() < 1e-9);
+        assert_eq!(gflops(1.0, 0.0, 2.3), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Convolution layer descriptors and the IM2ROW lowering to GEMM.
+
+use crate::GemmProblem;
+
+/// A 2-D convolution layer (batch size 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Layer name, e.g. `"conv4_1"`.
+    pub name: String,
+    /// Layer number in the model's execution order (the paper's numbering).
+    pub layer_number: u32,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (number of filters).
+    pub out_channels: usize,
+    /// Filter height.
+    pub kernel_h: usize,
+    /// Filter width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvLayer {
+    /// Output height after the convolution.
+    pub fn out_height(&self) -> usize {
+        (self.height + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    pub fn out_width(&self) -> usize {
+        (self.width + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Floating-point operations of the layer (2 per multiply-accumulate).
+    pub fn flops(&self) -> u64 {
+        2 * self.out_height() as u64
+            * self.out_width() as u64
+            * self.out_channels as u64
+            * (self.kernel_h * self.kernel_w * self.in_channels) as u64
+    }
+}
+
+/// Applies the IM2ROW transform (Chellapilla et al., reference [25] of the
+/// paper): a convolution at batch size 1 becomes a GEMM with
+/// `m = out_h * out_w`, `n = out_channels`, `k = kernel_h * kernel_w *
+/// in_channels`.
+pub fn im2row(layer: &ConvLayer) -> GemmProblem {
+    GemmProblem::new(
+        layer.out_height() * layer.out_width(),
+        layer.out_channels,
+        layer.kernel_h * layer.kernel_w * layer.in_channels,
+        vec![layer.layer_number],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(name: &str, n: u32, hw: usize, cin: usize, cout: usize, k: usize, s: usize, p: usize) -> ConvLayer {
+        ConvLayer {
+            name: name.into(),
+            layer_number: n,
+            height: hw,
+            width: hw,
+            in_channels: cin,
+            out_channels: cout,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn resnet_first_layer_matches_table_i() {
+        // 7x7, stride 2, pad 3 on a 224x224x3 input: 112*112 = 12544 rows,
+        // 64 filters, 7*7*3 = 147 inner dimension — Table I, layer 1.
+        let l = conv("conv1", 1, 224, 3, 64, 7, 2, 3);
+        assert_eq!(l.out_height(), 112);
+        let g = im2row(&l);
+        assert_eq!((g.m, g.n, g.k), (12544, 64, 147));
+    }
+
+    #[test]
+    fn vgg_first_layer_matches_table_ii() {
+        let l = conv("conv1_1", 1, 224, 3, 64, 3, 1, 1);
+        let g = im2row(&l);
+        assert_eq!((g.m, g.n, g.k), (50176, 64, 27));
+    }
+
+    #[test]
+    fn flops_match_gemm_flops() {
+        let l = conv("conv3_2", 13, 56, 256, 256, 3, 1, 1);
+        let g = im2row(&l);
+        assert_eq!(l.flops(), g.flops());
+    }
+
+    #[test]
+    fn strided_output_dimensions() {
+        let l = conv("s2", 2, 56, 64, 128, 1, 2, 0);
+        assert_eq!(l.out_height(), 28);
+        assert_eq!(l.out_width(), 28);
+    }
+}

@@ -1,0 +1,133 @@
+//! # dnn-models
+//!
+//! The deep-learning workloads of the paper's Section IV-C: the convolution
+//! layers of ResNet50 v1.5 and VGG16, lowered to GEMM problems with the
+//! IM2ROW transform at batch size 1 (Tables I and II), together with the
+//! per-layer repetition counts needed to reproduce the aggregated inference
+//! time figures (Figs. 16 and 18).
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod resnet50;
+pub mod vgg16;
+
+pub use conv::{im2row, ConvLayer};
+pub use resnet50::resnet50_table;
+pub use vgg16::{vgg16_conv_layers, vgg16_table};
+
+/// A GEMM problem `C(m x n) += A(m x k) * B(k x n)` derived from one or more
+/// identical convolution layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmProblem {
+    /// Row count of `A` and `C`.
+    pub m: usize,
+    /// Column count of `B` and `C`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Identifiers of the model layers that map to this problem (the paper's
+    /// "Layer numbers" column).
+    pub layer_numbers: Vec<u32>,
+}
+
+impl GemmProblem {
+    /// Creates a problem.
+    pub fn new(m: usize, n: usize, k: usize, layer_numbers: Vec<u32>) -> Self {
+        GemmProblem { m, n, k, layer_numbers }
+    }
+
+    /// Floating-point operations of a single instance of the problem.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Number of times the problem occurs in one inference pass.
+    pub fn occurrences(&self) -> usize {
+        self.layer_numbers.len().max(1)
+    }
+}
+
+/// A model workload: a list of unique GEMM problems with their repetition
+/// counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelWorkload {
+    /// Human-readable model name.
+    pub name: String,
+    /// Unique GEMM problems in layer order (the rows of Table I / II).
+    pub unique_layers: Vec<GemmProblem>,
+}
+
+impl ModelWorkload {
+    /// Every layer instance in execution order (repeated layers expanded),
+    /// as `(layer_number, problem)` pairs — the x-axis of Figs. 16 and 18.
+    pub fn instances(&self) -> Vec<(u32, &GemmProblem)> {
+        let mut out: Vec<(u32, &GemmProblem)> = Vec::new();
+        for p in &self.unique_layers {
+            for &id in &p.layer_numbers {
+                out.push((id, p));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Total floating-point operations of one inference pass.
+    pub fn total_flops(&self) -> u64 {
+        self.unique_layers.iter().map(|p| p.flops() * p.occurrences() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_flops() {
+        let p = GemmProblem::new(100, 10, 4, vec![1]);
+        assert_eq!(p.flops(), 8000);
+        assert_eq!(p.occurrences(), 1);
+    }
+
+    #[test]
+    fn resnet_workload_has_20_unique_layers_and_53_instances() {
+        let w = resnet50_table();
+        assert_eq!(w.unique_layers.len(), 20);
+        assert_eq!(w.instances().len(), 53);
+        // First layer of Table I.
+        assert_eq!(w.unique_layers[0], GemmProblem::new(12544, 64, 147, vec![1]));
+        // Layer id 083 belongs to the 196 x 256 x 2304 problem.
+        let binding = w.instances();
+        let (_, p) = binding.iter().find(|(id, _)| *id == 83).unwrap();
+        assert_eq!((p.m, p.n, p.k), (196, 256, 2304));
+    }
+
+    #[test]
+    fn vgg_workload_has_9_unique_layers_and_13_instances() {
+        let w = vgg16_table();
+        assert_eq!(w.unique_layers.len(), 9);
+        assert_eq!(w.instances().len(), 13);
+        assert_eq!(w.unique_layers[0], GemmProblem::new(50176, 64, 27, vec![1]));
+    }
+
+    #[test]
+    fn instances_are_sorted_by_layer_number() {
+        let w = resnet50_table();
+        let ids: Vec<u32> = w.instances().into_iter().map(|(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids[0], 1);
+        assert_eq!(*ids.last().unwrap(), 170);
+    }
+
+    #[test]
+    fn total_flops_are_in_the_expected_ballpark() {
+        // ResNet50 v1.5 convolutions (batch 1) are roughly 7-8 GFLOP,
+        // VGG16 roughly 30 GFLOP.
+        let r = resnet50_table().total_flops() as f64 / 1.0e9;
+        let v = vgg16_table().total_flops() as f64 / 1.0e9;
+        assert!(r > 4.0 && r < 10.0, "resnet conv GFLOP = {r}");
+        assert!(v > 25.0 && v < 35.0, "vgg conv GFLOP = {v}");
+    }
+}

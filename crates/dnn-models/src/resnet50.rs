@@ -1,0 +1,73 @@
+//! Table I of the paper: the GEMM dimensions obtained by applying IM2ROW to
+//! the convolution layers of ResNet50 v1.5 at batch size 1.
+//!
+//! The table is encoded directly from the paper (unique problems plus the
+//! layer numbers that share them); the VGG16 counterpart in [`crate::vgg16`]
+//! is additionally re-derived from the network architecture as a cross-check
+//! of the IM2ROW lowering.
+
+use crate::{GemmProblem, ModelWorkload};
+
+/// The 20 unique GEMM problems of ResNet50 v1.5 (Table I), batch size 1.
+pub fn resnet50_table() -> ModelWorkload {
+    let rows: Vec<(usize, usize, usize, Vec<u32>)> = vec![
+        (12544, 64, 147, vec![1]),
+        (3136, 64, 64, vec![6]),
+        (3136, 64, 576, vec![9, 21, 31]),
+        (3136, 256, 64, vec![12, 14, 24, 34]),
+        (3136, 64, 256, vec![18, 28]),
+        (3136, 128, 256, vec![38]),
+        (784, 128, 1152, vec![41, 53, 63, 73]),
+        (784, 512, 128, vec![44, 56, 66, 76]),
+        (784, 512, 256, vec![46]),
+        (784, 128, 512, vec![50, 60, 70]),
+        (784, 256, 512, vec![80]),
+        (196, 256, 2304, vec![83, 95, 105, 115, 125, 135]),
+        (196, 1024, 256, vec![86, 98, 108, 118, 128, 138]),
+        (196, 1024, 512, vec![88]),
+        (196, 256, 1024, vec![92, 102, 112, 122, 132]),
+        (196, 512, 1024, vec![142]),
+        (49, 512, 4608, vec![145, 157, 167]),
+        (49, 2048, 512, vec![148, 160, 170]),
+        (49, 2048, 1024, vec![150]),
+        (49, 512, 2048, vec![154, 164]),
+    ];
+    ModelWorkload {
+        name: "ResNet50 v1.5".to_string(),
+        unique_layers: rows.into_iter().map(|(m, n, k, ids)| GemmProblem::new(m, n, k, ids)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_paper_rows() {
+        let w = resnet50_table();
+        // Spot-check a few rows against Table I.
+        assert_eq!(w.unique_layers[2], GemmProblem::new(3136, 64, 576, vec![9, 21, 31]));
+        assert_eq!(w.unique_layers[16], GemmProblem::new(49, 512, 4608, vec![145, 157, 167]));
+        assert_eq!(w.unique_layers[19], GemmProblem::new(49, 512, 2048, vec![154, 164]));
+    }
+
+    #[test]
+    fn every_m_dimension_reflects_a_square_feature_map() {
+        // ResNet50 feature maps are 112, 56, 28, 14, 7 pixels on a side.
+        let squares: Vec<usize> = [112usize, 56, 28, 14, 7].iter().map(|s| s * s).collect();
+        for p in resnet50_table().unique_layers {
+            assert!(squares.contains(&p.m), "m = {} is not a square feature map", p.m);
+        }
+    }
+
+    #[test]
+    fn layer_numbers_are_unique_across_the_table() {
+        let w = resnet50_table();
+        let mut all: Vec<u32> = w.unique_layers.iter().flat_map(|p| p.layer_numbers.clone()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(before, all.len());
+        assert_eq!(before, 53);
+    }
+}

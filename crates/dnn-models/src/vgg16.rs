@@ -1,0 +1,95 @@
+//! Table II of the paper: the GEMM dimensions of the VGG16 convolution
+//! layers at batch size 1, both as the encoded table and derived from the
+//! network architecture through [`crate::im2row`].
+
+use crate::conv::{im2row, ConvLayer};
+use crate::{GemmProblem, ModelWorkload};
+
+/// The 13 convolution layers of VGG16 (all 3x3, stride 1, padding 1), with
+/// the paper's layer numbering.
+pub fn vgg16_conv_layers() -> Vec<ConvLayer> {
+    // (name, layer number, input side, in channels, out channels)
+    let specs: Vec<(&str, u32, usize, usize, usize)> = vec![
+        ("conv1_1", 1, 224, 3, 64),
+        ("conv1_2", 3, 224, 64, 64),
+        ("conv2_1", 6, 112, 64, 128),
+        ("conv2_2", 8, 112, 128, 128),
+        ("conv3_1", 11, 56, 128, 256),
+        ("conv3_2", 13, 56, 256, 256),
+        ("conv3_3", 15, 56, 256, 256),
+        ("conv4_1", 18, 28, 256, 512),
+        ("conv4_2", 20, 28, 512, 512),
+        ("conv4_3", 22, 28, 512, 512),
+        ("conv5_1", 25, 14, 512, 512),
+        ("conv5_2", 27, 14, 512, 512),
+        ("conv5_3", 29, 14, 512, 512),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, number, side, cin, cout)| ConvLayer {
+            name: name.to_string(),
+            layer_number: number,
+            height: side,
+            width: side,
+            in_channels: cin,
+            out_channels: cout,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        })
+        .collect()
+}
+
+/// The 9 unique GEMM problems of VGG16 (Table II), batch size 1, derived from
+/// [`vgg16_conv_layers`] via IM2ROW and grouped by identical dimensions.
+pub fn vgg16_table() -> ModelWorkload {
+    let mut unique: Vec<GemmProblem> = Vec::new();
+    for layer in vgg16_conv_layers() {
+        let g = im2row(&layer);
+        match unique.iter_mut().find(|p| p.m == g.m && p.n == g.n && p.k == g.k) {
+            Some(existing) => existing.layer_numbers.push(layer.layer_number),
+            None => unique.push(g),
+        }
+    }
+    ModelWorkload { name: "VGG16".to_string(), unique_layers: unique }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_table_matches_the_paper() {
+        let expected: Vec<(usize, usize, usize, Vec<u32>)> = vec![
+            (50176, 64, 27, vec![1]),
+            (50176, 64, 576, vec![3]),
+            (12544, 128, 576, vec![6]),
+            (12544, 128, 1152, vec![8]),
+            (3136, 256, 1152, vec![11]),
+            (3136, 256, 2304, vec![13, 15]),
+            (784, 512, 2304, vec![18]),
+            (784, 512, 4608, vec![20, 22]),
+            (196, 512, 4608, vec![25, 27, 29]),
+        ];
+        let table = vgg16_table();
+        assert_eq!(table.unique_layers.len(), expected.len());
+        for (got, (m, n, k, ids)) in table.unique_layers.iter().zip(expected) {
+            assert_eq!((got.m, got.n, got.k), (m, n, k));
+            assert_eq!(got.layer_numbers, ids);
+        }
+    }
+
+    #[test]
+    fn thirteen_convolutions_total() {
+        assert_eq!(vgg16_conv_layers().len(), 13);
+        assert_eq!(vgg16_table().instances().len(), 13);
+    }
+
+    #[test]
+    fn all_layers_preserve_spatial_size() {
+        for l in vgg16_conv_layers() {
+            assert_eq!(l.out_height(), l.height, "3x3/s1/p1 preserves the feature map");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the code-generation backends.
+
+use std::fmt;
+
+use exo_ir::Sym;
+
+/// Errors produced while lowering a procedure to C, assembly, a trace, or an
+/// executable kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// The procedure references a buffer whose shape could not be resolved.
+    UnknownBuffer {
+        /// The buffer name.
+        buf: Sym,
+    },
+    /// A construct is not supported by this backend.
+    Unsupported {
+        /// Which backend raised the error.
+        backend: &'static str,
+        /// Description of the unsupported construct.
+        what: String,
+    },
+    /// A loop or dimension that must be a compile-time constant is not.
+    NonConstant {
+        /// Description of the offending expression.
+        what: String,
+    },
+    /// The runtime arguments passed to a compiled kernel do not match its
+    /// signature.
+    BadArguments {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// An index evaluated outside the bounds of its buffer at run time.
+    OutOfBounds {
+        /// The buffer name.
+        buf: String,
+        /// The flat index.
+        index: i64,
+        /// The buffer length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownBuffer { buf } => write!(f, "unknown buffer `{buf}`"),
+            CodegenError::Unsupported { backend, what } => {
+                write!(f, "the {backend} backend does not support {what}")
+            }
+            CodegenError::NonConstant { what } => write!(f, "{what} must be a compile-time constant"),
+            CodegenError::BadArguments { reason } => write!(f, "bad kernel arguments: {reason}"),
+            CodegenError::OutOfBounds { buf, index, len } => {
+                write!(f, "index {index} out of bounds for buffer `{buf}` of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CodegenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CodegenError::Unsupported { backend: "C", what: "windowed calls of rank 2".into() };
+        assert!(e.to_string().contains("C backend"));
+        let e = CodegenError::OutOfBounds { buf: "C".into(), index: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+    }
+}

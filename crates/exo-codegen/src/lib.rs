@@ -1,0 +1,28 @@
+//! # exo-codegen
+//!
+//! Backends over scheduled procedures, mirroring what the paper's toolchain
+//! obtains from Exo plus what this reproduction needs in place of a native
+//! ARM toolchain:
+//!
+//! * [`c::emit_c`] — C-with-intrinsics source, the artifact's visible output
+//!   (Section III, step g),
+//! * [`asm::emit_asm`] — a pseudo-assembly rendering of the `k`-loop, the
+//!   analogue of the paper's Fig. 12,
+//! * [`trace::extract_trace`] — the machine-operation trace consumed by the
+//!   `carmel-sim` performance model,
+//! * [`exec::compile`] — an executable lowering used for functional
+//!   validation and wall-clock benches.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod c;
+pub mod error;
+pub mod exec;
+pub mod trace;
+
+pub use asm::{count_mnemonics, emit_asm};
+pub use c::emit_c;
+pub use error::{CodegenError, Result};
+pub use exec::{compile, CompiledKernel, RunArg};
+pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

@@ -1,0 +1,201 @@
+//! Concise construction helpers for IR fragments.
+//!
+//! Builder-style code (used heavily by `exo-isa` and `ukernel-gen`) reads much
+//! closer to the paper's Python listings with these helpers:
+//!
+//! ```
+//! use exo_ir::builder::*;
+//! use exo_ir::{MemSpace, ScalarType};
+//!
+//! // for i in seq(0, 4): dst[i] = src[i]
+//! let body = vec![for_("i", 0, 4, vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))])];
+//! let p = proc("copy4")
+//!     .tensor_arg("dst", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+//!     .tensor_arg("src", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+//!     .body(body)
+//!     .build();
+//! assert!(p.validate().is_ok());
+//! ```
+
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::proc::{InstrInfo, Proc, ProcArg};
+use crate::stmt::{CallArg, CmpOp, Cond, Stmt, WAccess, WindowExpr};
+use crate::sym::Sym;
+use crate::types::{MemSpace, ScalarType};
+
+/// Variable reference.
+pub fn var(name: impl Into<Sym>) -> Expr {
+    Expr::var(name)
+}
+
+/// Integer literal.
+pub fn int(v: i64) -> Expr {
+    Expr::int(v)
+}
+
+/// Float literal.
+pub fn flt(v: f64) -> Expr {
+    Expr::float(v)
+}
+
+/// Buffer read.
+pub fn read(buf: impl Into<Sym>, idx: Vec<Expr>) -> Expr {
+    Expr::read(buf, idx)
+}
+
+/// `for var in seq(lo, hi): body`
+pub fn for_(v: impl Into<Sym>, lo: impl Into<Expr>, hi: impl Into<Expr>, body: Vec<Stmt>) -> Stmt {
+    Stmt::for_(v, lo, hi, body)
+}
+
+/// `buf[idx] = rhs`
+pub fn assign(buf: impl Into<Sym>, idx: Vec<Expr>, rhs: Expr) -> Stmt {
+    Stmt::assign(buf, idx, rhs)
+}
+
+/// `buf[idx] += rhs`
+pub fn reduce(buf: impl Into<Sym>, idx: Vec<Expr>, rhs: Expr) -> Stmt {
+    Stmt::reduce(buf, idx, rhs)
+}
+
+/// Buffer allocation statement.
+pub fn alloc(name: impl Into<Sym>, ty: ScalarType, dims: Vec<Expr>, mem: MemSpace) -> Stmt {
+    Stmt::alloc(name, ty, dims, mem)
+}
+
+/// Instruction call statement.
+pub fn call(instr: &Arc<Proc>, args: Vec<CallArg>) -> Stmt {
+    Stmt::call(instr.clone(), args)
+}
+
+/// Comment statement.
+pub fn comment(text: impl Into<String>) -> Stmt {
+    Stmt::Comment(text.into())
+}
+
+/// `if lhs op rhs: then_body`
+pub fn if_(op: CmpOp, lhs: Expr, rhs: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond: Cond { op, lhs, rhs }, then_body, else_body }
+}
+
+/// Point access within a window.
+pub fn pt(e: Expr) -> WAccess {
+    WAccess::Point(e)
+}
+
+/// Interval access `[lo, hi)` within a window.
+pub fn interval(lo: impl Into<Expr>, hi: impl Into<Expr>) -> WAccess {
+    WAccess::Interval(lo.into(), hi.into())
+}
+
+/// Window call argument.
+pub fn win(buf: impl Into<Sym>, idx: Vec<WAccess>) -> CallArg {
+    CallArg::Window(WindowExpr::new(buf, idx))
+}
+
+/// Scalar / index call argument.
+pub fn arg_expr(e: Expr) -> CallArg {
+    CallArg::Expr(e)
+}
+
+/// Fluent builder for [`Proc`].
+#[derive(Debug, Default)]
+pub struct ProcBuilder {
+    name: String,
+    args: Vec<ProcArg>,
+    body: Vec<Stmt>,
+    instr: Option<InstrInfo>,
+}
+
+/// Starts building a procedure with the given name.
+pub fn proc(name: impl Into<String>) -> ProcBuilder {
+    ProcBuilder { name: name.into(), ..ProcBuilder::default() }
+}
+
+impl ProcBuilder {
+    /// Adds a `size` argument.
+    pub fn size_arg(mut self, name: impl Into<Sym>) -> Self {
+        self.args.push(ProcArg::size(name));
+        self
+    }
+
+    /// Adds an `index` argument.
+    pub fn index_arg(mut self, name: impl Into<Sym>) -> Self {
+        self.args.push(ProcArg::index(name));
+        self
+    }
+
+    /// Adds a tensor argument.
+    pub fn tensor_arg(
+        mut self,
+        name: impl Into<Sym>,
+        ty: ScalarType,
+        dims: Vec<Expr>,
+        mem: MemSpace,
+    ) -> Self {
+        self.args.push(ProcArg::tensor(name, ty, dims, mem));
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, body: Vec<Stmt>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Marks the procedure as an instruction specification.
+    pub fn instr_info(mut self, info: InstrInfo) -> Self {
+        self.instr = Some(info);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Proc {
+        Proc { name: self.name, args: self.args, body: self.body, instr: self.instr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::InstrClass;
+
+    #[test]
+    fn builder_produces_valid_proc() {
+        let p = proc("p")
+            .size_arg("N")
+            .tensor_arg("x", ScalarType::F32, vec![var("N")], MemSpace::Dram)
+            .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(1.0))])])
+            .build();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.args.len(), 2);
+    }
+
+    #[test]
+    fn instr_builder_sets_metadata() {
+        let p = proc("neon_vld_4xf32")
+            .tensor_arg("dst", ScalarType::F32, vec![int(4)], MemSpace::Neon)
+            .tensor_arg("src", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+            .body(vec![for_("i", 0, 4, vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))])])
+            .instr_info(InstrInfo::new(
+                "{dst_data} = vld1q_f32(&{src_data});",
+                InstrClass::VecLoad,
+                4,
+                ScalarType::F32,
+            ))
+            .build();
+        assert!(p.is_instr());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn window_helpers_compose() {
+        let w = win("C_reg", vec![pt(var("jt")), interval(0, 4)]);
+        match w {
+            CallArg::Window(w) => assert_eq!(w.rank(), 1),
+            _ => panic!("expected window"),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # exo-ir
+//!
+//! The loop-nest intermediate representation underlying this workspace's
+//! reproduction of *"Tackling the Matrix Multiplication Micro-kernel
+//! Generation with Exo"* (CGO 2024).
+//!
+//! A [`Proc`] models an Exo `@proc` (a schedulable procedure) or `@instr`
+//! (a hardware instruction specification). Procedures are built from
+//! [`Stmt`]s — loops, assignments, reductions, allocations, instruction
+//! calls — over [`Expr`] index/value expressions.
+//!
+//! The crate provides:
+//!
+//! * construction helpers ([`builder`]),
+//! * an Exo-style pretty printer ([`printer`]),
+//! * a reference interpreter ([`interp`]) used to check that scheduling
+//!   transformations preserve semantics,
+//! * alpha-equivalence ([`alpha`]),
+//! * a parser for the small textual fragments used by scheduling directives
+//!   ([`parse`]).
+//!
+//! ## Example
+//!
+//! Build and run the naive micro-kernel of the paper's Fig. 5:
+//!
+//! ```
+//! use exo_ir::builder::*;
+//! use exo_ir::interp::{run_proc, ArgValue, TensorData};
+//! use exo_ir::{Expr, MemSpace, ScalarType};
+//!
+//! let p = proc("ukernel_ref")
+//!     .size_arg("KC")
+//!     .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(8)], MemSpace::Dram)
+//!     .tensor_arg("Bc", ScalarType::F32, vec![var("KC"), int(12)], MemSpace::Dram)
+//!     .tensor_arg("C", ScalarType::F32, vec![int(12), int(8)], MemSpace::Dram)
+//!     .body(vec![for_("k", 0, var("KC"), vec![for_("j", 0, 12, vec![for_("i", 0, 8, vec![
+//!         reduce("C", vec![var("j"), var("i")],
+//!             Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")]))),
+//!     ])])])])
+//!     .build();
+//! p.validate()?;
+//!
+//! let mut args = vec![
+//!     ArgValue::Size(4),
+//!     ArgValue::Tensor(TensorData::from_fn(ScalarType::F32, vec![4, 8], |i| i as f64)),
+//!     ArgValue::Tensor(TensorData::from_fn(ScalarType::F32, vec![4, 12], |i| 1.0 + i as f64)),
+//!     ArgValue::Tensor(TensorData::zeros(ScalarType::F32, vec![12, 8])),
+//! ];
+//! run_proc(&p, &mut args)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod builder;
+pub mod expr;
+pub mod interp;
+pub mod parse;
+pub mod printer;
+pub mod proc;
+pub mod stmt;
+pub mod sym;
+pub mod types;
+
+pub use expr::{Affine, BinOp, Expr};
+pub use proc::{ArgKind, InstrClass, InstrInfo, IrError, Proc, ProcArg};
+pub use stmt::{CallArg, CmpOp, Cond, Stmt, StmtPath, WAccess, WindowExpr};
+pub use sym::Sym;
+pub use types::{MemSpace, ScalarType};

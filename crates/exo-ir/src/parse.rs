@@ -1,0 +1,348 @@
+//! A small parser for the textual expression and window fragments that appear
+//! in user scheduling code, e.g. `stage_mem(p, "C[_] += _", "C[4 * jt + jtt, 4 * it + itt]", "C_reg")`.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := unary (('*' | '/' | '%') unary)*
+//! unary   := '-' unary | atom
+//! atom    := INT | FLOAT | IDENT ('[' access (',' access)* ']')? | '(' expr ')' | '_'
+//! access  := expr (':' expr)?          // ':' makes an interval
+//! ```
+//!
+//! The wildcard `_` parses into a variable named `_`, which the pattern
+//! matcher in `exo-sched` treats as "match anything".
+
+use std::fmt;
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{WAccess, WindowExpr};
+use crate::sym::Sym;
+
+/// Error produced by the fragment parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input at which the error was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), at: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            let is_ident = c.is_ascii_alphanumeric() || c == b'_';
+            let is_start_ok = self.pos > start || !c.is_ascii_digit();
+            if is_ident && is_start_ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos > start {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.' && !is_float {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        if text.is_empty() {
+            return Err(self.error("expected a number"));
+        }
+        if is_float {
+            text.parse::<f64>().map(Expr::Float).map_err(|e| self.error(e.to_string()))
+        } else {
+            text.parse::<i64>().map(Expr::Int).map_err(|e| self.error(e.to_string()))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident().ok_or_else(|| self.error("expected identifier"))?;
+                if self.peek() == Some(b'[') {
+                    self.bump();
+                    let mut idx = Vec::new();
+                    loop {
+                        let access = self.access()?;
+                        match access {
+                            WAccess::Point(e) => idx.push(e),
+                            WAccess::Interval(_, _) => {
+                                return Err(self.error(
+                                    "interval access is only allowed in window position; use parse_window",
+                                ))
+                            }
+                        }
+                        if self.eat(b',') {
+                            continue;
+                        }
+                        self.expect(b']')?;
+                        break;
+                    }
+                    Ok(Expr::Read { buf: Sym::new(name), idx })
+                } else {
+                    Ok(Expr::Var(Sym::new(name)))
+                }
+            }
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn access(&mut self) -> Result<WAccess, ParseError> {
+        let lo = self.expr()?;
+        if self.eat(b':') {
+            let hi = self.expr()?;
+            Ok(WAccess::Interval(lo, hi))
+        } else {
+            Ok(WAccess::Point(lo))
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(b'-') {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(b'*') => BinOp::Mul,
+                Some(b'/') => BinOp::Div,
+                Some(b'%') => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binop { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(b'+') => BinOp::Add,
+                Some(b'-') => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binop { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn window(&mut self) -> Result<WindowExpr, ParseError> {
+        let name = self.ident().ok_or_else(|| self.error("expected buffer name"))?;
+        self.expect(b'[')?;
+        let mut idx = Vec::new();
+        loop {
+            idx.push(self.access()?);
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            break;
+        }
+        Ok(WindowExpr::new(name, idx))
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing input"))
+        }
+    }
+}
+
+/// Parses an expression fragment such as `"4 * jt + jtt"` or `"Ac[k, i]"`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing characters.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src);
+    let e = p.expr()?;
+    p.finish()?;
+    Ok(e)
+}
+
+/// Parses a window fragment such as `"C[4 * jt + jtt, 4 * it + itt]"` or
+/// `"A_reg[it, 0:4]"`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing characters.
+pub fn parse_window(src: &str) -> Result<WindowExpr, ParseError> {
+    let mut p = Parser::new(src);
+    let w = p.window()?;
+    p.finish()?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn parses_affine_index() {
+        let e = parse_expr("4 * jt + jtt").unwrap();
+        assert_eq!(e, Expr::add(Expr::mul(int(4), var("jt")), var("jtt")));
+    }
+
+    #[test]
+    fn parses_reads_and_precedence() {
+        let e = parse_expr("Ac[k, 4*it + itt] * Bc[k, jt]").unwrap();
+        match e {
+            Expr::Binop { op: BinOp::Mul, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let e2 = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(e2, Expr::mul(Expr::add(var("a"), var("b")), var("c")));
+    }
+
+    #[test]
+    fn parses_negation_and_floats() {
+        assert_eq!(parse_expr("-3").unwrap(), Expr::Neg(Box::new(int(3))));
+        assert_eq!(parse_expr("2.5").unwrap(), flt(2.5));
+    }
+
+    #[test]
+    fn parses_wildcard_as_var() {
+        let e = parse_expr("C[_]").unwrap();
+        assert_eq!(e, Expr::read("C", vec![var("_")]));
+    }
+
+    #[test]
+    fn parses_window_with_interval() {
+        let w = parse_window("C_reg[4 * jt + jtt, it, 0:4]").unwrap();
+        assert_eq!(w.buf, "C_reg");
+        assert_eq!(w.idx.len(), 3);
+        assert!(w.idx[2].is_interval());
+        assert_eq!(w.rank(), 1);
+    }
+
+    #[test]
+    fn window_point_form_round_trips_through_printer() {
+        let w = parse_window("C[4 * jt + jtt, 4 * it + itt]").unwrap();
+        let s = crate::printer::window_to_string(&w);
+        assert_eq!(s, "C[4 * jt + jtt, 4 * it + itt]");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_expr("a + b )").is_err());
+        assert!(parse_expr("").is_err());
+        assert!(parse_window("noindex").is_err());
+    }
+
+    #[test]
+    fn rejects_interval_outside_window() {
+        assert!(parse_expr("C[0:4]").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_expr("a + ").unwrap_err();
+        assert!(err.at >= 3);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn division_and_modulo_parse() {
+        let e = parse_expr("MR / 4 % 2").unwrap();
+        // Left-associative: (MR / 4) % 2
+        assert_eq!(e, Expr::rem(Expr::div(var("MR"), int(4)), int(2)));
+    }
+}

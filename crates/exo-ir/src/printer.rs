@@ -1,0 +1,271 @@
+//! Exo-style pretty-printing of procedures, matching the layout of the
+//! paper's listings (Figs. 4–11).
+
+use std::fmt::Write as _;
+
+use crate::expr::{BinOp, Expr};
+use crate::proc::{ArgKind, Proc};
+use crate::stmt::{CallArg, Stmt, WAccess, WindowExpr};
+
+/// Renders an expression with minimal parentheses.
+pub fn expr_to_string(e: &Expr) -> String {
+    render_expr(e, 0)
+}
+
+fn render_expr(e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(s) => s.to_string(),
+        Expr::Read { buf, idx } => {
+            let subs: Vec<String> = idx.iter().map(|i| render_expr(i, 0)).collect();
+            format!("{}[{}]", buf, subs.join(", "))
+        }
+        Expr::Binop { op, lhs, rhs } => {
+            let prec = op.precedence();
+            // Right operand of - and / needs the next precedence level to
+            // preserve grouping.
+            let rhs_prec = match op {
+                BinOp::Sub | BinOp::Div | BinOp::Mod => prec + 1,
+                _ => prec,
+            };
+            let s = format!(
+                "{} {} {}",
+                render_expr(lhs, prec),
+                op.symbol(),
+                render_expr(rhs, rhs_prec)
+            );
+            if prec < parent_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Neg(inner) => format!("-{}", render_expr(inner, 3)),
+    }
+}
+
+/// Renders a window access such as `C_reg[4 * jt + jtt, it, 0:4]`.
+pub fn window_to_string(w: &WindowExpr) -> String {
+    let parts: Vec<String> = w
+        .idx
+        .iter()
+        .map(|a| match a {
+            WAccess::Point(e) => expr_to_string(e),
+            WAccess::Interval(lo, hi) => format!("{}:{}", expr_to_string(lo), expr_to_string(hi)),
+        })
+        .collect();
+    format!("{}[{}]", w.buf, parts.join(", "))
+}
+
+/// Renders a call argument.
+pub fn call_arg_to_string(a: &CallArg) -> String {
+    match a {
+        CallArg::Window(w) => window_to_string(w),
+        CallArg::Expr(e) => expr_to_string(e),
+    }
+}
+
+/// Renders a single statement (and its children) at the given indentation
+/// level, appending to `out`.
+pub fn render_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Comment(c) => {
+            let _ = writeln!(out, "{pad}# {c}");
+        }
+        Stmt::Assign { buf, idx, rhs } => {
+            let subs: Vec<String> = idx.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{pad}{}[{}] = {}", buf, subs.join(", "), expr_to_string(rhs));
+        }
+        Stmt::Reduce { buf, idx, rhs } => {
+            let subs: Vec<String> = idx.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{pad}{}[{}] += {}", buf, subs.join(", "), expr_to_string(rhs));
+        }
+        Stmt::For { var, lo, hi, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {} in seq({}, {}):",
+                var,
+                expr_to_string(lo),
+                expr_to_string(hi)
+            );
+            if body.is_empty() {
+                let _ = writeln!(out, "{pad}    pass");
+            }
+            for s in body {
+                render_stmt(s, indent + 1, out);
+            }
+        }
+        Stmt::Alloc { name, ty, dims, mem } => {
+            let dims_s: Vec<String> = dims.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{pad}{}: {}[{}] @ {}", name, ty.exo_name(), dims_s.join(", "), mem.exo_name());
+        }
+        Stmt::Call { instr, args } => {
+            let args_s: Vec<String> = args.iter().map(call_arg_to_string).collect();
+            let _ = writeln!(out, "{pad}{}({})", instr.name, args_s.join(", "));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(
+                out,
+                "{pad}if {} {} {}:",
+                expr_to_string(&cond.lhs),
+                cond.op.symbol(),
+                expr_to_string(&cond.rhs)
+            );
+            for s in then_body {
+                render_stmt(s, indent + 1, out);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                for s in else_body {
+                    render_stmt(s, indent + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Renders a whole procedure in Exo-style syntax.
+///
+/// ```
+/// use exo_ir::builder::*;
+/// use exo_ir::printer::proc_to_string;
+/// let p = proc("p")
+///     .size_arg("N")
+///     .tensor_arg("x", exo_ir::ScalarType::F32, vec![var("N")], exo_ir::MemSpace::Dram)
+///     .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(0.0))])])
+///     .build();
+/// let text = proc_to_string(&p);
+/// assert!(text.contains("def p("));
+/// assert!(text.contains("for i in seq(0, N):"));
+/// ```
+pub fn proc_to_string(p: &Proc) -> String {
+    let mut out = String::new();
+    if p.is_instr() {
+        if let Some(info) = &p.instr {
+            let _ = writeln!(out, "@instr(\"{}\")", info.c_format);
+        }
+    } else {
+        let _ = writeln!(out, "@proc");
+    }
+    let args: Vec<String> = p
+        .args
+        .iter()
+        .map(|a| match &a.kind {
+            ArgKind::Size => format!("{}: size", a.name),
+            ArgKind::Index => format!("{}: index", a.name),
+            ArgKind::Tensor { ty, dims, mem } => {
+                let dims_s: Vec<String> = dims.iter().map(expr_to_string).collect();
+                format!("{}: {}[{}] @ {}", a.name, ty.exo_name(), dims_s.join(", "), mem.exo_name())
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "def {}({}):", p.name, args.join(", "));
+    if p.body.is_empty() {
+        let _ = writeln!(out, "    pass");
+    }
+    for stmt in &p.body {
+        render_stmt(stmt, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::{MemSpace, ScalarType};
+
+    #[test]
+    fn expr_precedence_parenthesises_correctly() {
+        let e = Expr::mul(Expr::add(var("a"), var("b")), int(4));
+        assert_eq!(expr_to_string(&e), "(a + b) * 4");
+        let e2 = Expr::add(Expr::mul(int(4), var("jt")), var("jtt"));
+        assert_eq!(expr_to_string(&e2), "4 * jt + jtt");
+        let e3 = Expr::sub(var("a"), Expr::sub(var("b"), var("c")));
+        assert_eq!(expr_to_string(&e3), "a - (b - c)");
+    }
+
+    #[test]
+    fn read_prints_subscripts() {
+        let e = Expr::read("Ac", vec![var("k"), Expr::add(Expr::mul(int(4), var("it")), var("itt"))]);
+        assert_eq!(expr_to_string(&e), "Ac[k, 4 * it + itt]");
+    }
+
+    #[test]
+    fn window_prints_slices() {
+        let w = WindowExpr::new(
+            "C_reg",
+            vec![
+                WAccess::Point(Expr::add(Expr::mul(int(4), var("jt")), var("jtt"))),
+                WAccess::Point(var("it")),
+                WAccess::Interval(int(0), int(4)),
+            ],
+        );
+        assert_eq!(window_to_string(&w), "C_reg[4 * jt + jtt, it, 0:4]");
+    }
+
+    #[test]
+    fn proc_header_lists_arguments() {
+        let p = proc("uk_8x12")
+            .size_arg("KC")
+            .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(8)], MemSpace::Dram)
+            .body(vec![])
+            .build();
+        let text = proc_to_string(&p);
+        assert!(text.starts_with("@proc\n"));
+        assert!(text.contains("def uk_8x12(KC: size, Ac: f32[KC, 8] @ DRAM):"));
+        assert!(text.contains("pass"));
+    }
+
+    #[test]
+    fn statements_render_like_the_paper() {
+        let body = vec![
+            Stmt::alloc("C_reg", ScalarType::F32, vec![int(12), int(2), int(4)], MemSpace::Neon),
+            for_(
+                "k",
+                0,
+                var("KC"),
+                vec![reduce(
+                    "C",
+                    vec![var("j"), var("i")],
+                    Expr::mul(Expr::read("Ac", vec![var("k"), var("i")]), Expr::read("Bc", vec![var("k"), var("j")])),
+                )],
+            ),
+        ];
+        let p = proc("uk").size_arg("KC").body(body).build();
+        let text = proc_to_string(&p);
+        assert!(text.contains("C_reg: f32[12, 2, 4] @ Neon"));
+        assert!(text.contains("for k in seq(0, KC):"));
+        assert!(text.contains("C[j, i] += Ac[k, i] * Bc[k, j]"));
+    }
+
+    #[test]
+    fn if_and_comment_render() {
+        use crate::stmt::{CmpOp, Cond};
+        let body = vec![
+            Stmt::Comment("edge case".into()),
+            Stmt::If {
+                cond: Cond { op: CmpOp::Lt, lhs: var("i"), rhs: int(8) },
+                then_body: vec![assign("x", vec![var("i")], flt(0.0))],
+                else_body: vec![assign("x", vec![var("i")], flt(1.0))],
+            },
+        ];
+        let p = proc("edge")
+            .tensor_arg("x", ScalarType::F32, vec![int(16)], MemSpace::Dram)
+            .index_arg("i")
+            .body(body)
+            .build();
+        let text = proc_to_string(&p);
+        assert!(text.contains("# edge case"));
+        assert!(text.contains("if i < 8:"));
+        assert!(text.contains("else:"));
+    }
+}

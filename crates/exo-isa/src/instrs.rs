@@ -1,0 +1,196 @@
+//! Generic instruction-specification constructors.
+//!
+//! Every intrinsic in this workspace is defined the way the paper defines
+//! `vst1q_f32` and `vfmaq_laneq_f32` in Fig. 3: a small procedure whose body
+//! is the reference semantics, plus a C format string used by the code
+//! generator and a machine classification used by the performance model.
+
+use std::sync::Arc;
+
+use exo_ir::builder::*;
+use exo_ir::{Expr, InstrClass, InstrInfo, MemSpace, Proc, ScalarType};
+
+/// Builds a vector-load instruction: `dst[i] = src[i]` for `i in 0..lanes`,
+/// with `dst` in the register file and `src` in DRAM.
+pub fn make_load(name: &str, c_format: &str, lanes: usize, ty: ScalarType, mem: MemSpace) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("dst", ty, vec![int(lanes as i64)], mem)
+            .tensor_arg("src", ty, vec![int(lanes as i64)], MemSpace::Dram)
+            .body(vec![for_(
+                "i",
+                0,
+                int(lanes as i64),
+                vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))],
+            )])
+            .instr_info(InstrInfo::new(c_format, InstrClass::VecLoad, lanes, ty))
+            .build(),
+    )
+}
+
+/// Builds a vector-store instruction: `dst[i] = src[i]` for `i in 0..lanes`,
+/// with `dst` in DRAM and `src` in the register file.
+pub fn make_store(name: &str, c_format: &str, lanes: usize, ty: ScalarType, mem: MemSpace) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("dst", ty, vec![int(lanes as i64)], MemSpace::Dram)
+            .tensor_arg("src", ty, vec![int(lanes as i64)], mem)
+            .body(vec![for_(
+                "i",
+                0,
+                int(lanes as i64),
+                vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))],
+            )])
+            .instr_info(InstrInfo::new(c_format, InstrClass::VecStore, lanes, ty))
+            .build(),
+    )
+}
+
+/// Builds a lane-indexed FMA: `dst[i] += lhs[i] * rhs[l]` for `i in
+/// 0..lanes`, where `l` is an `index` argument selecting a lane of `rhs`
+/// (ARM's `vfmaq_laneq` family).
+pub fn make_fma_lane(name: &str, c_format: &str, lanes: usize, ty: ScalarType, mem: MemSpace) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("dst", ty, vec![int(lanes as i64)], mem)
+            .tensor_arg("lhs", ty, vec![int(lanes as i64)], mem)
+            .tensor_arg("rhs", ty, vec![int(lanes as i64)], mem)
+            .index_arg("l")
+            .body(vec![for_(
+                "i",
+                0,
+                int(lanes as i64),
+                vec![reduce(
+                    "dst",
+                    vec![var("i")],
+                    Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![var("l")])),
+                )],
+            )])
+            .instr_info(InstrInfo::new(c_format, InstrClass::VecFma, lanes, ty))
+            .build(),
+    )
+}
+
+/// Builds a broadcast FMA: `dst[i] += lhs[i] * rhs[0]` for `i in 0..lanes`,
+/// where `rhs` is a single element in DRAM that the hardware broadcasts
+/// across lanes (`vfmaq_n_f32` / `_mm512_set1_ps` + FMA).
+pub fn make_fma_broadcast(
+    name: &str,
+    c_format: &str,
+    lanes: usize,
+    ty: ScalarType,
+    mem: MemSpace,
+) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("dst", ty, vec![int(lanes as i64)], mem)
+            .tensor_arg("lhs", ty, vec![int(lanes as i64)], mem)
+            .tensor_arg("rhs", ty, vec![int(1)], MemSpace::Dram)
+            .body(vec![for_(
+                "i",
+                0,
+                int(lanes as i64),
+                vec![reduce(
+                    "dst",
+                    vec![var("i")],
+                    Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![int(0)])),
+                )],
+            )])
+            .instr_info(InstrInfo::new(c_format, InstrClass::VecFma, lanes, ty))
+            .build(),
+    )
+}
+
+/// Builds a register-zeroing instruction: `dst[i] = 0` for `i in 0..lanes`.
+pub fn make_zero(name: &str, c_format: &str, lanes: usize, ty: ScalarType, mem: MemSpace) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("dst", ty, vec![int(lanes as i64)], mem)
+            .body(vec![for_("i", 0, int(lanes as i64), vec![assign("dst", vec![var("i")], flt(0.0))])])
+            .instr_info(InstrInfo::new(c_format, InstrClass::VecZero, lanes, ty))
+            .build(),
+    )
+}
+
+/// Builds a software-prefetch hint. The semantic body is empty (a prefetch
+/// has no architectural effect); the performance model charges it as an
+/// address-generation micro-op and warms the modelled cache line.
+pub fn make_prefetch(name: &str, c_format: &str, ty: ScalarType) -> Arc<Proc> {
+    Arc::new(
+        proc(name)
+            .tensor_arg("addr", ty, vec![int(1)], MemSpace::Dram)
+            .body(vec![])
+            .instr_info(InstrInfo::new(c_format, InstrClass::Prefetch, 1, ty))
+            .build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::interp::{run_proc, ArgValue, TensorData};
+
+    #[test]
+    fn constructors_produce_instr_procs() {
+        let l = make_load("ld", "ld({dst_data},{src_data})", 4, ScalarType::F32, MemSpace::Neon);
+        let s = make_store("st", "st({dst_data},{src_data})", 4, ScalarType::F32, MemSpace::Neon);
+        let f = make_fma_lane("fma", "fma(...)", 4, ScalarType::F32, MemSpace::Neon);
+        let b = make_fma_broadcast("fmab", "fmab(...)", 4, ScalarType::F32, MemSpace::Neon);
+        let z = make_zero("zero", "zero(...)", 4, ScalarType::F32, MemSpace::Neon);
+        let p = make_prefetch("pf", "pf(...)", ScalarType::F32);
+        for instr in [&l, &s, &f, &b, &z, &p] {
+            assert!(instr.is_instr());
+            assert_eq!(instr.validate(), Ok(()));
+        }
+        assert_eq!(l.instr.as_ref().unwrap().class, InstrClass::VecLoad);
+        assert_eq!(s.instr.as_ref().unwrap().class, InstrClass::VecStore);
+        assert_eq!(f.instr.as_ref().unwrap().class, InstrClass::VecFma);
+        assert_eq!(z.instr.as_ref().unwrap().class, InstrClass::VecZero);
+        assert_eq!(p.instr.as_ref().unwrap().class, InstrClass::Prefetch);
+    }
+
+    #[test]
+    fn store_and_zero_semantics() {
+        let s = make_store("st", "st", 4, ScalarType::F32, MemSpace::Neon);
+        let dst = TensorData::zeros(ScalarType::F32, vec![4]);
+        let src = TensorData::from_fn(ScalarType::F32, vec![4], |i| i as f64);
+        let mut args = vec![ArgValue::Tensor(dst), ArgValue::Tensor(src)];
+        run_proc(&s, &mut args).unwrap();
+        assert_eq!(args[0].as_tensor().unwrap().data, vec![0.0, 1.0, 2.0, 3.0]);
+
+        let z = make_zero("zero", "zero", 4, ScalarType::F32, MemSpace::Neon);
+        let mut args = vec![ArgValue::Tensor(TensorData::from_fn(ScalarType::F32, vec![4], |_| 9.0))];
+        run_proc(&z, &mut args).unwrap();
+        assert_eq!(args[0].as_tensor().unwrap().data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn broadcast_fma_semantics() {
+        let b = make_fma_broadcast("fmab", "fmab", 4, ScalarType::F32, MemSpace::Neon);
+        let dst = TensorData::zeros(ScalarType::F32, vec![4]);
+        let lhs = TensorData::from_fn(ScalarType::F32, vec![4], |i| i as f64);
+        let rhs = TensorData::from_fn(ScalarType::F32, vec![1], |_| 3.0);
+        let mut args = vec![ArgValue::Tensor(dst), ArgValue::Tensor(lhs), ArgValue::Tensor(rhs)];
+        run_proc(&b, &mut args).unwrap();
+        assert_eq!(args[0].as_tensor().unwrap().data, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn prefetch_is_a_semantic_noop() {
+        let p = make_prefetch("pf", "pf", ScalarType::F32);
+        let addr = TensorData::from_fn(ScalarType::F32, vec![1], |_| 42.0);
+        let mut args = vec![ArgValue::Tensor(addr.clone())];
+        run_proc(&p, &mut args).unwrap();
+        assert_eq!(args[0].as_tensor().unwrap().data, addr.data);
+    }
+
+    #[test]
+    fn f16_instructions_round_to_half_precision() {
+        let l = make_load("ld16", "ld16", 8, ScalarType::F16, MemSpace::Neon8f);
+        let src = TensorData::from_fn(ScalarType::F16, vec![8], |_| 1.0);
+        let dst = TensorData::zeros(ScalarType::F16, vec![8]);
+        let mut args = vec![ArgValue::Tensor(dst), ArgValue::Tensor(src)];
+        run_proc(&l, &mut args).unwrap();
+        assert!(args[0].as_tensor().unwrap().data.iter().all(|&v| v == 1.0));
+    }
+}

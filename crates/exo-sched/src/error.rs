@@ -1,0 +1,197 @@
+//! Error type shared by all scheduling operators.
+
+use std::fmt;
+
+use exo_ir::parse::ParseError;
+use exo_ir::{IrError, Sym};
+
+/// Error returned by scheduling operators when a rewrite cannot be applied
+/// legally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A pattern did not match any statement in the procedure.
+    PatternNotFound {
+        /// The pattern text.
+        pattern: String,
+        /// Procedure searched.
+        proc: String,
+    },
+    /// The statement found is not of the kind the operator needs (e.g.
+    /// `unroll_loop` on something that is not a loop).
+    WrongStatementKind {
+        /// What the operator expected.
+        expected: &'static str,
+        /// What was found instead.
+        found: String,
+    },
+    /// A loop could not be divided because its extent is not a multiple of
+    /// the requested factor (with `perfect` division).
+    NotDivisible {
+        /// Loop variable.
+        var: Sym,
+        /// Loop extent, if known.
+        extent: Option<i64>,
+        /// Requested factor.
+        factor: i64,
+    },
+    /// A loop bound or extent had to be a compile-time constant but was not.
+    NonConstantBound {
+        /// Loop variable.
+        var: Sym,
+    },
+    /// Two loops could not be reordered because they are not perfectly nested.
+    NotPerfectlyNested {
+        /// Outer loop variable.
+        outer: Sym,
+        /// Inner loop variable.
+        inner: Sym,
+    },
+    /// A buffer name was not found (for `expand_dim`, `set_memory`, ...).
+    UnknownBuffer {
+        /// The buffer name.
+        buf: Sym,
+    },
+    /// `lift_alloc` or `autofission` was asked to lift through more levels
+    /// than exist.
+    LiftTooFar {
+        /// Requested number of lifts.
+        requested: usize,
+        /// Available nesting depth.
+        available: usize,
+    },
+    /// Fission would have to cross an `if` statement, which is unsupported.
+    FissionThroughIf,
+    /// Fission through a loop would duplicate work that is not idempotent.
+    UnsafeFission {
+        /// Loop variable of the loop that could not be dropped or duplicated.
+        var: Sym,
+        /// Explanation.
+        reason: String,
+    },
+    /// `replace` could not unify any matching statement with the instruction
+    /// specification.
+    ReplaceFailed {
+        /// Instruction name.
+        instr: String,
+        /// Pattern used to select candidates.
+        pattern: String,
+        /// Explanation from the last attempted candidate.
+        reason: String,
+    },
+    /// The post-replacement verification (re-inlining the instruction and
+    /// comparing against the original statement) failed — this is the
+    /// "security definition" of the paper and indicates an internal bug.
+    ReplaceVerificationFailed {
+        /// Instruction name.
+        instr: String,
+    },
+    /// `partial_eval` received more values than there are `size` arguments.
+    TooManyValues {
+        /// Number of `size` arguments.
+        sizes: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// An argument or index range check failed (e.g. `expand_dim` indexing
+    /// expression can exceed the new dimension).
+    OutOfRange {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A textual fragment (expression, window, pattern) failed to parse.
+    Parse(ParseError),
+    /// The rewritten procedure failed IR validation (indicates an operator
+    /// bug; surfaced rather than silently returning broken IR).
+    Ir(IrError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::PatternNotFound { pattern, proc } => {
+                write!(f, "pattern `{pattern}` not found in procedure `{proc}`")
+            }
+            SchedError::WrongStatementKind { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            SchedError::NotDivisible { var, extent, factor } => match extent {
+                Some(e) => write!(f, "loop `{var}` with extent {e} is not divisible by {factor}"),
+                None => write!(f, "loop `{var}` has a non-constant extent, cannot divide by {factor}"),
+            },
+            SchedError::NonConstantBound { var } => {
+                write!(f, "loop `{var}` requires constant bounds for this operation")
+            }
+            SchedError::NotPerfectlyNested { outer, inner } => {
+                write!(f, "loops `{outer}` and `{inner}` are not perfectly nested")
+            }
+            SchedError::UnknownBuffer { buf } => write!(f, "unknown buffer `{buf}`"),
+            SchedError::LiftTooFar { requested, available } => {
+                write!(f, "cannot lift {requested} levels, only {available} available")
+            }
+            SchedError::FissionThroughIf => write!(f, "cannot fission through an if statement"),
+            SchedError::UnsafeFission { var, reason } => {
+                write!(f, "cannot fission through loop `{var}`: {reason}")
+            }
+            SchedError::ReplaceFailed { instr, pattern, reason } => {
+                write!(f, "cannot replace `{pattern}` with instruction `{instr}`: {reason}")
+            }
+            SchedError::ReplaceVerificationFailed { instr } => {
+                write!(f, "verification of replacement with `{instr}` failed")
+            }
+            SchedError::TooManyValues { sizes, values } => {
+                write!(f, "partial_eval got {values} values but the procedure has {sizes} size arguments")
+            }
+            SchedError::OutOfRange { reason } => write!(f, "range check failed: {reason}"),
+            SchedError::Parse(e) => write!(f, "fragment parse error: {e}"),
+            SchedError::Ir(e) => write!(f, "rewritten procedure is ill-formed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Parse(e) => Some(e),
+            SchedError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for SchedError {
+    fn from(e: ParseError) -> Self {
+        SchedError::Parse(e)
+    }
+}
+
+impl From<IrError> for SchedError {
+    fn from(e: IrError) -> Self {
+        SchedError::Ir(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SchedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SchedError::NotDivisible { var: "i".into(), extent: Some(7), factor: 4 };
+        assert!(e.to_string().contains("not divisible"));
+        let e = SchedError::PatternNotFound { pattern: "for q in _: _".into(), proc: "uk".into() };
+        assert!(e.to_string().contains("for q in _: _"));
+        let e = SchedError::LiftTooFar { requested: 9, available: 2 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn parse_errors_convert() {
+        let err = exo_ir::parse::parse_expr("+").unwrap_err();
+        let sched: SchedError = err.into();
+        assert!(matches!(sched, SchedError::Parse(_)));
+        assert!(std::error::Error::source(&sched).is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! The functional BLIS-like GEMM algorithm: the five loops of Fig. 1 around
+//! the packing routines and a micro-kernel, computing `C += A * B` on real
+//! `f32` data.
+//!
+//! This path exists for correctness: it is how the workspace demonstrates end
+//! to end that generated micro-kernels drop into the GotoBLAS/BLIS structure
+//! and produce the right answer for arbitrary (including fringe) problem
+//! sizes. Performance questions go through [`crate::model`] instead.
+
+use crate::baselines::KernelImpl;
+use crate::blocking::BlockingParams;
+use crate::packing::{a_panel, b_panel, pack_a, pack_b};
+use crate::GemmError;
+
+/// A dense row-major matrix view used by the driver.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major element storage.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix with `f(row, col)` values.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Element accessor.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+}
+
+/// Reference triple-loop GEMM, the ground truth for every test in the
+/// workspace: `c += a * b`.
+pub fn naive_gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols, b.rows);
+    for i in 0..a.rows {
+        for p in 0..a.cols {
+            let aip = a.get(i, p);
+            for j in 0..b.cols {
+                c.data[i * c.cols + j] += aip * b.get(p, j);
+            }
+        }
+    }
+}
+
+/// The BLIS-like GEMM driver of Fig. 1, parameterised by blocking values and
+/// a micro-kernel.
+#[derive(Debug, Clone)]
+pub struct BlisGemm {
+    /// Cache blocking parameters.
+    pub blocking: BlockingParams,
+}
+
+impl BlisGemm {
+    /// Creates a driver with the given blocking.
+    pub fn new(blocking: BlockingParams) -> Self {
+        BlisGemm { blocking }
+    }
+
+    /// Computes `c += a * b` using the five-loop algorithm with the given
+    /// micro-kernel. Fringe tiles are zero-padded by the packing routines and
+    /// the `C` tile is staged through a padded scratch tile, exactly as the
+    /// monolithic library kernels do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::ShapeMismatch`] if the matrix dimensions are
+    /// inconsistent, and propagates micro-kernel failures.
+    pub fn gemm(&self, kernel: &KernelImpl, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), GemmError> {
+        if a.cols != b.rows || a.rows != c.rows || b.cols != c.cols {
+            return Err(GemmError::ShapeMismatch {
+                what: format!(
+                    "A is {}x{}, B is {}x{}, C is {}x{}",
+                    a.rows, a.cols, b.rows, b.cols, c.rows, c.cols
+                ),
+            });
+        }
+        let (m, n, k) = (a.rows, b.cols, a.cols);
+        if m == 0 || n == 0 || k == 0 {
+            return Ok(());
+        }
+        let BlockingParams { mc, kc, nc, .. } = self.blocking;
+        let (mr, nr) = (kernel.mr, kernel.nr);
+
+        // Loop L1: columns of C / B.
+        let mut jc = 0;
+        while jc < n {
+            let nc_eff = nc.min(n - jc);
+            // Loop L2: the k dimension.
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = kc.min(k - pc);
+                let packed_b = pack_b(&b.data, n, pc, jc, kc_eff, nc_eff, nr);
+                // Loop L3: rows of C / A.
+                let mut ic = 0;
+                while ic < m {
+                    let mc_eff = mc.min(m - ic);
+                    let packed_a = pack_a(&a.data, k, ic, pc, mc_eff, kc_eff, mr);
+                    // Loops L4 and L5: micro-tiles.
+                    let n_panels = nc_eff.div_ceil(nr);
+                    let m_panels = mc_eff.div_ceil(mr);
+                    for jr in 0..n_panels {
+                        for ir in 0..m_panels {
+                            let ap = a_panel(&packed_a, ir, kc_eff, mr);
+                            let bp = b_panel(&packed_b, jr, kc_eff, nr);
+                            // Stage the (possibly fringe) C tile into a padded
+                            // [nr][mr] scratch in the micro-kernel's layout.
+                            let mut c_tile = vec![0.0f32; mr * nr];
+                            let rows = mr.min(mc_eff - ir * mr);
+                            let cols = nr.min(nc_eff - jr * nr);
+                            for j in 0..cols {
+                                for i in 0..rows {
+                                    let gi = ic + ir * mr + i;
+                                    let gj = jc + jr * nr + j;
+                                    c_tile[j * mr + i] = c.get(gi, gj);
+                                }
+                            }
+                            kernel.run(kc_eff, ap, bp, &mut c_tile)?;
+                            for j in 0..cols {
+                                for i in 0..rows {
+                                    let gi = ic + ir * mr + i;
+                                    let gj = jc + jr * nr + j;
+                                    c.set(gi, gj, c_tile[j * mr + i]);
+                                }
+                            }
+                        }
+                    }
+                    ic += mc_eff;
+                }
+                pc += kc_eff;
+            }
+            jc += nc_eff;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel};
+    use exo_isa::neon_f32;
+    use std::sync::Arc;
+    use ukernel_gen::MicroKernelGenerator;
+
+    fn check_gemm(kernel: &KernelImpl, m: usize, n: usize, k: usize) {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0);
+        let mut c = Matrix::from_fn(m, n, |i, j| ((i + j) % 3) as f32);
+        let mut c_ref = c.clone();
+        // Use small blocking values so every loop level is exercised even on
+        // small problems.
+        let blocking = BlockingParams { mc: 24, kc: 16, nc: 36, mr: kernel.mr, nr: kernel.nr };
+        BlisGemm::new(blocking).gemm(kernel, &a, &b, &mut c).unwrap();
+        naive_gemm(&a, &b, &mut c_ref);
+        for idx in 0..c.data.len() {
+            assert!(
+                (c.data[idx] - c_ref.data[idx]).abs() < 1e-3,
+                "{} mismatch at {idx}: {} vs {}",
+                kernel.name,
+                c.data[idx],
+                c_ref.data[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn blis_algorithm_matches_naive_for_exact_tiles() {
+        check_gemm(&neon_intrinsics_kernel(), 48, 48, 32);
+    }
+
+    #[test]
+    fn blis_algorithm_handles_fringe_tiles() {
+        check_gemm(&blis_assembly_kernel(true), 50, 45, 23);
+        check_gemm(&reference_kernel(3, 5), 17, 11, 9);
+    }
+
+    #[test]
+    fn generated_exo_kernels_drop_into_the_algorithm() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let k8x8 = exo_kernel(Arc::new(generator.generate(8, 8).unwrap()));
+        check_gemm(&k8x8, 40, 40, 24);
+        let k1x12 = exo_kernel(Arc::new(generator.generate(1, 12).unwrap()));
+        check_gemm(&k1x12, 13, 36, 20);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(5, 4);
+        let mut c = Matrix::zeros(4, 4);
+        let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        assert!(matches!(
+            gemm.gemm(&neon_intrinsics_kernel(), &a, &b, &mut c),
+            Err(GemmError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_problems_are_a_no_op() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let mut c = Matrix::zeros(0, 0);
+        let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        gemm.gemm(&neon_intrinsics_kernel(), &a, &b, &mut c).unwrap();
+    }
+}

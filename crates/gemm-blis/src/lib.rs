@@ -1,0 +1,74 @@
+//! # gemm-blis
+//!
+//! The BLIS-like GEMM substrate of the paper's evaluation: the five-loop
+//! GotoBLAS/BLIS algorithm (Fig. 1) with its packing routines and cache
+//! blocking model, the baseline micro-kernels (`NEON` hand-written
+//! intrinsics, `BLIS` assembly with prefetch), and the glue that plugs in
+//! generated Exo micro-kernels.
+//!
+//! Two execution paths are provided:
+//!
+//! * [`algorithm::BlisGemm`] — functional: computes `C += A * B` on real
+//!   `f32` data through packing + micro-kernel calls, used by the
+//!   correctness tests and the examples;
+//! * [`model::GemmSimulator`] — performance: predicts GFLOPS on the modelled
+//!   Carmel core for the paper's four implementations (`ALG+NEON`,
+//!   `ALG+BLIS`, `BLIS`, `ALG+EXO`), used by the figure-reproduction
+//!   harnesses.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod baselines;
+pub mod blocking;
+pub mod model;
+pub mod packing;
+
+pub use algorithm::{naive_gemm, BlisGemm, Matrix};
+pub use baselines::{blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel, KernelImpl, KernelKind};
+pub use blocking::BlockingParams;
+pub use model::{GemmSimulator, Implementation, SimOptions, SimResult};
+pub use packing::{pack_a, pack_b};
+
+use std::fmt;
+
+/// Errors produced by the GEMM driver and simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GemmError {
+    /// Matrix or panel dimensions are inconsistent.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A micro-kernel failed.
+    Kernel {
+        /// Kernel name.
+        kernel: String,
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            GemmError::Kernel { kernel, message } => write!(f, "micro-kernel `{kernel}` failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = GemmError::ShapeMismatch { what: "A is 3x4, B is 5x6".into() };
+        assert!(e.to_string().contains("3x4"));
+        let e = GemmError::Kernel { kernel: "EXO 8x8".into(), message: "boom".into() };
+        assert!(e.to_string().contains("EXO 8x8"));
+    }
+}

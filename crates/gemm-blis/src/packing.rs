@@ -1,0 +1,129 @@
+//! The BLIS packing routines.
+//!
+//! `Ac := A(ic:ic+mc, pc:pc+kc)` is packed into micro-panels of `mr` rows so
+//! that the micro-kernel reads it with unit stride as `Ac[k][mr]`;
+//! `Bc := B(pc:pc+kc, jc:jc+nc)` is packed into micro-panels of `nr` columns
+//! read as `Bc[k][nr]`. Fringe panels are zero-padded to the full register
+//! tile, which is how the monolithic library kernels handle edge cases.
+
+/// Packs a block of `A` (row-major `m x k`, selecting rows `ic..ic+mc_eff`
+/// and columns `pc..pc+kc_eff`) into `mr`-row micro-panels, zero-padding the
+/// last panel.
+///
+/// The returned buffer holds `ceil(mc_eff / mr)` panels, each laid out as
+/// `kc_eff` rows of `mr` contiguous elements.
+pub fn pack_a(
+    a: &[f32],
+    k_total: usize,
+    ic: usize,
+    pc: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    mr: usize,
+) -> Vec<f32> {
+    let panels = mc_eff.div_ceil(mr);
+    let mut out = vec![0.0f32; panels * kc_eff * mr];
+    for p in 0..panels {
+        let base = p * kc_eff * mr;
+        for kk in 0..kc_eff {
+            for i in 0..mr {
+                let row = ic + p * mr + i;
+                let col = pc + kk;
+                let v = if p * mr + i < mc_eff { a[row * k_total + col] } else { 0.0 };
+                out[base + kk * mr + i] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Packs a block of `B` (row-major `k x n`, selecting rows `pc..pc+kc_eff`
+/// and columns `jc..jc+nc_eff`) into `nr`-column micro-panels, zero-padding
+/// the last panel.
+///
+/// The returned buffer holds `ceil(nc_eff / nr)` panels, each laid out as
+/// `kc_eff` rows of `nr` contiguous elements.
+pub fn pack_b(
+    b: &[f32],
+    n_total: usize,
+    pc: usize,
+    jc: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    nr: usize,
+) -> Vec<f32> {
+    let panels = nc_eff.div_ceil(nr);
+    let mut out = vec![0.0f32; panels * kc_eff * nr];
+    for p in 0..panels {
+        let base = p * kc_eff * nr;
+        for kk in 0..kc_eff {
+            for j in 0..nr {
+                let col = jc + p * nr + j;
+                let row = pc + kk;
+                let v = if p * nr + j < nc_eff { b[row * n_total + col] } else { 0.0 };
+                out[base + kk * nr + j] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Returns the `kc_eff x mr` micro-panel `ir` of a packed `Ac` buffer.
+pub fn a_panel(packed: &[f32], ir: usize, kc_eff: usize, mr: usize) -> &[f32] {
+    let base = ir * kc_eff * mr;
+    &packed[base..base + kc_eff * mr]
+}
+
+/// Returns the `kc_eff x nr` micro-panel `jr` of a packed `Bc` buffer.
+pub fn b_panel(packed: &[f32], jr: usize, kc_eff: usize, nr: usize) -> &[f32] {
+    let base = jr * kc_eff * nr;
+    &packed[base..base + kc_eff * nr]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_is_unit_stride_per_panel() {
+        // A is 6 x 4 with A[i][j] = 10 i + j.
+        let (m, k) = (6usize, 4usize);
+        let a: Vec<f32> = (0..m * k).map(|x| (10 * (x / k) + x % k) as f32).collect();
+        let packed = pack_a(&a, k, 0, 0, m, k, 4);
+        // Two panels of 4 rows (second padded by 2 rows of zeros).
+        assert_eq!(packed.len(), 2 * k * 4);
+        // Panel 0, k = 1 holds rows 0..4 column 1: 1, 11, 21, 31.
+        let p0 = a_panel(&packed, 0, k, 4);
+        assert_eq!(&p0[4..8], &[1.0, 11.0, 21.0, 31.0]);
+        // Panel 1, k = 0 holds rows 4,5 then zero padding.
+        let p1 = a_panel(&packed, 1, k, 4);
+        assert_eq!(&p1[0..4], &[40.0, 50.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_is_unit_stride_per_panel() {
+        // B is 3 x 7 with B[k][j] = 100 k + j.
+        let (k, n) = (3usize, 7usize);
+        let b: Vec<f32> = (0..k * n).map(|x| (100 * (x / n) + x % n) as f32).collect();
+        let packed = pack_b(&b, n, 0, 0, k, n, 4);
+        assert_eq!(packed.len(), 2 * k * 4);
+        let p0 = b_panel(&packed, 0, k, 4);
+        assert_eq!(&p0[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&p0[4..8], &[100.0, 101.0, 102.0, 103.0]);
+        // Second panel: columns 4..7 then one zero-padded column.
+        let p1 = b_panel(&packed, 1, k, 4);
+        assert_eq!(&p1[0..4], &[4.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn packing_a_sub_block_offsets_correctly() {
+        let (m, k) = (8usize, 8usize);
+        let a: Vec<f32> = (0..m * k).map(|x| x as f32).collect();
+        let packed = pack_a(&a, k, 4, 2, 4, 3, 4);
+        // Single panel: rows 4..8, columns 2..5.
+        let p = a_panel(&packed, 0, 3, 4);
+        assert_eq!(p[0], a[4 * k + 2]);
+        assert_eq!(p[4], a[4 * k + 3]);
+        assert_eq!(p[3], a[7 * k + 2]);
+    }
+}

@@ -1,0 +1,451 @@
+//! The micro-kernel generator: strategy selection, recipe execution, and
+//! packaging of every artefact a consumer needs (scheduled IR, C code,
+//! pseudo-assembly, machine trace, executable form).
+
+use std::sync::Arc;
+
+use exo_codegen::{compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg};
+use exo_ir::{Proc, ScalarType};
+use exo_isa::VectorIsa;
+
+use crate::error::{GenError, Result};
+use crate::recipes::{broadcast_a_recipe, broadcast_b_recipe, laneq_recipe, scalar_recipe, RecipeStep};
+
+/// Which scheduling recipe to use for a kernel shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The paper's Section III recipe: both tile dimensions vectorised,
+    /// lane-indexed FMA.
+    Laneq,
+    /// Rows vectorised, `Bc` elements broadcast from memory (edge cases with
+    /// arbitrary `nr`, and ISAs without a lane-indexed FMA).
+    BroadcastB,
+    /// Columns vectorised, the single `Ac` element broadcast from memory
+    /// (`mr == 1` tiles such as the ResNet50 1x8 / 1x12 kernels; also the
+    /// paper's non-packed-A variant, Section III-B).
+    BroadcastA,
+    /// Unvectorised fallback.
+    Scalar,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::Laneq => "laneq",
+            Strategy::BroadcastB => "broadcast-b",
+            Strategy::BroadcastA => "broadcast-a",
+            Strategy::Scalar => "scalar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Options controlling kernel generation.
+#[derive(Debug, Clone)]
+pub struct KernelOptions {
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+    /// Force a specific strategy instead of letting the generator choose.
+    pub strategy: Option<Strategy>,
+    /// Unroll the operand-load loops (the paper's step f; on by default).
+    pub unroll: bool,
+    /// Whether the `Ac` operand is packed. When false the generator prefers
+    /// the broadcast-A form, as described in Section III-B.
+    pub packed_a: bool,
+}
+
+impl KernelOptions {
+    /// Default options for a tile shape.
+    pub fn new(mr: usize, nr: usize) -> Self {
+        KernelOptions { mr, nr, strategy: None, unroll: true, packed_a: true }
+    }
+}
+
+/// A fully generated micro-kernel and every artefact derived from it.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+    /// Element type.
+    pub dtype: ScalarType,
+    /// ISA the kernel targets.
+    pub isa_name: String,
+    /// Vector lanes of the target ISA.
+    pub lanes: usize,
+    /// The strategy that was used.
+    pub strategy: Strategy,
+    /// Scheduling snapshots (the paper's v1..v6).
+    pub steps: Vec<RecipeStep>,
+    /// The final scheduled procedure.
+    pub proc: Proc,
+    /// Generated C-with-intrinsics source.
+    pub c_code: String,
+    /// Pseudo-assembly listing of the k-loop (Fig. 12 analogue).
+    pub asm: String,
+    /// Machine-operation trace for the performance model.
+    pub trace: KernelTrace,
+    /// Executable lowering for functional runs.
+    pub compiled: CompiledKernel,
+}
+
+impl GeneratedKernel {
+    /// Runs the kernel on packed operands: `c[nr][mr] += ac[kc][mr] *
+    /// bc[kc][nr]` (row-major, exactly the layouts of the paper's Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
+    /// shape.
+    pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        if ac.len() != kc * self.mr || bc.len() != kc * self.nr || c.len() != self.mr * self.nr {
+            return Err(GenError::Codegen(exo_codegen::CodegenError::BadArguments {
+                reason: format!(
+                    "expected Ac[{}], Bc[{}], C[{}] for a {}x{} kernel with KC={kc}",
+                    kc * self.mr,
+                    kc * self.nr,
+                    self.mr * self.nr,
+                    self.mr,
+                    self.nr
+                ),
+            }));
+        }
+        let mut a = ac.to_vec();
+        let mut b = bc.to_vec();
+        let mut args = vec![
+            RunArg::Size(kc as i64),
+            RunArg::Tensor(&mut a),
+            RunArg::Tensor(&mut b),
+            RunArg::Tensor(c),
+        ];
+        self.compiled.run(&mut args).map_err(GenError::Codegen)
+    }
+
+    /// Floating-point operations the kernel performs for a given `KC`.
+    pub fn flops(&self, kc: usize) -> u64 {
+        2 * self.mr as u64 * self.nr as u64 * kc as u64
+    }
+}
+
+/// Generates size-specialised micro-kernels for one instruction set, the
+/// paper's `EXO_ukr_generator`.
+#[derive(Debug, Clone)]
+pub struct MicroKernelGenerator {
+    isa: VectorIsa,
+    base: Proc,
+    unroll: bool,
+}
+
+impl MicroKernelGenerator {
+    /// Creates a generator for an instruction set, starting every recipe from
+    /// the reference kernel of the paper's Fig. 5 in the ISA's element type.
+    pub fn new(isa: VectorIsa) -> Self {
+        let base = exo_isa::ukernel_ref_simple(isa.elem);
+        MicroKernelGenerator { isa, base, unroll: true }
+    }
+
+    /// Disables unrolling of the operand-load loops (ablation of the paper's
+    /// step f).
+    pub fn without_unroll(mut self) -> Self {
+        self.unroll = false;
+        self
+    }
+
+    /// The target instruction set.
+    pub fn isa(&self) -> &VectorIsa {
+        &self.isa
+    }
+
+    /// Chooses the scheduling strategy for a tile shape, mirroring the
+    /// decision procedure of Sections III-B/III-C.
+    pub fn choose_strategy(&self, mr: usize, nr: usize, packed_a: bool) -> Strategy {
+        let lanes = self.isa.lanes;
+        let has_lane_fma = self.isa.fma_lane.is_some();
+        if !packed_a && nr % lanes == 0 && mr == 1 {
+            return Strategy::BroadcastA;
+        }
+        if mr % lanes == 0 && nr % lanes == 0 && has_lane_fma {
+            Strategy::Laneq
+        } else if mr % lanes == 0 {
+            Strategy::BroadcastB
+        } else if mr == 1 && nr % lanes == 0 {
+            Strategy::BroadcastA
+        } else {
+            Strategy::Scalar
+        }
+    }
+
+    /// Generates a kernel with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] if no recipe can produce the requested shape.
+    pub fn generate(&self, mr: usize, nr: usize) -> Result<GeneratedKernel> {
+        self.generate_with(&KernelOptions::new(mr, nr))
+    }
+
+    /// Generates a kernel with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] if the requested strategy cannot handle the shape
+    /// or a scheduling step fails.
+    pub fn generate_with(&self, opts: &KernelOptions) -> Result<GeneratedKernel> {
+        if opts.mr == 0 || opts.nr == 0 {
+            return Err(GenError::UnsupportedShape {
+                mr: opts.mr,
+                nr: opts.nr,
+                reason: "tile dimensions must be positive".into(),
+            });
+        }
+        let strategy = opts
+            .strategy
+            .unwrap_or_else(|| self.choose_strategy(opts.mr, opts.nr, opts.packed_a));
+        let unroll = opts.unroll && self.unroll;
+        let steps = match strategy {
+            Strategy::Laneq => laneq_recipe(&self.base, &self.isa, opts.mr, opts.nr, unroll)?,
+            Strategy::BroadcastB => broadcast_b_recipe(&self.base, &self.isa, opts.mr, opts.nr, unroll)?,
+            Strategy::BroadcastA => broadcast_a_recipe(&self.base, &self.isa, opts.mr, opts.nr, unroll)?,
+            Strategy::Scalar => scalar_recipe(&self.base, opts.mr, opts.nr)?,
+        };
+        let proc = steps.last().expect("every recipe produces at least one step").proc.clone();
+        let c_code = emit_c(&proc)?;
+        let trace = extract_trace(&proc, "KC")?;
+        let asm = emit_asm(&trace);
+        let compiled = compile(&proc)?;
+        Ok(GeneratedKernel {
+            mr: opts.mr,
+            nr: opts.nr,
+            dtype: self.isa.elem,
+            isa_name: self.isa.name.clone(),
+            lanes: self.isa.lanes,
+            strategy,
+            steps,
+            proc,
+            c_code,
+            asm,
+            trace,
+            compiled,
+        })
+    }
+}
+
+/// A collection of generated kernels covering a set of tile shapes — the
+/// "collection of Exo generated C code, each handling a different edge case"
+/// that replaces the single library micro-kernel.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSet {
+    kernels: Vec<Arc<GeneratedKernel>>,
+}
+
+impl KernelSet {
+    /// Generates kernels for every shape in `sizes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first generation failure.
+    pub fn generate(generator: &MicroKernelGenerator, sizes: &[(usize, usize)]) -> Result<Self> {
+        let mut kernels = Vec::new();
+        for &(mr, nr) in sizes {
+            kernels.push(Arc::new(generator.generate(mr, nr)?));
+        }
+        Ok(KernelSet { kernels })
+    }
+
+    /// The tile shapes the paper evaluates: the native 8x12 BLIS shape, the
+    /// solo-mode edge cases of Fig. 13, and the 1-row shapes used for the
+    /// ResNet50 layers (Section IV-C).
+    pub fn paper_shapes() -> Vec<(usize, usize)> {
+        vec![(8, 12), (8, 8), (8, 4), (4, 12), (4, 8), (4, 4), (1, 12), (1, 8)]
+    }
+
+    /// All kernels in the set.
+    pub fn kernels(&self) -> &[Arc<GeneratedKernel>] {
+        &self.kernels
+    }
+
+    /// Looks up the kernel with exactly the given shape.
+    pub fn get(&self, mr: usize, nr: usize) -> Option<Arc<GeneratedKernel>> {
+        self.kernels.iter().find(|k| k.mr == mr && k.nr == nr).cloned()
+    }
+
+    /// Chooses the best kernel for a `m x n` problem: the kernel whose tile
+    /// exactly divides the problem with the largest tile area, falling back
+    /// to the kernel that wastes the least work on fringe tiles.
+    pub fn best_for(&self, m: usize, n: usize) -> Option<Arc<GeneratedKernel>> {
+        if self.kernels.is_empty() || m == 0 || n == 0 {
+            return None;
+        }
+        let exact = self
+            .kernels
+            .iter()
+            .filter(|k| m % k.mr == 0 && n % k.nr == 0)
+            .max_by_key(|k| k.mr * k.nr)
+            .cloned();
+        if exact.is_some() {
+            return exact;
+        }
+        // Least wasted work: ceil-divide the problem into tiles and compare
+        // the padded area.
+        self.kernels
+            .iter()
+            .min_by_key(|k| {
+                let tiles_m = m.div_ceil(k.mr);
+                let tiles_n = n.div_ceil(k.nr);
+                let padded = tiles_m * k.mr * tiles_n * k.nr;
+                (padded, std::cmp::Reverse(k.mr * k.nr))
+            })
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_isa::{avx512_f32, neon_f16, neon_f32};
+
+    fn naive(mr: usize, nr: usize, kc: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for k in 0..kc {
+            for j in 0..nr {
+                for i in 0..mr {
+                    c[j * mr + i] += a[k * mr + i] * b[k * nr + j];
+                }
+            }
+        }
+    }
+
+    fn check_against_naive(kernel: &GeneratedKernel, kc: usize) {
+        let (mr, nr) = (kernel.mr, kernel.nr);
+        let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect();
+        let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 7 + 11) % 19) as f32 * 0.125 - 1.0).collect();
+        let mut c: Vec<f32> = (0..nr * mr).map(|i| (i % 7) as f32 * 0.5).collect();
+        let mut c_ref = c.clone();
+        kernel.run_packed(kc, &a, &b, &mut c).unwrap();
+        naive(mr, nr, kc, &a, &b, &mut c_ref);
+        for (idx, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-3 * y.abs().max(1.0),
+                "{}x{} kernel ({}) mismatch at {idx}: {x} vs {y}",
+                mr,
+                nr,
+                kernel.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn all_paper_shapes_generate_and_match_naive_gemm() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        for (mr, nr) in KernelSet::paper_shapes() {
+            let kernel = generator.generate(mr, nr).unwrap();
+            check_against_naive(&kernel, 37);
+        }
+    }
+
+    #[test]
+    fn strategy_selection_follows_the_paper() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        assert_eq!(generator.choose_strategy(8, 12, true), Strategy::Laneq);
+        assert_eq!(generator.choose_strategy(4, 4, true), Strategy::Laneq);
+        assert_eq!(generator.choose_strategy(8, 6, true), Strategy::BroadcastB);
+        assert_eq!(generator.choose_strategy(1, 12, true), Strategy::BroadcastA);
+        assert_eq!(generator.choose_strategy(3, 5, true), Strategy::Scalar);
+        assert_eq!(generator.choose_strategy(1, 12, false), Strategy::BroadcastA);
+
+        let avx = MicroKernelGenerator::new(avx512_f32());
+        assert_eq!(avx.choose_strategy(16, 16, true), Strategy::BroadcastB);
+    }
+
+    #[test]
+    fn trace_of_the_8x12_kernel_matches_the_paper() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let kernel = generator.generate(8, 12).unwrap();
+        assert_eq!(kernel.strategy, Strategy::Laneq);
+        assert_eq!(kernel.trace.per_k_count(exo_ir::InstrClass::VecFma), 24);
+        assert_eq!(kernel.trace.per_k_count(exo_ir::InstrClass::VecLoad), 5);
+        assert_eq!(kernel.trace.once_count(exo_ir::InstrClass::VecLoad), 24);
+        assert_eq!(kernel.trace.once_count(exo_ir::InstrClass::VecStore), 24);
+        assert_eq!(kernel.trace.total_flops(512), kernel.flops(512));
+        // The generated C code carries the Neon intrinsics.
+        assert!(kernel.c_code.contains("vfmaq_laneq_f32"));
+        assert!(kernel.asm.contains("fmla"));
+    }
+
+    #[test]
+    fn avx512_and_f16_targets_generate() {
+        let avx = MicroKernelGenerator::new(avx512_f32());
+        let k = avx.generate(16, 4).unwrap();
+        assert_eq!(k.strategy, Strategy::BroadcastB);
+        check_against_naive(&k, 23);
+
+        let f16 = MicroKernelGenerator::new(neon_f16());
+        let k = f16.generate(8, 8).unwrap();
+        assert_eq!(k.strategy, Strategy::Laneq);
+        assert_eq!(k.dtype, ScalarType::F16);
+        // f16 storage is lossy; use small exact values.
+        let kc = 8;
+        let a = vec![0.5f32; kc * 8];
+        let b = vec![0.25f32; kc * 8];
+        let mut c = vec![0.0f32; 64];
+        k.run_packed(kc, &a, &b, &mut c).unwrap();
+        assert!(c.iter().all(|&v| (v - kc as f32 * 0.125).abs() < 1e-3), "{c:?}");
+    }
+
+    #[test]
+    fn scalar_fallback_is_used_for_odd_shapes() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let kernel = generator.generate(3, 5).unwrap();
+        assert_eq!(kernel.strategy, Strategy::Scalar);
+        check_against_naive(&kernel, 11);
+    }
+
+    #[test]
+    fn generation_rejects_degenerate_shapes() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        assert!(generator.generate(0, 4).is_err());
+    }
+
+    #[test]
+    fn unroll_ablation_changes_structure_not_semantics() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let rolled = generator
+            .generate_with(&KernelOptions { unroll: false, ..KernelOptions::new(8, 12) })
+            .unwrap();
+        let unrolled = generator.generate(8, 12).unwrap();
+        assert!(rolled.steps.len() < unrolled.steps.len());
+        check_against_naive(&rolled, 19);
+        // Same instruction counts per k iteration either way.
+        assert_eq!(
+            rolled.trace.per_k_count(exo_ir::InstrClass::VecFma),
+            unrolled.trace.per_k_count(exo_ir::InstrClass::VecFma)
+        );
+    }
+
+    #[test]
+    fn kernel_set_selection_prefers_exact_divisors() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let set = KernelSet::generate(&generator, &KernelSet::paper_shapes()).unwrap();
+        assert_eq!(set.kernels().len(), 8);
+        let k = set.best_for(64, 48).unwrap();
+        assert_eq!((k.mr, k.nr), (8, 12));
+        let k = set.best_for(12544, 64).unwrap();
+        assert_eq!((k.mr, k.nr), (8, 8), "12544 and 64 are multiples of 8 but not of 12");
+        let k = set.best_for(49, 512).unwrap();
+        assert_eq!(k.mr, 1, "49 rows favour the single-row kernels");
+        assert!(set.best_for(0, 4).is_none());
+        assert!(set.get(8, 12).is_some());
+        assert!(set.get(2, 2).is_none());
+    }
+
+    #[test]
+    fn forced_strategy_is_respected() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let opts = KernelOptions { strategy: Some(Strategy::BroadcastB), ..KernelOptions::new(8, 12) };
+        let kernel = generator.generate_with(&opts).unwrap();
+        assert_eq!(kernel.strategy, Strategy::BroadcastB);
+        check_against_naive(&kernel, 13);
+    }
+}

@@ -1,0 +1,9 @@
+//! Root crate: re-exports the whole workspace. Full docs to come.
+pub use carmel_sim;
+pub use dnn_models;
+pub use exo_codegen;
+pub use exo_ir;
+pub use exo_isa;
+pub use exo_sched;
+pub use gemm_blis;
+pub use ukernel_gen;
