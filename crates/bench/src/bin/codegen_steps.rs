@@ -4,8 +4,8 @@
 //! Usage: `cargo run -p exo-bench --bin codegen_steps [-- --asm]`
 
 use exo_ir::printer::proc_to_string;
-use exo_isa::{neon_f32, ukernel_ref_general, ukernel_ref_simple};
 use exo_ir::ScalarType;
+use exo_isa::{neon_f32, ukernel_ref_general, ukernel_ref_simple};
 use ukernel_gen::MicroKernelGenerator;
 
 fn main() {

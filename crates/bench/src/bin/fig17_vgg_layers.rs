@@ -13,12 +13,8 @@ fn main() {
     let mut best_counts = [0usize; 4];
     for (idx, p) in workload.unique_layers.iter().enumerate() {
         let values = gflops_for_all(&sim, p.m, p.n, p.k);
-        let best = values
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let best =
+            values.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap();
         best_counts[best] += 1;
         println!("{}", format_row(&format!("{} ({},{},{})", idx + 1, p.m, p.n, p.k), &values));
     }

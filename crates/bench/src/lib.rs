@@ -16,6 +16,7 @@
 //! | `fig18_vgg_time` | Fig. 18 (VGG16 aggregated time) |
 //! | `tables_dnn` | Tables I and II (IM2ROW GEMM dimensions) |
 //! | `ablations` | design-choice ablations listed in DESIGN.md |
+//! | `autotune` | the `exo-tune` sweep: explored design space + per-shape winners |
 
 #![warn(missing_docs)]
 
@@ -30,8 +31,7 @@ pub fn format_row(label: &str, values: &[f64]) -> String {
 
 /// Formats the header row for the standard four implementations.
 pub fn format_header(first_column: &str) -> String {
-    let labels: Vec<String> =
-        Implementation::all().iter().map(|i| format!("{:>10}", i.label())).collect();
+    let labels: Vec<String> = Implementation::all().iter().map(|i| format!("{:>10}", i.label())).collect();
     format!("{first_column:<22}{}", labels.join(" "))
 }
 

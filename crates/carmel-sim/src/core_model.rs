@@ -206,12 +206,8 @@ impl CarmelCore {
         let load_bound = load_units / self.load_ports;
         let store_bound = store_units / self.store_ports;
         let issue_bound = total_ops / self.issue_width;
-        let bound = fma_bound
-            .max(latency_bound)
-            .max(load_bound)
-            .max(store_bound)
-            .max(issue_bound)
-            .max(bw_cycles);
+        let bound =
+            fma_bound.max(latency_bound).max(load_bound).max(store_bound).max(issue_bound).max(bw_cycles);
         bound + self.loop_overhead
     }
 
@@ -236,9 +232,8 @@ impl CarmelCore {
                 _ => {}
             }
         }
-        let issue = (load_units / self.load_ports)
-            .max(store_units / self.store_ports)
-            .max(ops / self.issue_width);
+        let issue =
+            (load_units / self.load_ports).max(store_units / self.store_ports).max(ops / self.issue_width);
         // Memory cost of touching the C tile. With software prefetch the
         // latency is overlapped with the k loop and only bandwidth remains;
         // without it, the misses are exposed (two outstanding misses at a

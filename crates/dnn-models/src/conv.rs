@@ -64,7 +64,17 @@ pub fn im2row(layer: &ConvLayer) -> GemmProblem {
 mod tests {
     use super::*;
 
-    fn conv(name: &str, n: u32, hw: usize, cin: usize, cout: usize, k: usize, s: usize, p: usize) -> ConvLayer {
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        name: &str,
+        n: u32,
+        hw: usize,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> ConvLayer {
         ConvLayer {
             name: name.into(),
             layer_number: n,

@@ -76,6 +76,13 @@ impl ModelWorkload {
     pub fn total_flops(&self) -> u64 {
         self.unique_layers.iter().map(|p| p.flops() * p.occurrences() as u64).sum()
     }
+
+    /// The unique GEMM shapes of the workload as `(m, n, k)` triples, in
+    /// table order — the shape list an autotuner sweeps to cover the whole
+    /// model.
+    pub fn gemm_shapes(&self) -> Vec<(usize, usize, usize)> {
+        self.unique_layers.iter().map(|p| (p.m, p.n, p.k)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +126,17 @@ mod tests {
         assert_eq!(ids, sorted);
         assert_eq!(ids[0], 1);
         assert_eq!(*ids.last().unwrap(), 170);
+    }
+
+    #[test]
+    fn gemm_shapes_mirror_the_unique_layers() {
+        let w = resnet50_table();
+        let shapes = w.gemm_shapes();
+        assert_eq!(shapes.len(), w.unique_layers.len());
+        assert_eq!(shapes[0], (12544, 64, 147));
+        // Shapes are unique: the tables deduplicate repeated layers.
+        let set: std::collections::BTreeSet<_> = shapes.iter().collect();
+        assert_eq!(set.len(), shapes.len());
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn emit_asm(trace: &KernelTrace) -> String {
             qreg += 2;
             i += 2;
         } else {
-            let _ = writeln!(out, "    ldr     q{}, [x{}]              // load {} -> q{}", qreg, base_reg, buf, qreg);
+            let _ = writeln!(
+                out,
+                "    ldr     q{}, [x{}]              // load {} -> q{}",
+                qreg, base_reg, buf, qreg
+            );
             let _ = writeln!(out, "    add     x{}, x{}, {}", base_reg, base_reg, bytes);
             qreg += 1;
             i += 1;
@@ -139,9 +143,27 @@ mod tests {
             name: "uk_8x12".into(),
             prologue: vec![],
             per_k: vec![
-                MachineOp { class: InstrClass::VecLoad, lanes: 4, elem: ScalarType::F32, buffer: Some("Ac".into()), count: 2 },
-                MachineOp { class: InstrClass::VecLoad, lanes: 4, elem: ScalarType::F32, buffer: Some("Bc".into()), count: 3 },
-                MachineOp { class: InstrClass::VecFma, lanes: 4, elem: ScalarType::F32, buffer: None, count: 24 },
+                MachineOp {
+                    class: InstrClass::VecLoad,
+                    lanes: 4,
+                    elem: ScalarType::F32,
+                    buffer: Some("Ac".into()),
+                    count: 2,
+                },
+                MachineOp {
+                    class: InstrClass::VecLoad,
+                    lanes: 4,
+                    elem: ScalarType::F32,
+                    buffer: Some("Bc".into()),
+                    count: 3,
+                },
+                MachineOp {
+                    class: InstrClass::VecFma,
+                    lanes: 4,
+                    elem: ScalarType::F32,
+                    buffer: None,
+                    count: 24,
+                },
             ],
             epilogue: vec![],
             inner_loop_levels: 3,

@@ -133,9 +133,7 @@ impl Compiler {
     fn compile_iexpr(&mut self, e: &Expr) -> Result<IExpr> {
         Ok(match e {
             Expr::Int(v) => IExpr::Const(*v),
-            Expr::Var(s) => self
-                .sym_ref(s)
-                .ok_or_else(|| CodegenError::UnknownBuffer { buf: s.clone() })?,
+            Expr::Var(s) => self.sym_ref(s).ok_or_else(|| CodegenError::UnknownBuffer { buf: s.clone() })?,
             Expr::Binop { op, lhs, rhs } => {
                 let l = Box::new(self.compile_iexpr(lhs)?);
                 let r = Box::new(self.compile_iexpr(rhs)?);
@@ -160,9 +158,8 @@ impl Compiler {
     /// Compiles a multi-dimensional access into a row-major flat address
     /// polynomial.
     fn compile_access(&mut self, buf: &Sym, idx: &[Expr]) -> Result<(BufSlot, IExpr, bool)> {
-        let (slot, ty, dims) = self
-            .buffer(buf)
-            .ok_or_else(|| CodegenError::UnknownBuffer { buf: buf.clone() })?;
+        let (slot, ty, dims) =
+            self.buffer(buf).ok_or_else(|| CodegenError::UnknownBuffer { buf: buf.clone() })?;
         if idx.len() != dims.len() {
             return Err(CodegenError::Unsupported {
                 backend: "exec",
@@ -174,11 +171,7 @@ impl Compiler {
             });
         }
         // Horner: flat = ((i0 * d1 + i1) * d2 + i2) ...
-        let mut flat = if idx.is_empty() {
-            IExpr::Const(0)
-        } else {
-            self.compile_iexpr(&idx[0])?
-        };
+        let mut flat = if idx.is_empty() { IExpr::Const(0) } else { self.compile_iexpr(&idx[0])? };
         for d in 1..idx.len() {
             let dim = self.compile_iexpr(&dims[d])?;
             let i = self.compile_iexpr(&idx[d])?;
@@ -539,13 +532,25 @@ mod tests {
                             &isa.load,
                             vec![
                                 win("R", vec![pt(var("it")), interval(0, 4)]),
-                                win("X", vec![interval(Expr::mul(int(4), var("it")), Expr::add(Expr::mul(int(4), var("it")), int(4)))]),
+                                win(
+                                    "X",
+                                    vec![interval(
+                                        Expr::mul(int(4), var("it")),
+                                        Expr::add(Expr::mul(int(4), var("it")), int(4)),
+                                    )],
+                                ),
                             ],
                         ),
                         call(
                             &isa.store,
                             vec![
-                                win("Y", vec![interval(Expr::mul(int(4), var("it")), Expr::add(Expr::mul(int(4), var("it")), int(4)))]),
+                                win(
+                                    "Y",
+                                    vec![interval(
+                                        Expr::mul(int(4), var("it")),
+                                        Expr::add(Expr::mul(int(4), var("it")), int(4)),
+                                    )],
+                                ),
                                 win("R", vec![pt(var("it")), interval(0, 4)]),
                             ],
                         ),
@@ -599,10 +604,7 @@ mod tests {
             .build();
         let kernel = compile(&p).unwrap();
         let mut x = vec![0.0f32; 2];
-        assert!(matches!(
-            kernel.run(&mut [RunArg::Tensor(&mut x)]),
-            Err(CodegenError::OutOfBounds { .. })
-        ));
+        assert!(matches!(kernel.run(&mut [RunArg::Tensor(&mut x)]), Err(CodegenError::OutOfBounds { .. })));
     }
 
     #[test]

@@ -83,12 +83,7 @@ impl KernelTrace {
 
     /// Sum of `count` for operations of a class in the prologue+epilogue.
     pub fn once_count(&self, class: InstrClass) -> u64 {
-        self.prologue
-            .iter()
-            .chain(&self.epilogue)
-            .filter(|op| op.class == class)
-            .map(|op| op.count)
-            .sum()
+        self.prologue.iter().chain(&self.epilogue).filter(|op| op.class == class).map(|op| op.count).sum()
     }
 
     /// Bytes read per `k` iteration from a specific buffer.
@@ -274,7 +269,9 @@ fn window_buffer(instr: &Proc, args: &[exo_ir::CallArg], param: &str) -> Option<
 /// Summarises a trace per class, useful for reports and assertions in tests.
 pub fn summarise(trace: &KernelTrace) -> BTreeMap<String, u64> {
     let mut out = BTreeMap::new();
-    for (phase, ops) in [("prologue", &trace.prologue), ("per_k", &trace.per_k), ("epilogue", &trace.epilogue)] {
+    for (phase, ops) in
+        [("prologue", &trace.prologue), ("per_k", &trace.per_k), ("epilogue", &trace.epilogue)]
+    {
         for op in ops {
             *out.entry(format!("{phase}.{:?}", op.class)).or_insert(0) += op.count;
         }
@@ -304,7 +301,8 @@ mod tests {
                 ],
             )
         };
-        let mut prologue = vec![alloc("C_reg", ScalarType::F32, vec![int(12), int(2), int(4)], MemSpace::Neon)];
+        let mut prologue =
+            vec![alloc("C_reg", ScalarType::F32, vec![int(12), int(2), int(4)], MemSpace::Neon)];
         for jt in 0..12 {
             for it in 0..2 {
                 prologue.push(c_load(jt, it));
@@ -347,7 +345,14 @@ mod tests {
                     vec![call(
                         &fma,
                         vec![
-                            win("C_reg", vec![pt(Expr::add(Expr::mul(int(4), var("jt")), var("jtt"))), pt(var("it")), interval(0, 4)]),
+                            win(
+                                "C_reg",
+                                vec![
+                                    pt(Expr::add(Expr::mul(int(4), var("jt")), var("jtt"))),
+                                    pt(var("it")),
+                                    interval(0, 4),
+                                ],
+                            ),
                             win("A_reg", vec![pt(var("it")), interval(0, 4)]),
                             win("B_reg", vec![pt(var("jt")), interval(0, 4)]),
                             arg_expr(var("jtt")),

@@ -53,7 +53,9 @@ fn exprs_eq(a: &Expr, b: &Expr, ren: &Renaming) -> bool {
         (Expr::Float(x), Expr::Float(y)) => x == y,
         (Expr::Var(x), Expr::Var(y)) => ren.syms_equal(x, y),
         (Expr::Read { buf: b1, idx: i1 }, Expr::Read { buf: b2, idx: i2 }) => {
-            ren.syms_equal(b1, b2) && i1.len() == i2.len() && i1.iter().zip(i2).all(|(x, y)| exprs_eq(x, y, ren))
+            ren.syms_equal(b1, b2)
+                && i1.len() == i2.len()
+                && i1.iter().zip(i2).all(|(x, y)| exprs_eq(x, y, ren))
         }
         (Expr::Binop { op: o1, lhs: l1, rhs: r1 }, Expr::Binop { op: o2, lhs: l2, rhs: r2 }) => {
             o1 == o2 && exprs_eq(l1, l2, ren) && exprs_eq(r1, r2, ren)

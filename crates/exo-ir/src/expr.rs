@@ -104,26 +104,31 @@ impl Expr {
     }
 
     /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)] // constructor taking two operands, not an operator impl
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Binop { op: BinOp::Add, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)] // constructor taking two operands, not an operator impl
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Binop { op: BinOp::Sub, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
 
     /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)] // constructor taking two operands, not an operator impl
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Binop { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
 
     /// `lhs / rhs`.
+    #[allow(clippy::should_implement_trait)] // constructor taking two operands, not an operator impl
     pub fn div(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Binop { op: BinOp::Div, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
 
     /// `lhs % rhs`.
+    #[allow(clippy::should_implement_trait)] // constructor taking two operands, not an operator impl
     pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Binop { op: BinOp::Mod, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
@@ -193,15 +198,12 @@ impl Expr {
         match self {
             Expr::Int(_) | Expr::Float(_) => self.clone(),
             Expr::Var(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
-            Expr::Read { buf, idx } => Expr::Read {
-                buf: buf.clone(),
-                idx: idx.iter().map(|e| e.subst(map)).collect(),
-            },
-            Expr::Binop { op, lhs, rhs } => Expr::Binop {
-                op: *op,
-                lhs: Box::new(lhs.subst(map)),
-                rhs: Box::new(rhs.subst(map)),
-            },
+            Expr::Read { buf, idx } => {
+                Expr::Read { buf: buf.clone(), idx: idx.iter().map(|e| e.subst(map)).collect() }
+            }
+            Expr::Binop { op, lhs, rhs } => {
+                Expr::Binop { op: *op, lhs: Box::new(lhs.subst(map)), rhs: Box::new(rhs.subst(map)) }
+            }
             Expr::Neg(e) => Expr::Neg(Box::new(e.subst(map))),
         }
     }
@@ -242,11 +244,9 @@ impl Expr {
                     None => Expr::Read { buf: buf.clone(), idx },
                 }
             }
-            Expr::Binop { op, lhs, rhs } => Expr::Binop {
-                op: *op,
-                lhs: Box::new(lhs.map_reads(f)),
-                rhs: Box::new(rhs.map_reads(f)),
-            },
+            Expr::Binop { op, lhs, rhs } => {
+                Expr::Binop { op: *op, lhs: Box::new(lhs.map_reads(f)), rhs: Box::new(rhs.map_reads(f)) }
+            }
             Expr::Neg(e) => Expr::Neg(Box::new(e.map_reads(f))),
         }
     }
@@ -296,10 +296,9 @@ impl Expr {
         }
         match self {
             Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => self.clone(),
-            Expr::Read { buf, idx } => Expr::Read {
-                buf: buf.clone(),
-                idx: idx.iter().map(Expr::simplify).collect(),
-            },
+            Expr::Read { buf, idx } => {
+                Expr::Read { buf: buf.clone(), idx: idx.iter().map(Expr::simplify).collect() }
+            }
             Expr::Binop { op, lhs, rhs } => {
                 let l = lhs.simplify();
                 let r = rhs.simplify();
@@ -606,9 +605,6 @@ mod tests {
         let aff = Affine { terms, constant: -3 };
         let e = aff.to_expr();
         // a + 2*b - 3
-        assert_eq!(
-            e,
-            Expr::sub(Expr::add(v("a"), Expr::mul(Expr::int(2), v("b"))), Expr::int(3))
-        );
+        assert_eq!(e, Expr::sub(Expr::add(v("a"), Expr::mul(Expr::int(2), v("b"))), Expr::int(3)));
     }
 }

@@ -185,7 +185,9 @@ impl fmt::Display for InterpError {
                 write!(f, "index {idx:?} out of bounds for buffer `{buf}` with dims {dims:?}")
             }
             InterpError::NonIntegerIndex { expr } => write!(f, "expression `{expr}` is not an integer index"),
-            InterpError::BadValueExpr { expr } => write!(f, "expression `{expr}` cannot be evaluated as a value"),
+            InterpError::BadValueExpr { expr } => {
+                write!(f, "expression `{expr}` cannot be evaluated as a value")
+            }
             InterpError::BadCallArg { callee, param, reason } => {
                 write!(f, "bad argument for parameter `{param}` of `{callee}`: {reason}")
             }
@@ -334,9 +336,9 @@ impl<'a> Machine<'a> {
                 })
             }
             Expr::Neg(inner) => Ok(-self.eval_index(inner, env)?),
-            Expr::Float(_) | Expr::Read { .. } => Err(InterpError::NonIntegerIndex {
-                expr: crate::printer::expr_to_string(e),
-            }),
+            Expr::Float(_) | Expr::Read { .. } => {
+                Err(InterpError::NonIntegerIndex { expr: crate::printer::expr_to_string(e) })
+            }
         }
     }
 
@@ -381,10 +383,8 @@ impl<'a> Machine<'a> {
                 Stmt::Comment(_) => {}
                 Stmt::Alloc { name, ty, dims, .. } => {
                     let extents: Result<Vec<i64>, _> = dims.iter().map(|d| self.eval_index(d, env)).collect();
-                    let extents: Vec<usize> = extents?
-                        .into_iter()
-                        .map(|d| if d < 0 { 0 } else { d as usize })
-                        .collect();
+                    let extents: Vec<usize> =
+                        extents?.into_iter().map(|d| if d < 0 { 0 } else { d as usize }).collect();
                     let slot = Slot::Local(self.locals.len());
                     self.locals.push(TensorData::zeros(*ty, extents.clone()));
                     env.insert(name.clone(), Binding::Buf(BufView::full(slot, &extents)));
@@ -584,7 +584,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -653,10 +656,15 @@ mod tests {
             .tensor_arg("out", ScalarType::F32, vec![int(4)], MemSpace::Dram)
             .body(vec![
                 alloc("tmp", ScalarType::F32, vec![int(4)], MemSpace::Dram),
-                for_("i", 0, 4, vec![
-                    reduce("tmp", vec![var("i")], Expr::add(var("i"), flt(1.0))),
-                    assign("out", vec![var("i")], read("tmp", vec![var("i")])),
-                ]),
+                for_(
+                    "i",
+                    0,
+                    4,
+                    vec![
+                        reduce("tmp", vec![var("i")], Expr::add(var("i"), flt(1.0))),
+                        assign("out", vec![var("i")], read("tmp", vec![var("i")])),
+                    ],
+                ),
             ])
             .build();
         let mut args = vec![ArgValue::Tensor(TensorData::zeros(ScalarType::F32, vec![4]))];
@@ -704,7 +712,16 @@ mod tests {
                         &vld,
                         vec![
                             win("R", vec![pt(var("r")), pt(var("it")), interval(0, 4)]),
-                            win("C", vec![pt(var("r")), interval(Expr::mul(int(4), var("it")), Expr::add(Expr::mul(int(4), var("it")), int(4)))]),
+                            win(
+                                "C",
+                                vec![
+                                    pt(var("r")),
+                                    interval(
+                                        Expr::mul(int(4), var("it")),
+                                        Expr::add(Expr::mul(int(4), var("it")), int(4)),
+                                    ),
+                                ],
+                            ),
                         ],
                     )],
                 )],
@@ -734,7 +751,11 @@ mod tests {
                     "i",
                     0,
                     4,
-                    vec![reduce("dst", vec![var("i")], Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![var("l")])))],
+                    vec![reduce(
+                        "dst",
+                        vec![var("i")],
+                        Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![var("l")])),
+                    )],
                 )])
                 .instr_info(InstrInfo::new("fma", InstrClass::VecFma, 4, ScalarType::F32))
                 .build(),
@@ -781,7 +802,8 @@ mod tests {
         let mut args = vec![ArgValue::Size(4), ArgValue::Tensor(TensorData::zeros(ScalarType::F32, vec![4]))];
         run_proc(&p, &mut args).unwrap();
         assert_eq!(args[1].as_tensor().unwrap().get(&[0]).unwrap(), 1.0);
-        let mut args2 = vec![ArgValue::Size(2), ArgValue::Tensor(TensorData::zeros(ScalarType::F32, vec![4]))];
+        let mut args2 =
+            vec![ArgValue::Size(2), ArgValue::Tensor(TensorData::zeros(ScalarType::F32, vec![4]))];
         run_proc(&p, &mut args2).unwrap();
         assert_eq!(args2[1].as_tensor().unwrap().get(&[0]).unwrap(), 2.0);
     }

@@ -35,12 +35,7 @@ fn render_expr(e: &Expr, parent_prec: u8) -> String {
                 BinOp::Sub | BinOp::Div | BinOp::Mod => prec + 1,
                 _ => prec,
             };
-            let s = format!(
-                "{} {} {}",
-                render_expr(lhs, prec),
-                op.symbol(),
-                render_expr(rhs, rhs_prec)
-            );
+            let s = format!("{} {} {}", render_expr(lhs, prec), op.symbol(), render_expr(rhs, rhs_prec));
             if prec < parent_prec {
                 format!("({s})")
             } else {
@@ -89,13 +84,7 @@ pub fn render_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}{}[{}] += {}", buf, subs.join(", "), expr_to_string(rhs));
         }
         Stmt::For { var, lo, hi, body } => {
-            let _ = writeln!(
-                out,
-                "{pad}for {} in seq({}, {}):",
-                var,
-                expr_to_string(lo),
-                expr_to_string(hi)
-            );
+            let _ = writeln!(out, "{pad}for {} in seq({}, {}):", var, expr_to_string(lo), expr_to_string(hi));
             if body.is_empty() {
                 let _ = writeln!(out, "{pad}    pass");
             }
@@ -105,7 +94,8 @@ pub fn render_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
         }
         Stmt::Alloc { name, ty, dims, mem } => {
             let dims_s: Vec<String> = dims.iter().map(expr_to_string).collect();
-            let _ = writeln!(out, "{pad}{}: {}[{}] @ {}", name, ty.exo_name(), dims_s.join(", "), mem.exo_name());
+            let _ =
+                writeln!(out, "{pad}{}: {}[{}] @ {}", name, ty.exo_name(), dims_s.join(", "), mem.exo_name());
         }
         Stmt::Call { instr, args } => {
             let args_s: Vec<String> = args.iter().map(call_arg_to_string).collect();
@@ -236,7 +226,10 @@ mod tests {
                 vec![reduce(
                     "C",
                     vec![var("j"), var("i")],
-                    Expr::mul(Expr::read("Ac", vec![var("k"), var("i")]), Expr::read("Bc", vec![var("k"), var("j")])),
+                    Expr::mul(
+                        Expr::read("Ac", vec![var("k"), var("i")]),
+                        Expr::read("Bc", vec![var("k"), var("j")]),
+                    ),
                 )],
             ),
         ];

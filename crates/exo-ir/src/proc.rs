@@ -144,12 +144,7 @@ impl Proc {
     }
 
     /// Creates an instruction specification procedure.
-    pub fn instr(
-        name: impl Into<String>,
-        args: Vec<ProcArg>,
-        body: Vec<Stmt>,
-        info: InstrInfo,
-    ) -> Self {
+    pub fn instr(name: impl Into<String>, args: Vec<ProcArg>, body: Vec<Stmt>, info: InstrInfo) -> Self {
         Proc { name: name.into(), args, body, instr: Some(info) }
     }
 
@@ -231,12 +226,8 @@ impl Proc {
             }
         }
         // Dimensions of tensor args may only reference size args.
-        let sizes: BTreeSet<Sym> = self
-            .args
-            .iter()
-            .filter(|a| matches!(a.kind, ArgKind::Size))
-            .map(|a| a.name.clone())
-            .collect();
+        let sizes: BTreeSet<Sym> =
+            self.args.iter().filter(|a| matches!(a.kind, ArgKind::Size)).map(|a| a.name.clone()).collect();
         for arg in &self.args {
             if let ArgKind::Tensor { dims, .. } = &arg.kind {
                 for d in dims {
@@ -528,12 +519,7 @@ mod tests {
 
     #[test]
     fn display_of_errors_is_informative() {
-        let e = IrError::ArityMismatch {
-            proc: "p".into(),
-            callee: "q".into(),
-            expected: 2,
-            got: 1,
-        };
+        let e = IrError::ArityMismatch { proc: "p".into(), callee: "q".into(), expected: 2, got: 1 };
         let msg = e.to_string();
         assert!(msg.contains("expects 2"));
         assert!(msg.contains('q'));

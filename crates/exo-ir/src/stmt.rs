@@ -504,10 +504,9 @@ impl Stmt {
                 dims: dims.iter().map(|e| e.subst(map)).collect(),
                 mem: *mem,
             },
-            Stmt::Call { instr, args } => Stmt::Call {
-                instr: instr.clone(),
-                args: args.iter().map(|a| a.subst(map)).collect(),
-            },
+            Stmt::Call { instr, args } => {
+                Stmt::Call { instr: instr.clone(), args: args.iter().map(|a| a.subst(map)).collect() }
+            }
             Stmt::If { cond, then_body, else_body } => Stmt::If {
                 cond: Cond { op: cond.op, lhs: cond.lhs.subst(map), rhs: cond.rhs.subst(map) },
                 then_body: then_body.iter().map(|s| s.subst(map)).collect(),
@@ -542,10 +541,9 @@ impl Stmt {
                 dims: dims.iter().map(Expr::simplify).collect(),
                 mem: *mem,
             },
-            Stmt::Call { instr, args } => Stmt::Call {
-                instr: instr.clone(),
-                args: args.iter().map(CallArg::simplify).collect(),
-            },
+            Stmt::Call { instr, args } => {
+                Stmt::Call { instr: instr.clone(), args: args.iter().map(CallArg::simplify).collect() }
+            }
             Stmt::If { cond, then_body, else_body } => Stmt::If {
                 cond: Cond { op: cond.op, lhs: cond.lhs.simplify(), rhs: cond.rhs.simplify() },
                 then_body: then_body.iter().map(Stmt::simplify).collect(),
@@ -576,7 +574,7 @@ pub fn stmt_at<'a>(block: &'a [Stmt], path: &[usize]) -> Option<&'a Stmt> {
 }
 
 /// Returns a mutable reference to the statement at `path` within `block`.
-pub fn stmt_at_mut<'a>(block: &'a mut Vec<Stmt>, path: &[usize]) -> Option<&'a mut Stmt> {
+pub fn stmt_at_mut<'a>(block: &'a mut [Stmt], path: &[usize]) -> Option<&'a mut Stmt> {
     let (&first, rest) = path.split_first()?;
     let stmt = block.get_mut(first)?;
     if rest.is_empty() {
@@ -619,7 +617,7 @@ pub fn splice_at(block: &mut Vec<Stmt>, path: &[usize], replacement: Vec<Stmt>) 
 }
 
 /// Visits every statement in the block in pre-order, yielding `(path, stmt)`.
-pub fn walk<'a>(block: &'a [Stmt]) -> Vec<(StmtPath, &'a Stmt)> {
+pub fn walk(block: &[Stmt]) -> Vec<(StmtPath, &Stmt)> {
     let mut out = Vec::new();
     fn rec<'a>(block: &'a [Stmt], prefix: &mut StmtPath, out: &mut Vec<(StmtPath, &'a Stmt)>) {
         for (i, stmt) in block.iter().enumerate() {
@@ -661,7 +659,10 @@ mod tests {
                     vec![Stmt::reduce(
                         "C",
                         vec![v("j"), v("i")],
-                        Expr::mul(Expr::read("Ac", vec![v("k"), v("i")]), Expr::read("Bc", vec![v("k"), v("j")])),
+                        Expr::mul(
+                            Expr::read("Ac", vec![v("k"), v("i")]),
+                            Expr::read("Bc", vec![v("k"), v("j")]),
+                        ),
                     )],
                 )],
             )],
@@ -698,12 +699,7 @@ mod tests {
     #[test]
     fn splice_can_expand_block() {
         let mut block = sample_block();
-        splice_at(
-            &mut block,
-            &[0, 0],
-            vec![Stmt::Comment("a".into()), Stmt::Comment("b".into())],
-        )
-        .unwrap();
+        splice_at(&mut block, &[0, 0], vec![Stmt::Comment("a".into()), Stmt::Comment("b".into())]).unwrap();
         let parent = stmt_at(&block, &[0]).unwrap();
         assert_eq!(parent.child_block().unwrap().len(), 2);
     }

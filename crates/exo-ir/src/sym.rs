@@ -39,8 +39,7 @@ impl Sym {
     where
         I: IntoIterator<Item = &'a Sym>,
     {
-        let taken: std::collections::HashSet<&str> =
-            taken.into_iter().map(|s| s.as_str()).collect();
+        let taken: std::collections::HashSet<&str> = taken.into_iter().map(|s| s.as_str()).collect();
         if !taken.contains(self.as_str()) {
             return self.clone();
         }

@@ -127,11 +127,8 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
         let half_mant = full_mant >> shift;
         let rem = full_mant & ((1u32 << shift) - 1);
         let halfway = 1u32 << (shift - 1);
-        let rounded = if rem > halfway || (rem == halfway && (half_mant & 1) == 1) {
-            half_mant + 1
-        } else {
-            half_mant
-        };
+        let rounded =
+            if rem > halfway || (rem == halfway && (half_mant & 1) == 1) { half_mant + 1 } else { half_mant };
         return sign | rounded as u16;
     }
 

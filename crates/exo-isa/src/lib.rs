@@ -171,7 +171,11 @@ pub fn avx512_f32() -> VectorIsa {
             mem,
         ),
         zero: make_zero("mm512_setzero_ps", "{dst_data} = _mm512_setzero_ps();", lanes, ty, mem),
-        prefetch: make_prefetch("mm512_prefetch", "_mm_prefetch((const char*)&{addr_data}, _MM_HINT_T0);", ty),
+        prefetch: make_prefetch(
+            "mm512_prefetch",
+            "_mm_prefetch((const char*)&{addr_data}, _MM_HINT_T0);",
+            ty,
+        ),
     }
 }
 
@@ -245,7 +249,10 @@ pub fn ukernel_ref_general(ty: ScalarType) -> Proc {
                         vec![reduce(
                             "Cb",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Ba", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Ba", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -295,7 +302,10 @@ pub fn ukernel_ref_simple(ty: ScalarType) -> Proc {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -353,12 +363,8 @@ mod tests {
         let dst = TensorData::from_fn(ScalarType::F32, vec![4], |_| 1.0);
         let lhs = TensorData::from_fn(ScalarType::F32, vec![4], |i| i as f64);
         let rhs = TensorData::from_fn(ScalarType::F32, vec![4], |i| 10.0 * (i as f64 + 1.0));
-        let mut args = vec![
-            ArgValue::Tensor(dst),
-            ArgValue::Tensor(lhs),
-            ArgValue::Tensor(rhs),
-            ArgValue::Index(2),
-        ];
+        let mut args =
+            vec![ArgValue::Tensor(dst), ArgValue::Tensor(lhs), ArgValue::Tensor(rhs), ArgValue::Index(2)];
         run_proc(&fma, &mut args).unwrap();
         // dst[i] = 1 + i * rhs[2] = 1 + 30 i
         assert_eq!(args[0].as_tensor().unwrap().data, vec![1.0, 31.0, 61.0, 91.0]);

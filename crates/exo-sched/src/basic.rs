@@ -27,12 +27,8 @@ pub fn rename(p: &Proc, new_name: &str) -> Proc {
 /// are supplied, and propagates validation errors if substitution produces
 /// ill-formed IR.
 pub fn partial_eval(p: &Proc, values: &[i64]) -> Result<Proc> {
-    let size_args: Vec<Sym> = p
-        .args
-        .iter()
-        .filter(|a| matches!(a.kind, ArgKind::Size))
-        .map(|a| a.name.clone())
-        .collect();
+    let size_args: Vec<Sym> =
+        p.args.iter().filter(|a| matches!(a.kind, ArgKind::Size)).map(|a| a.name.clone()).collect();
     if values.len() > size_args.len() {
         return Err(SchedError::TooManyValues { sizes: size_args.len(), values: values.len() });
     }
@@ -163,7 +159,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],

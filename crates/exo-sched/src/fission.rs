@@ -197,7 +197,9 @@ fn check_hoistable(v: &Sym, half: &[Stmt]) -> Result<()> {
     if let Some(b) = writes.iter().find(|b| reads.contains(*b)) {
         return Err(SchedError::UnsafeFission {
             var: v.clone(),
-            reason: format!("the hoisted half both reads and writes `{b}`, so repeating it is not idempotent"),
+            reason: format!(
+                "the hoisted half both reads and writes `{b}`, so repeating it is not idempotent"
+            ),
         });
     }
     Ok(())
@@ -270,7 +272,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -292,12 +297,8 @@ mod tests {
         let a = TensorData::from_fn(ScalarType::F32, vec![kc, 8], |i| ((i * 3 + 1) % 9) as f64 * 0.5);
         let b = TensorData::from_fn(ScalarType::F32, vec![kc, 12], |i| ((i * 7 + 2) % 11) as f64 - 5.0);
         let c = TensorData::from_fn(ScalarType::F32, vec![12, 8], |i| (i % 4) as f64);
-        let mut args = vec![
-            ArgValue::Size(kc as i64),
-            ArgValue::Tensor(a),
-            ArgValue::Tensor(b),
-            ArgValue::Tensor(c),
-        ];
+        let mut args =
+            vec![ArgValue::Size(kc as i64), ArgValue::Tensor(a), ArgValue::Tensor(b), ArgValue::Tensor(c)];
         run_proc(p, &mut args).unwrap();
         args.remove(3).as_tensor().unwrap().clone()
     }
@@ -313,7 +314,8 @@ mod tests {
         assert!(matches!(&q.body[0], Stmt::Alloc { .. }));
         assert_eq!(q.body.len(), 4, "alloc + load nest + compute nest + store nest:\n{text}");
         let load_uses_k = q.body[1].uses_var(&"k".into());
-        let compute_uses_k = q.body[2].uses_var(&"k".into()) || matches!(&q.body[2], Stmt::For { var, .. } if var == "k");
+        let compute_uses_k =
+            q.body[2].uses_var(&"k".into()) || matches!(&q.body[2], Stmt::For { var, .. } if var == "k");
         let store_uses_k = q.body[3].uses_var(&"k".into());
         assert!(!load_uses_k, "the C load nest must be hoisted out of k:\n{text}");
         assert!(compute_uses_k, "the compute nest keeps the k loop:\n{text}");
@@ -344,7 +346,10 @@ mod tests {
                 _ => None,
             })
             .expect("k loop exists");
-        assert!(k_loop.len() >= 2, "k loop should contain the hoisted load nest and the compute nest:\n{text}");
+        assert!(
+            k_loop.len() >= 2,
+            "k loop should contain the hoisted load nest and the compute nest:\n{text}"
+        );
         assert!(!k_loop[0].uses_var(&"jt".into()), "A load nest must not iterate over jt:\n{text}");
         assert!(
             matches!(&k_loop[0], Stmt::For { var, .. } if var == "it"),

@@ -79,7 +79,12 @@ pub fn divide_loop(
             var: outer.clone(),
             lo: Expr::int(0),
             hi: Expr::int(quotient),
-            body: vec![Stmt::For { var: inner.clone(), lo: Expr::int(0), hi: Expr::int(factor), body: main_body }],
+            body: vec![Stmt::For {
+                var: inner.clone(),
+                lo: Expr::int(0),
+                hi: Expr::int(factor),
+                body: main_body,
+            }],
         });
     }
     if remainder != 0 {
@@ -240,7 +245,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -252,12 +260,8 @@ mod tests {
         let a = TensorData::from_fn(ScalarType::F32, vec![kc, mr], |i| ((i * 7 + 3) % 11) as f64 * 0.25);
         let b = TensorData::from_fn(ScalarType::F32, vec![kc, nr], |i| ((i * 5 + 1) % 13) as f64 - 6.0);
         let c = TensorData::from_fn(ScalarType::F32, vec![nr, mr], |i| (i % 3) as f64);
-        let mut args = vec![
-            ArgValue::Size(kc as i64),
-            ArgValue::Tensor(a),
-            ArgValue::Tensor(b),
-            ArgValue::Tensor(c),
-        ];
+        let mut args =
+            vec![ArgValue::Size(kc as i64), ArgValue::Tensor(a), ArgValue::Tensor(b), ArgValue::Tensor(c)];
         run_proc(p, &mut args).unwrap();
         args.remove(3).as_tensor().unwrap().clone()
     }
@@ -287,10 +291,7 @@ mod tests {
     fn divide_loop_imperfect_generates_tail() {
         // 8 is not a multiple of 3: main loop of 2 x 3 plus a tail of 2.
         let p = uk_8x12();
-        assert!(matches!(
-            divide_loop(&p, "i", 3, "it", "itt", true),
-            Err(SchedError::NotDivisible { .. })
-        ));
+        assert!(matches!(divide_loop(&p, "i", 3, "it", "itt", true), Err(SchedError::NotDivisible { .. })));
         let q = divide_loop(&p, "i", 3, "it", "itt", false).unwrap();
         let text = proc_to_string(&q);
         assert!(text.contains("for it in seq(0, 2):"));
@@ -310,10 +311,7 @@ mod tests {
     #[test]
     fn divide_loop_rejects_missing_loop() {
         let p = uk_8x12();
-        assert!(matches!(
-            divide_loop(&p, "zz", 4, "a", "b", true),
-            Err(SchedError::PatternNotFound { .. })
-        ));
+        assert!(matches!(divide_loop(&p, "zz", 4, "a", "b", true), Err(SchedError::PatternNotFound { .. })));
     }
 
     #[test]

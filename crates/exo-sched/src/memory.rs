@@ -2,7 +2,6 @@
 //! `lift_alloc`. These are the operators the paper uses to materialise the
 //! `C_reg`, `A_reg`, and `B_reg` register tiles (Section III, Figs. 8–9).
 
-
 use exo_ir::stmt::{block_of_mut, splice_at, stmt_at, stmt_at_mut};
 use exo_ir::{ArgKind, Expr, MemSpace, Proc, ScalarType, Stmt, Sym, WAccess, WindowExpr};
 
@@ -127,7 +126,11 @@ fn rewrite_stmt_accesses(stmt: &Stmt, buf: &Sym, win: &WindowExpr, scratch: &Sym
     let relative = |idx: &[Expr]| -> Result<Vec<Expr>> {
         if idx.len() != win.idx.len() {
             return Err(SchedError::OutOfRange {
-                reason: format!("access to `{buf}` has rank {} but the staged window has rank {}", idx.len(), win.idx.len()),
+                reason: format!(
+                    "access to `{buf}` has rank {} but the staged window has rank {}",
+                    idx.len(),
+                    win.idx.len()
+                ),
             });
         }
         let mut rel = Vec::new();
@@ -159,7 +162,9 @@ fn rewrite_stmt_accesses(stmt: &Stmt, buf: &Sym, win: &WindowExpr, scratch: &Sym
         relative: &impl Fn(&[Expr]) -> Result<Vec<Expr>>,
     ) -> Result<Expr> {
         Ok(match e {
-            Expr::Read { buf: b, idx } if b == buf => Expr::Read { buf: scratch.clone(), idx: relative(idx)? },
+            Expr::Read { buf: b, idx } if b == buf => {
+                Expr::Read { buf: scratch.clone(), idx: relative(idx)? }
+            }
             Expr::Read { buf: b, idx } => Expr::Read {
                 buf: b.clone(),
                 idx: idx.iter().map(|i| rewrite_expr(i, buf, scratch, relative)).collect::<Result<_>>()?,
@@ -270,24 +275,19 @@ fn replace_expr_in_stmt(stmt: &Stmt, from: &Expr, to: &Expr) -> Stmt {
                 rhs: Box::new(go_expr(rhs, from, to)),
             },
             Expr::Neg(inner) => Expr::Neg(Box::new(go_expr(inner, from, to))),
-            Expr::Read { buf, idx } => Expr::Read {
-                buf: buf.clone(),
-                idx: idx.iter().map(|i| go_expr(i, from, to)).collect(),
-            },
+            Expr::Read { buf, idx } => {
+                Expr::Read { buf: buf.clone(), idx: idx.iter().map(|i| go_expr(i, from, to)).collect() }
+            }
             _ => e.clone(),
         }
     }
     match stmt {
-        Stmt::Assign { buf, idx, rhs } => Stmt::Assign {
-            buf: buf.clone(),
-            idx: idx.clone(),
-            rhs: go_expr(rhs, from, to),
-        },
-        Stmt::Reduce { buf, idx, rhs } => Stmt::Reduce {
-            buf: buf.clone(),
-            idx: idx.clone(),
-            rhs: go_expr(rhs, from, to),
-        },
+        Stmt::Assign { buf, idx, rhs } => {
+            Stmt::Assign { buf: buf.clone(), idx: idx.clone(), rhs: go_expr(rhs, from, to) }
+        }
+        Stmt::Reduce { buf, idx, rhs } => {
+            Stmt::Reduce { buf: buf.clone(), idx: idx.clone(), rhs: go_expr(rhs, from, to) }
+        }
         other => other.clone(),
     }
 }
@@ -315,10 +315,8 @@ pub fn expand_dim(p: &Proc, buf: &str, size: i64, idx: &str) -> Result<Proc> {
         }
     }
     let alloc_paths = find_all(p, &StmtPattern::AllocOf(name.clone()));
-    let alloc_path = alloc_paths
-        .into_iter()
-        .next()
-        .ok_or_else(|| SchedError::UnknownBuffer { buf: name.clone() })?;
+    let alloc_path =
+        alloc_paths.into_iter().next().ok_or_else(|| SchedError::UnknownBuffer { buf: name.clone() })?;
 
     let mut out = p.clone();
     if let Some(Stmt::Alloc { dims, .. }) = stmt_at_mut(&mut out.body, &alloc_path) {
@@ -474,7 +472,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],
@@ -488,12 +489,8 @@ mod tests {
         let a = TensorData::from_fn(ScalarType::F32, vec![kc, 8], |i| ((i * 3 + 1) % 9) as f64 * 0.5);
         let b = TensorData::from_fn(ScalarType::F32, vec![kc, 12], |i| ((i * 7 + 2) % 11) as f64 - 5.0);
         let c = TensorData::from_fn(ScalarType::F32, vec![12, 8], |i| (i % 4) as f64);
-        let mut args = vec![
-            ArgValue::Size(kc as i64),
-            ArgValue::Tensor(a),
-            ArgValue::Tensor(b),
-            ArgValue::Tensor(c),
-        ];
+        let mut args =
+            vec![ArgValue::Size(kc as i64), ArgValue::Tensor(a), ArgValue::Tensor(b), ArgValue::Tensor(c)];
         run_proc(p, &mut args).unwrap();
         args.remove(3).as_tensor().unwrap().clone()
     }

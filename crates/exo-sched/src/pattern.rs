@@ -38,11 +38,8 @@ impl StmtPattern {
     pub fn parse(text: &str) -> Result<StmtPattern> {
         let t = text.trim();
         if let Some(rest) = t.strip_prefix("for ") {
-            let var = rest
-                .split_whitespace()
-                .next()
-                .filter(|v| !v.is_empty())
-                .ok_or_else(|| malformed(text))?;
+            let var =
+                rest.split_whitespace().next().filter(|v| !v.is_empty()).ok_or_else(|| malformed(text))?;
             return Ok(StmtPattern::ForNamed(Sym::new(var)));
         }
         if let Some(rest) = t.strip_prefix("alloc ") {
@@ -103,11 +100,7 @@ fn buffer_of_lhs(lhs: &str) -> Option<Sym> {
 
 /// Finds every statement in `p` matching the pattern, in pre-order.
 pub fn find_all(p: &Proc, pattern: &StmtPattern) -> Vec<StmtPath> {
-    walk(&p.body)
-        .into_iter()
-        .filter(|(_, stmt)| pattern.matches(stmt))
-        .map(|(path, _)| path)
-        .collect()
+    walk(&p.body).into_iter().filter(|(_, stmt)| pattern.matches(stmt)).map(|(path, _)| path).collect()
 }
 
 /// Finds every statement matching the textual pattern, in pre-order.
@@ -127,10 +120,10 @@ pub fn find_all_text(p: &Proc, pattern: &str) -> Result<Vec<StmtPath>> {
 /// Returns [`SchedError::PatternNotFound`] if nothing matches.
 pub fn find_first(p: &Proc, pattern: &str) -> Result<StmtPath> {
     let matches = find_all_text(p, pattern)?;
-    matches.into_iter().next().ok_or_else(|| SchedError::PatternNotFound {
-        pattern: pattern.to_string(),
-        proc: p.name.clone(),
-    })
+    matches
+        .into_iter()
+        .next()
+        .ok_or_else(|| SchedError::PatternNotFound { pattern: pattern.to_string(), proc: p.name.clone() })
 }
 
 /// Fetches the statement at `path`, reporting a scheduling error when the
@@ -176,9 +169,7 @@ impl ExprPattern {
             return Some(e.clone());
         }
         match e {
-            Expr::Binop { lhs, rhs, .. } => {
-                self.find_in_expr(lhs).or_else(|| self.find_in_expr(rhs))
-            }
+            Expr::Binop { lhs, rhs, .. } => self.find_in_expr(lhs).or_else(|| self.find_in_expr(rhs)),
             Expr::Neg(inner) => self.find_in_expr(inner),
             Expr::Read { idx, .. } => idx.iter().find_map(|i| self.find_in_expr(i)),
             _ => None,
@@ -213,7 +204,10 @@ mod tests {
                         vec![reduce(
                             "C",
                             vec![var("j"), var("i")],
-                            Expr::mul(read("Ac", vec![var("k"), var("i")]), read("Bc", vec![var("k"), var("j")])),
+                            Expr::mul(
+                                read("Ac", vec![var("k"), var("i")]),
+                                read("Bc", vec![var("k"), var("j")]),
+                            ),
                         )],
                     )],
                 )],

@@ -37,9 +37,7 @@ impl Bindings {
         let w = w.simplify();
         if let Some(existing) = self.windows.get(param) {
             if !windows_equiv(existing, &w) {
-                return Err(format!(
-                    "parameter `{param}` would bind to two different windows"
-                ));
+                return Err(format!("parameter `{param}` would bind to two different windows"));
             }
             return Ok(());
         }
@@ -107,8 +105,7 @@ pub fn replace(p: &Proc, pattern: &str, instr: &Arc<Proc>) -> Result<Proc> {
                     .map(|(inl, orig)| comm_normalize(&align_loop_vars(inl, orig).simplify()))
                     .collect();
                 let normalised_original = vec![comm_normalize(&stmt.simplify())];
-                let ok = aligned == normalised_original
-                    || blocks_alpha_eq(&aligned, &normalised_original);
+                let ok = aligned == normalised_original || blocks_alpha_eq(&aligned, &normalised_original);
                 if !ok {
                     return Err(SchedError::ReplaceVerificationFailed { instr: instr.name.clone() });
                 }
@@ -179,16 +176,12 @@ fn comm_normalize(stmt: &Stmt) -> Stmt {
         }
     }
     match stmt {
-        Stmt::Assign { buf, idx, rhs } => Stmt::Assign {
-            buf: buf.clone(),
-            idx: idx.iter().map(norm_expr).collect(),
-            rhs: norm_expr(rhs),
-        },
-        Stmt::Reduce { buf, idx, rhs } => Stmt::Reduce {
-            buf: buf.clone(),
-            idx: idx.iter().map(norm_expr).collect(),
-            rhs: norm_expr(rhs),
-        },
+        Stmt::Assign { buf, idx, rhs } => {
+            Stmt::Assign { buf: buf.clone(), idx: idx.iter().map(norm_expr).collect(), rhs: norm_expr(rhs) }
+        }
+        Stmt::Reduce { buf, idx, rhs } => {
+            Stmt::Reduce { buf: buf.clone(), idx: idx.iter().map(norm_expr).collect(), rhs: norm_expr(rhs) }
+        }
         Stmt::For { var, lo, hi, body } => Stmt::For {
             var: var.clone(),
             lo: lo.clone(),
@@ -204,10 +197,7 @@ fn comm_normalize(stmt: &Stmt) -> Stmt {
 /// after simplification.
 fn align_loop_vars(spec: &Stmt, target: &Stmt) -> Stmt {
     match (spec, target) {
-        (
-            Stmt::For { var: sv, lo, hi, body },
-            Stmt::For { var: tv, body: tbody, .. },
-        ) => {
+        (Stmt::For { var: sv, lo, hi, body }, Stmt::For { var: tv, body: tbody, .. }) => {
             let mut map = BTreeMap::new();
             map.insert(sv.clone(), Expr::var(tv.clone()));
             let renamed_body: Vec<Stmt> = body.iter().map(|s| s.subst(&map)).collect();
@@ -363,7 +353,10 @@ fn unify_instr(instr: &Proc, candidate: &Stmt) -> std::result::Result<Vec<CallAr
 
 fn unify_stmt(instr: &Proc, spec: &Stmt, cand: &Stmt, b: &mut Bindings) -> std::result::Result<(), String> {
     match (spec, cand) {
-        (Stmt::For { var: sv, lo: slo, hi: shi, body: sbody }, Stmt::For { var: cv, lo: clo, hi: chi, body: cbody }) => {
+        (
+            Stmt::For { var: sv, lo: slo, hi: shi, body: sbody },
+            Stmt::For { var: cv, lo: clo, hi: chi, body: cbody },
+        ) => {
             unify_index(instr, slo, clo, b)?;
             unify_index(instr, shi, chi, b)?;
             b.loop_vars.insert(sv.clone(), cv.clone());
@@ -501,9 +494,8 @@ fn unify_param_access(
     cand_idx: &[Expr],
     b: &mut Bindings,
 ) -> std::result::Result<(), String> {
-    let formal = instr
-        .arg(param)
-        .ok_or_else(|| format!("`{param}` is not a parameter of `{}`", instr.name))?;
+    let formal =
+        instr.arg(param).ok_or_else(|| format!("`{param}` is not a parameter of `{}`", instr.name))?;
     let dims = match &formal.kind {
         ArgKind::Tensor { dims, .. } => dims.clone(),
         _ => return Err(format!("parameter `{param}` is not a tensor")),
@@ -539,9 +531,8 @@ fn unify_param_access(
                             "candidate access to `{cbuf}` uses `{cv}` in more than one subscript"
                         ));
                     }
-                    let aff = Affine::of(ce).ok_or_else(|| {
-                        format!("subscript of `{cbuf}` is not affine in `{cv}`")
-                    })?;
+                    let aff = Affine::of(ce)
+                        .ok_or_else(|| format!("subscript of `{cbuf}` is not affine in `{cv}`"))?;
                     let (coeff, rest) = aff.split_var(&cv);
                     if coeff != 1 {
                         return Err(format!(
@@ -610,7 +601,12 @@ mod tests {
                 .tensor_arg("dst", ScalarType::F32, vec![int(4)], MemSpace::Neon)
                 .tensor_arg("src", ScalarType::F32, vec![int(4)], MemSpace::Dram)
                 .body(vec![for_("i", 0, 4, vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))])])
-                .instr_info(InstrInfo::new("{dst_data} = vld1q_f32(&{src_data});", InstrClass::VecLoad, 4, ScalarType::F32))
+                .instr_info(InstrInfo::new(
+                    "{dst_data} = vld1q_f32(&{src_data});",
+                    InstrClass::VecLoad,
+                    4,
+                    ScalarType::F32,
+                ))
                 .build(),
         )
     }
@@ -621,7 +617,12 @@ mod tests {
                 .tensor_arg("dst", ScalarType::F32, vec![int(4)], MemSpace::Dram)
                 .tensor_arg("src", ScalarType::F32, vec![int(4)], MemSpace::Neon)
                 .body(vec![for_("i", 0, 4, vec![assign("dst", vec![var("i")], read("src", vec![var("i")]))])])
-                .instr_info(InstrInfo::new("vst1q_f32(&{dst_data}, {src_data});", InstrClass::VecStore, 4, ScalarType::F32))
+                .instr_info(InstrInfo::new(
+                    "vst1q_f32(&{dst_data}, {src_data});",
+                    InstrClass::VecStore,
+                    4,
+                    ScalarType::F32,
+                ))
                 .build(),
         )
     }
@@ -637,7 +638,11 @@ mod tests {
                     "i",
                     0,
                     4,
-                    vec![reduce("dst", vec![var("i")], Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![var("l")])))],
+                    vec![reduce(
+                        "dst",
+                        vec![var("i")],
+                        Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![var("l")])),
+                    )],
                 )])
                 .instr_info(InstrInfo::new(
                     "{dst_data} = vfmaq_laneq_f32({dst_data}, {lhs_data}, {rhs_data}, {l});",
@@ -673,8 +678,18 @@ mod tests {
                                 4,
                                 vec![assign(
                                     "C_reg",
-                                    vec![Expr::add(Expr::mul(int(4), var("jt")), var("jtt")), var("it"), var("itt")],
-                                    read("C", vec![Expr::add(Expr::mul(int(4), var("jt")), var("jtt")), Expr::add(Expr::mul(int(4), var("it")), var("itt"))]),
+                                    vec![
+                                        Expr::add(Expr::mul(int(4), var("jt")), var("jtt")),
+                                        var("it"),
+                                        var("itt"),
+                                    ],
+                                    read(
+                                        "C",
+                                        vec![
+                                            Expr::add(Expr::mul(int(4), var("jt")), var("jtt")),
+                                            Expr::add(Expr::mul(int(4), var("it")), var("itt")),
+                                        ],
+                                    ),
                                 )],
                             )],
                         )],
@@ -719,8 +734,15 @@ mod tests {
                             4,
                             vec![reduce(
                                 "C_reg",
-                                vec![Expr::add(var("jtt"), Expr::mul(int(4), var("jt"))), var("it"), var("itt")],
-                                Expr::mul(read("A_reg", vec![var("it"), var("itt")]), read("B_reg", vec![var("jt"), var("jtt")])),
+                                vec![
+                                    Expr::add(var("jtt"), Expr::mul(int(4), var("jt"))),
+                                    var("it"),
+                                    var("itt"),
+                                ],
+                                Expr::mul(
+                                    read("A_reg", vec![var("it"), var("itt")]),
+                                    read("B_reg", vec![var("jt"), var("jtt")]),
+                                ),
                             )],
                         )],
                     )],
@@ -731,7 +753,9 @@ mod tests {
         let q = replace(&p, "for itt in _: _", &vfmla()).unwrap();
         let text = proc_to_string(&q);
         assert!(
-            text.contains("neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], A_reg[it, 0:4], B_reg[jt, 0:4], jtt)"),
+            text.contains(
+                "neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], A_reg[it, 0:4], B_reg[jt, 0:4], jtt)"
+            ),
             "unexpected output:\n{text}"
         );
     }
@@ -761,12 +785,19 @@ mod tests {
             .tensor_arg("C", ScalarType::F32, vec![int(16)], MemSpace::Dram)
             .body(vec![
                 alloc("R", ScalarType::F32, vec![int(4)], MemSpace::Dram),
-                for_("itt", 0, 4, vec![assign("R", vec![var("itt")], read("C", vec![Expr::mul(int(2), var("itt"))]))]),
+                for_(
+                    "itt",
+                    0,
+                    4,
+                    vec![assign("R", vec![var("itt")], read("C", vec![Expr::mul(int(2), var("itt"))]))],
+                ),
             ])
             .build();
         let err = replace(&p, "for itt in _: _", &vld()).unwrap_err();
         match err {
-            SchedError::ReplaceFailed { reason, .. } => assert!(reason.contains("stride"), "reason: {reason}"),
+            SchedError::ReplaceFailed { reason, .. } => {
+                assert!(reason.contains("stride"), "reason: {reason}")
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }
@@ -824,7 +855,11 @@ mod tests {
                     "i",
                     0,
                     4,
-                    vec![reduce("dst", vec![var("i")], Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![int(0)])))],
+                    vec![reduce(
+                        "dst",
+                        vec![var("i")],
+                        Expr::mul(read("lhs", vec![var("i")]), read("rhs", vec![int(0)])),
+                    )],
                 )])
                 .instr_info(InstrInfo::new(
                     "{dst_data} = vfmaq_n_f32({dst_data}, {lhs_data}, *{rhs_data});",

@@ -1,0 +1,145 @@
+//! The `TunedGemm` front-end: `C += A * B` where the micro-kernel and the
+//! blocking are chosen by the autotuner.
+//!
+//! This is the subsystem's serving path. Each distinct problem shape is
+//! tuned once (or loaded from a persisted registry) and dispatched through
+//! the functional five-loop driver with the winning kernel; repeat shapes
+//! skip straight to dispatch.
+
+use gemm_blis::{BlisGemm, Matrix};
+
+use crate::error::TuneError;
+use crate::registry::{KernelRegistry, TuneVerdict};
+use crate::tuner::Tuner;
+
+/// Metadata of one dispatched GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedRun {
+    /// The verdict that chose the kernel (memoised or freshly searched).
+    pub verdict: TuneVerdict,
+    /// Display name of the dispatched kernel.
+    pub kernel: String,
+}
+
+/// Autotuned GEMM: searches-or-loads per problem shape, then dispatches.
+#[derive(Debug, Default)]
+pub struct TunedGemm {
+    tuner: Tuner,
+}
+
+impl TunedGemm {
+    /// A tuned GEMM with the default tuner (ARM Neon f32, analytical
+    /// evaluator, in-memory registry).
+    pub fn new() -> Self {
+        TunedGemm { tuner: Tuner::new() }
+    }
+
+    /// A tuned GEMM over an explicit tuner.
+    pub fn with_tuner(tuner: Tuner) -> Self {
+        TunedGemm { tuner }
+    }
+
+    /// A tuned GEMM whose registry persists at `path`: the first process
+    /// pays for the search, every later one starts warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] if an existing file cannot be loaded.
+    pub fn with_persistence(path: impl AsRef<std::path::Path>) -> Result<Self, TuneError> {
+        let isa = exo_isa::neon_f32();
+        let registry = KernelRegistry::with_persistence(isa.name, path)?;
+        Ok(TunedGemm { tuner: Tuner::with_registry(registry)? })
+    }
+
+    /// The underlying tuner.
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// The registry memoising verdicts for this front-end.
+    pub fn registry(&self) -> &KernelRegistry {
+        self.tuner.registry()
+    }
+
+    /// Tunes (or loads the verdict for) a problem shape without running it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search failures.
+    pub fn plan(&self, m: usize, n: usize, k: usize) -> Result<TuneVerdict, TuneError> {
+        self.tuner.tune(m, n, k)
+    }
+
+    /// Computes `c += a * b` with the autotuned kernel and blocking for the
+    /// problem's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::Gemm`] for inconsistent matrix shapes and
+    /// propagates search or generation failures.
+    pub fn gemm(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<TunedRun, TuneError> {
+        if a.cols != b.rows || a.rows != c.rows || b.cols != c.cols {
+            return Err(TuneError::Gemm(format!(
+                "A is {}x{}, B is {}x{}, C is {}x{}",
+                a.rows, a.cols, b.rows, b.cols, c.rows, c.cols
+            )));
+        }
+        let verdict = self.tuner.tune(a.rows, b.cols, a.cols)?;
+        let kernel = self.tuner.kernel_impl_for(&verdict)?;
+        let driver = BlisGemm::new(verdict.blocking());
+        driver.gemm(&kernel, a, b, c)?;
+        Ok(TunedRun { kernel: kernel.name, verdict })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_blis::naive_gemm;
+
+    fn matrices(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix, Matrix) {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0);
+        let c = Matrix::from_fn(m, n, |i, j| ((i + j) % 3) as f32);
+        let c_ref = c.clone();
+        (a, b, c, c_ref)
+    }
+
+    #[test]
+    fn tuned_gemm_matches_naive_and_memoises() {
+        let tuned = TunedGemm::new();
+        let (a, b, mut c, mut c_ref) = matrices(45, 37, 29);
+        let run = tuned.gemm(&a, &b, &mut c).unwrap();
+        naive_gemm(&a, &b, &mut c_ref);
+        for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
+            assert!((x - y).abs() < 1e-3, "mismatch at {idx}: {x} vs {y}");
+        }
+        assert!(run.kernel.starts_with("EXO"));
+        assert_eq!(run.verdict.m, 45);
+
+        // A repeat shape dispatches without re-searching.
+        let invocations = tuned.registry().generator_invocations();
+        let (a2, b2, mut c2, mut c2_ref) = matrices(45, 37, 29);
+        tuned.gemm(&a2, &b2, &mut c2).unwrap();
+        naive_gemm(&a2, &b2, &mut c2_ref);
+        assert_eq!(tuned.registry().generator_invocations(), invocations);
+        assert_eq!(tuned.registry().len(), 1);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let tuned = TunedGemm::new();
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(6, 4);
+        let mut c = Matrix::zeros(4, 4);
+        assert!(matches!(tuned.gemm(&a, &b, &mut c), Err(TuneError::Gemm(_))));
+    }
+
+    #[test]
+    fn plan_without_dispatch_records_a_verdict() {
+        let tuned = TunedGemm::new();
+        let verdict = tuned.plan(196, 256, 2304).unwrap();
+        assert_eq!((verdict.m, verdict.n, verdict.k), (196, 256, 2304));
+        assert_eq!(tuned.registry().len(), 1);
+    }
+}

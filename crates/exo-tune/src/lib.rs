@@ -1,0 +1,59 @@
+//! # exo-tune
+//!
+//! The autotuning subsystem: searches the micro-kernel design space and
+//! dispatches the best kernel per GEMM problem.
+//!
+//! The paper's headline result comes from generating *many*
+//! size-specialised micro-kernels and picking the best register tile and
+//! blocking configuration per problem shape. This crate turns that
+//! methodology into a reusable subsystem with four pieces:
+//!
+//! * [`DesignSpace`] — enumerates every `(MR, NR)` register tile valid for
+//!   a [`exo_isa::VectorIsa`] under a register budget, crossed with
+//!   candidate [`gemm_blis::BlockingParams`] derived from the modelled
+//!   cache hierarchy;
+//! * [`CostEvaluator`] — pluggable candidate evaluation: the analytical
+//!   `carmel-sim` model ([`AnalyticalCost`], fast, the default) or
+//!   functional execution of the generated kernel ([`FunctionalCost`],
+//!   slow, for validation);
+//! * [`KernelRegistry`] — caches generated kernels keyed by
+//!   `(isa, mr, nr)` (via [`ukernel_gen::KernelCache`]) and memoises
+//!   tuning verdicts keyed by problem shape, with JSON persistence so a
+//!   second run skips the search entirely;
+//! * [`TunedGemm`] — the front-end: given `(m, n, k)`, transparently
+//!   searches-or-loads the verdict and dispatches the winning kernel
+//!   through the functional BLIS-like driver.
+//!
+//! ```
+//! use exo_tune::TunedGemm;
+//! use gemm_blis::Matrix;
+//!
+//! let tuned = TunedGemm::new();
+//! let a = Matrix::from_fn(50, 30, |i, j| (i + j) as f32 * 0.25);
+//! let b = Matrix::from_fn(30, 40, |i, j| (i as f32 - j as f32) * 0.5);
+//! let mut c = Matrix::zeros(50, 40);
+//! let run = tuned.gemm(&a, &b, &mut c)?;
+//! assert!(run.kernel.starts_with("EXO"));
+//! // The verdict is memoised: the same shape never searches again.
+//! assert_eq!(tuned.registry().len(), 1);
+//! # Ok::<(), exo_tune::TuneError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+mod error;
+pub mod gemm;
+pub mod json;
+pub mod registry;
+pub mod space;
+pub mod tuner;
+pub mod workload;
+
+pub use cost::{AnalyticalCost, CostEvaluator, FunctionalCost};
+pub use error::TuneError;
+pub use gemm::{TunedGemm, TunedRun};
+pub use registry::{KernelRegistry, TuneVerdict};
+pub use space::{BlockingSource, Candidate, DesignSpace, TileShape};
+pub use tuner::Tuner;
+pub use workload::{tune_workload, workload_seconds, LayerPlan};

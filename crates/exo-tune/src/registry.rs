@@ -1,0 +1,355 @@
+//! The kernel registry: generated-kernel caching, tuning-verdict
+//! memoisation, and JSON persistence.
+//!
+//! The registry is the subsystem's memory. It wraps a shared
+//! [`KernelCache`] (kernels keyed by `(isa, mr, nr)`, generated at most
+//! once per process) and adds a verdict table keyed by problem shape
+//! `(m, n, k)`. With a persistence path configured, every recorded verdict
+//! is written to a JSON file, and a registry opened on the same path starts
+//! warm: a second tuning run answers every shape from the file without
+//! invoking the generator at all.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use gemm_blis::BlockingParams;
+use ukernel_gen::KernelCache;
+
+use crate::error::TuneError;
+use crate::json::{self, Json};
+
+/// Current on-disk format version.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// The outcome of tuning one GEMM problem shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneVerdict {
+    /// Problem rows.
+    pub m: usize,
+    /// Problem columns.
+    pub n: usize,
+    /// Problem depth.
+    pub k: usize,
+    /// Winning register-tile rows.
+    pub mr: usize,
+    /// Winning register-tile columns.
+    pub nr: usize,
+    /// Winning cache blocking: rows of the packed `Ac` block.
+    pub mc: usize,
+    /// Winning cache blocking: packed block depth.
+    pub kc: usize,
+    /// Winning cache blocking: columns of the packed `Bc` block.
+    pub nc: usize,
+    /// Modelled cost of the winner, in cycles.
+    pub predicted_cycles: f64,
+    /// Modelled GFLOPS of the winner (`2 m n k` useful flops).
+    pub predicted_gflops: f64,
+    /// How many candidates the search evaluated when this verdict was
+    /// produced (memoised answers keep the original search's count).
+    pub candidates_evaluated: usize,
+    /// Name of the evaluator that produced the verdict.
+    pub evaluator: String,
+}
+
+impl TuneVerdict {
+    /// The winning blocking parameters as a [`BlockingParams`].
+    pub fn blocking(&self) -> BlockingParams {
+        BlockingParams { mc: self.mc, kc: self.kc, nc: self.nc, mr: self.mr, nr: self.nr }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        let mut put = |key: &str, value: f64| {
+            obj.insert(key.to_string(), Json::Num(value));
+        };
+        put("m", self.m as f64);
+        put("n", self.n as f64);
+        put("k", self.k as f64);
+        put("mr", self.mr as f64);
+        put("nr", self.nr as f64);
+        put("mc", self.mc as f64);
+        put("kc", self.kc as f64);
+        put("nc", self.nc as f64);
+        put("predicted_cycles", self.predicted_cycles);
+        put("predicted_gflops", self.predicted_gflops);
+        put("candidates_evaluated", self.candidates_evaluated as f64);
+        obj.insert("evaluator".to_string(), Json::Str(self.evaluator.clone()));
+        Json::Obj(obj)
+    }
+
+    fn from_json(value: &Json) -> Result<Self, TuneError> {
+        let field = |key: &str| -> Result<usize, TuneError> {
+            value
+                .get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| TuneError::Corrupt(format!("verdict field `{key}` missing or invalid")))
+        };
+        let num = |key: &str| -> Result<f64, TuneError> {
+            value
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| TuneError::Corrupt(format!("verdict field `{key}` missing or invalid")))
+        };
+        Ok(TuneVerdict {
+            m: field("m")?,
+            n: field("n")?,
+            k: field("k")?,
+            mr: field("mr")?,
+            nr: field("nr")?,
+            mc: field("mc")?,
+            kc: field("kc")?,
+            nc: field("nc")?,
+            predicted_cycles: num("predicted_cycles")?,
+            predicted_gflops: num("predicted_gflops")?,
+            candidates_evaluated: field("candidates_evaluated")?,
+            evaluator: value.get("evaluator").and_then(Json::as_str).unwrap_or("analytical").to_string(),
+        })
+    }
+}
+
+/// Kernel cache plus memoised tuning verdicts, optionally persisted.
+#[derive(Debug)]
+pub struct KernelRegistry {
+    kernels: Arc<KernelCache>,
+    verdicts: Mutex<BTreeMap<(usize, usize, usize), TuneVerdict>>,
+    isa_name: String,
+    path: Option<PathBuf>,
+}
+
+impl KernelRegistry {
+    /// An in-memory registry for an ISA (no persistence).
+    pub fn new(isa_name: impl Into<String>) -> Self {
+        KernelRegistry {
+            kernels: Arc::new(KernelCache::new()),
+            verdicts: Mutex::new(BTreeMap::new()),
+            isa_name: isa_name.into(),
+            path: None,
+        }
+    }
+
+    /// A registry persisted at `path`. If the file exists its verdicts are
+    /// loaded (a warm start); otherwise it is created on the first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::Io`] if the file exists but cannot be read, and
+    /// [`TuneError::Corrupt`] if it does not parse as a registry for the
+    /// same ISA.
+    pub fn with_persistence(isa_name: impl Into<String>, path: impl AsRef<Path>) -> Result<Self, TuneError> {
+        let mut registry = KernelRegistry::new(isa_name);
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| TuneError::Io(format!("reading {}: {e}", path.display())))?;
+            registry.load_text(&text)?;
+        }
+        registry.path = Some(path);
+        Ok(registry)
+    }
+
+    /// The shared generated-kernel cache.
+    pub fn kernel_cache(&self) -> Arc<KernelCache> {
+        Arc::clone(&self.kernels)
+    }
+
+    /// The ISA this registry's verdicts apply to.
+    pub fn isa_name(&self) -> &str {
+        &self.isa_name
+    }
+
+    /// The persistence path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Generator invocations performed through the kernel cache.
+    pub fn generator_invocations(&self) -> u64 {
+        self.kernels.generator_invocations()
+    }
+
+    /// The memoised verdict for a problem shape, if present.
+    pub fn verdict(&self, m: usize, n: usize, k: usize) -> Option<TuneVerdict> {
+        self.verdicts.lock().expect("verdict table poisoned").get(&(m, n, k)).cloned()
+    }
+
+    /// All memoised verdicts, in shape order.
+    pub fn verdicts(&self) -> Vec<TuneVerdict> {
+        self.verdicts.lock().expect("verdict table poisoned").values().cloned().collect()
+    }
+
+    /// Number of memoised verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("verdict table poisoned").len()
+    }
+
+    /// Whether the registry holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a verdict and, when persistence is configured, rewrites the
+    /// registry file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::Io`] if the file cannot be written.
+    pub fn record(&self, verdict: TuneVerdict) -> Result<(), TuneError> {
+        self.verdicts
+            .lock()
+            .expect("verdict table poisoned")
+            .insert((verdict.m, verdict.n, verdict.k), verdict);
+        self.save()
+    }
+
+    /// Writes the registry file if persistence is configured (no-op
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::Io`] if the file cannot be written.
+    pub fn save(&self) -> Result<(), TuneError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| TuneError::Io(format!("creating {}: {e}", parent.display())))?;
+            }
+        }
+        // Write-then-rename so an interrupted save never leaves a truncated
+        // file behind: the previous registry stays intact until the new one
+        // is fully on disk.
+        let text = self.to_text();
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text).map_err(|e| TuneError::Io(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| TuneError::Io(format!("renaming {} to {}: {e}", tmp.display(), path.display())))
+    }
+
+    /// Serialises the registry to its JSON document.
+    pub fn to_text(&self) -> String {
+        let verdicts = self.verdicts.lock().expect("verdict table poisoned");
+        let mut obj = BTreeMap::new();
+        obj.insert("version".to_string(), Json::Num(FORMAT_VERSION));
+        obj.insert("isa".to_string(), Json::Str(self.isa_name.clone()));
+        obj.insert("verdicts".to_string(), Json::Arr(verdicts.values().map(TuneVerdict::to_json).collect()));
+        Json::Obj(obj).to_text()
+    }
+
+    /// Loads verdicts from a serialised registry, replacing the in-memory
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::Corrupt`] on malformed documents or an ISA
+    /// mismatch.
+    pub fn load_text(&mut self, text: &str) -> Result<(), TuneError> {
+        let doc = json::parse(text).map_err(TuneError::Corrupt)?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_num)
+            .ok_or_else(|| TuneError::Corrupt("missing `version`".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(TuneError::Corrupt(format!("unsupported registry version {version}")));
+        }
+        let isa = doc
+            .get("isa")
+            .and_then(Json::as_str)
+            .ok_or_else(|| TuneError::Corrupt("missing `isa`".into()))?;
+        if isa != self.isa_name {
+            return Err(TuneError::Corrupt(format!(
+                "registry file targets `{isa}` but this registry targets `{}`",
+                self.isa_name
+            )));
+        }
+        let entries = doc
+            .get("verdicts")
+            .and_then(|v| v.as_arr().map(<[Json]>::to_vec))
+            .ok_or_else(|| TuneError::Corrupt("missing `verdicts`".into()))?;
+        let mut table = BTreeMap::new();
+        for entry in &entries {
+            let verdict = TuneVerdict::from_json(entry)?;
+            table.insert((verdict.m, verdict.n, verdict.k), verdict);
+        }
+        *self.verdicts.lock().expect("verdict table poisoned") = table;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(m: usize, n: usize, k: usize) -> TuneVerdict {
+        TuneVerdict {
+            m,
+            n,
+            k,
+            mr: 8,
+            nr: 12,
+            mc: 120,
+            kc: 512,
+            nc: 3072,
+            predicted_cycles: 1.25e6,
+            predicted_gflops: 30.5,
+            candidates_evaluated: 36,
+            evaluator: "analytical".into(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("exo-tune-registry-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn verdicts_round_trip_through_json() {
+        let registry = KernelRegistry::new("neon-f32");
+        registry.record(verdict(1000, 1000, 1000)).unwrap();
+        registry.record(verdict(49, 512, 4608)).unwrap();
+        let text = registry.to_text();
+
+        let mut restored = KernelRegistry::new("neon-f32");
+        restored.load_text(&text).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.verdict(49, 512, 4608), registry.verdict(49, 512, 4608));
+        assert_eq!(restored.verdict(1000, 1000, 1000).unwrap().blocking().kc, 512);
+    }
+
+    #[test]
+    fn persistence_survives_reopening() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let registry = KernelRegistry::with_persistence("neon-f32", &path).unwrap();
+            assert!(registry.is_empty());
+            registry.record(verdict(196, 256, 2304)).unwrap();
+        }
+        let registry = KernelRegistry::with_persistence("neon-f32", &path).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert!(registry.verdict(196, 256, 2304).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn isa_mismatch_and_corrupt_files_are_rejected() {
+        let mut registry = KernelRegistry::new("neon-f32");
+        let other = KernelRegistry::new("avx512-f32");
+        other.record(verdict(10, 10, 10)).unwrap();
+        assert!(matches!(registry.load_text(&other.to_text()), Err(TuneError::Corrupt(_))));
+        assert!(matches!(registry.load_text("not json"), Err(TuneError::Corrupt(_))));
+        assert!(matches!(
+            registry.load_text("{\"version\": 99, \"isa\": \"neon-f32\", \"verdicts\": []}"),
+            Err(TuneError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn registry_without_persistence_never_touches_disk() {
+        let registry = KernelRegistry::new("neon-f32");
+        assert!(registry.path().is_none());
+        registry.record(verdict(32, 32, 32)).unwrap();
+        assert_eq!(registry.len(), 1);
+    }
+}

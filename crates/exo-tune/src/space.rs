@@ -1,0 +1,209 @@
+//! Enumeration of the micro-kernel design space.
+//!
+//! The paper's optimisation process "boils down to evaluating a number of
+//! generated micro-kernels"; this module decides *which* kernels are worth
+//! generating for a target ISA. A register tile `(MR, NR)` is a candidate
+//! when a vectorised scheduling strategy exists for it and its register
+//! footprint — the `C` accumulators plus the staged `A`/`B` operand
+//! vectors — fits the architectural register file. Each tile is then paired
+//! with candidate cache-blocking parameters derived from the modelled
+//! memory hierarchy (the analytical model of Low et al.) and from the fixed
+//! values BLIS ships for the Carmel family.
+
+use carmel_sim::CacheHierarchy;
+use exo_isa::VectorIsa;
+use gemm_blis::BlockingParams;
+use ukernel_gen::{MicroKernelGenerator, Strategy};
+
+/// Where a candidate's blocking parameters came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockingSource {
+    /// The analytical cache model (`BlockingParams::analytical`).
+    Analytical,
+    /// The fixed Carmel/A57 values BLIS ships (`BlockingParams::carmel_defaults`).
+    CarmelDefaults,
+}
+
+impl std::fmt::Display for BlockingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockingSource::Analytical => f.write_str("analytical"),
+            BlockingSource::CarmelDefaults => f.write_str("carmel-defaults"),
+        }
+    }
+}
+
+/// A register tile admitted to the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+    /// The scheduling strategy the generator would choose for the tile.
+    pub strategy: Strategy,
+    /// Modelled vector-register footprint of the kernel.
+    pub registers: usize,
+}
+
+/// One point of the search space: a tile shape plus blocking parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The register tile.
+    pub tile: TileShape,
+    /// Cache-blocking parameters to run the tile with.
+    pub blocking: BlockingParams,
+    /// Provenance of the blocking parameters.
+    pub blocking_source: BlockingSource,
+}
+
+/// The enumerable design space for one instruction set.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    isa: VectorIsa,
+    /// Architectural vector registers available to the kernel.
+    pub register_budget: usize,
+    /// Maximum tile height, in vector registers (`MR <= max_mr_vectors * lanes`).
+    pub max_mr_vectors: usize,
+    /// Maximum tile width in elements.
+    pub max_nr: usize,
+}
+
+impl DesignSpace {
+    /// The default space for an ISA: the 32-register ARM/AVX-512 budget,
+    /// tiles up to four vectors tall and six vectors wide (24 elements on
+    /// 4-lane Neon, matching the widest kernels the paper considers).
+    pub fn for_isa(isa: VectorIsa) -> Self {
+        let max_nr = 6 * isa.lanes;
+        DesignSpace { isa, register_budget: 32, max_mr_vectors: 4, max_nr }
+    }
+
+    /// The instruction set the space targets.
+    pub fn isa(&self) -> &VectorIsa {
+        &self.isa
+    }
+
+    /// Vector registers a `(mr, nr)` kernel needs under `strategy`, or
+    /// `None` when the strategy keeps no register tile (the scalar
+    /// fallback, which the space excludes).
+    pub fn register_cost(&self, mr: usize, nr: usize, strategy: Strategy) -> Option<usize> {
+        let lanes = self.isa.lanes;
+        match strategy {
+            // C accumulators as (mr/lanes) x nr vectors, A column vectors,
+            // B row vectors (both tile dimensions vectorised).
+            Strategy::Laneq => Some((mr / lanes) * nr + mr / lanes + nr / lanes),
+            // Rows vectorised; B elements broadcast through one register.
+            Strategy::BroadcastB => Some((mr / lanes) * nr + mr / lanes + 1),
+            // Columns vectorised; the single A element broadcast.
+            Strategy::BroadcastA => Some(nr.div_ceil(lanes) + nr.div_ceil(lanes) + 1),
+            Strategy::Scalar => None,
+        }
+    }
+
+    /// All register tiles valid for the ISA under the register budget,
+    /// sorted by descending tile area (the order the sweep reports them in).
+    pub fn tile_shapes(&self) -> Vec<TileShape> {
+        let lanes = self.isa.lanes;
+        let generator = MicroKernelGenerator::new(self.isa.clone());
+        let mut rows: Vec<usize> = vec![1];
+        rows.extend((1..=self.max_mr_vectors).map(|i| i * lanes));
+        let cols: Vec<usize> = (1..=self.max_nr / lanes).map(|j| j * lanes).collect();
+
+        let mut tiles = Vec::new();
+        for &mr in &rows {
+            for &nr in &cols {
+                let strategy = generator.choose_strategy(mr, nr, true);
+                let Some(registers) = self.register_cost(mr, nr, strategy) else {
+                    continue;
+                };
+                if registers <= self.register_budget {
+                    tiles.push(TileShape { mr, nr, strategy, registers });
+                }
+            }
+        }
+        tiles.sort_by_key(|t| (std::cmp::Reverse(t.mr * t.nr), t.mr));
+        tiles
+    }
+
+    /// The full candidate list: every valid tile crossed with every blocking
+    /// source derived from the cache hierarchy.
+    pub fn candidates(&self, mem: &CacheHierarchy) -> Vec<Candidate> {
+        let elem = self.isa.elem.size_bytes();
+        let mut out = Vec::new();
+        for tile in self.tile_shapes() {
+            out.push(Candidate {
+                tile,
+                blocking: BlockingParams::analytical(mem, tile.mr, tile.nr, elem),
+                blocking_source: BlockingSource::Analytical,
+            });
+            out.push(Candidate {
+                tile,
+                blocking: BlockingParams::carmel_defaults(tile.mr, tile.nr),
+                blocking_source: BlockingSource::CarmelDefaults,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_isa::{avx512_f32, neon_f32};
+
+    #[test]
+    fn neon_space_contains_the_paper_shapes_and_respects_the_budget() {
+        let space = DesignSpace::for_isa(neon_f32());
+        let tiles = space.tile_shapes();
+        for expected in [(8, 12), (8, 8), (8, 4), (4, 12), (4, 8), (4, 4), (1, 12), (1, 8)] {
+            assert!(
+                tiles.iter().any(|t| (t.mr, t.nr) == expected),
+                "paper shape {expected:?} missing from {tiles:?}"
+            );
+        }
+        for tile in &tiles {
+            assert!(tile.registers <= 32, "{tile:?} exceeds the register budget");
+            assert_ne!(tile.strategy, Strategy::Scalar);
+        }
+        // Over-budget tiles are excluded: 8x16 needs 2*16 + 2 + 4 = 38 regs.
+        assert!(!tiles.iter().any(|t| (t.mr, t.nr) == (8, 16)));
+        // The paper's native 8x12 tile is exactly the 29-register kernel.
+        let native = tiles.iter().find(|t| (t.mr, t.nr) == (8, 12)).unwrap();
+        assert_eq!(native.registers, 29);
+        assert_eq!(native.strategy, Strategy::Laneq);
+    }
+
+    #[test]
+    fn tiles_are_sorted_by_descending_area() {
+        let space = DesignSpace::for_isa(neon_f32());
+        let tiles = space.tile_shapes();
+        for pair in tiles.windows(2) {
+            assert!(pair[0].mr * pair[0].nr >= pair[1].mr * pair[1].nr);
+        }
+    }
+
+    #[test]
+    fn avx512_space_uses_the_broadcast_strategy() {
+        let space = DesignSpace::for_isa(avx512_f32());
+        let tiles = space.tile_shapes();
+        assert!(!tiles.is_empty());
+        for tile in &tiles {
+            assert!(matches!(tile.strategy, Strategy::BroadcastB | Strategy::BroadcastA));
+        }
+        assert!(tiles.iter().any(|t| (t.mr, t.nr) == (16, 16)));
+    }
+
+    #[test]
+    fn candidates_cross_tiles_with_both_blocking_sources() {
+        let space = DesignSpace::for_isa(neon_f32());
+        let mem = CacheHierarchy::carmel();
+        let candidates = space.candidates(&mem);
+        assert_eq!(candidates.len(), 2 * space.tile_shapes().len());
+        assert!(candidates.iter().any(|c| c.blocking_source == BlockingSource::Analytical));
+        assert!(candidates.iter().any(|c| c.blocking_source == BlockingSource::CarmelDefaults));
+        for c in &candidates {
+            assert_eq!(c.blocking.mr, c.tile.mr);
+            assert_eq!(c.blocking.nr, c.tile.nr);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-layer tuning of DNN workloads (the paper's Section IV-C scenario).
+//!
+//! A [`dnn_models::ModelWorkload`] is a list of unique GEMM problems with
+//! repetition counts; tuning it assigns every layer its own kernel and
+//! blocking, exactly the "one specialised micro-kernel per layer" setting
+//! behind the paper's Figs. 15–18.
+
+use dnn_models::{GemmProblem, ModelWorkload};
+
+use crate::error::TuneError;
+use crate::registry::TuneVerdict;
+use crate::tuner::Tuner;
+
+/// The tuning outcome for one unique workload layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// The layer's GEMM problem (with its layer numbers).
+    pub problem: GemmProblem,
+    /// The verdict chosen for the layer.
+    pub verdict: TuneVerdict,
+}
+
+impl LayerPlan {
+    /// Modelled seconds for *all* occurrences of the layer in one inference
+    /// pass, at the given clock.
+    pub fn modelled_seconds(&self, freq_ghz: f64) -> f64 {
+        carmel_sim::cycles_to_seconds(self.verdict.predicted_cycles, freq_ghz)
+            * self.problem.occurrences() as f64
+    }
+}
+
+/// Tunes every unique layer of a workload, in table order.
+///
+/// # Errors
+///
+/// Returns the first layer's tuning failure.
+pub fn tune_workload(tuner: &Tuner, workload: &ModelWorkload) -> Result<Vec<LayerPlan>, TuneError> {
+    workload
+        .unique_layers
+        .iter()
+        .map(|problem| {
+            let verdict = tuner.tune(problem.m, problem.n, problem.k)?;
+            Ok(LayerPlan { problem: problem.clone(), verdict })
+        })
+        .collect()
+}
+
+/// Modelled end-to-end seconds of one inference pass under a set of layer
+/// plans (the tuned analogue of the paper's Figs. 16/18 aggregates).
+pub fn workload_seconds(plans: &[LayerPlan], freq_ghz: f64) -> f64 {
+    plans.iter().map(|p| p.modelled_seconds(freq_ghz)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::resnet50_table;
+
+    #[test]
+    fn every_resnet_layer_gets_a_verdict() {
+        let tuner = Tuner::new();
+        let workload = resnet50_table();
+        let plans = tune_workload(&tuner, &workload).unwrap();
+        assert_eq!(plans.len(), workload.unique_layers.len());
+        for plan in &plans {
+            assert!(plan.verdict.mr > 0 && plan.verdict.nr > 0, "layer {:?}", plan.problem.layer_numbers);
+            assert_eq!(
+                (plan.verdict.m, plan.verdict.n, plan.verdict.k),
+                (plan.problem.m, plan.problem.n, plan.problem.k)
+            );
+        }
+        // Tuning memoises: the registry holds exactly the unique shapes.
+        assert_eq!(tuner.registry().len(), workload.unique_layers.len());
+
+        let total = workload_seconds(&plans, tuner.core().freq_ghz);
+        assert!(total > 0.0 && total.is_finite());
+    }
+
+    #[test]
+    fn repeated_layers_are_charged_per_occurrence() {
+        let tuner = Tuner::new();
+        let workload = resnet50_table();
+        let plans = tune_workload(&tuner, &workload).unwrap();
+        let repeated =
+            plans.iter().find(|p| p.problem.occurrences() > 1).expect("resnet has repeated layers");
+        let single = carmel_sim::cycles_to_seconds(repeated.verdict.predicted_cycles, tuner.core().freq_ghz);
+        assert!(
+            (repeated.modelled_seconds(tuner.core().freq_ghz)
+                - single * repeated.problem.occurrences() as f64)
+                .abs()
+                < 1e-12
+        );
+    }
+}

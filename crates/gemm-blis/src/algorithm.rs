@@ -79,6 +79,14 @@ impl BlisGemm {
         BlisGemm { blocking }
     }
 
+    /// Creates a driver whose blocking is derived analytically from the
+    /// cache hierarchy for the given micro-kernel's register tile — the
+    /// constructor used when a registry (rather than a hard-coded shape)
+    /// chooses the kernel.
+    pub fn for_kernel(kernel: &KernelImpl, mem: &carmel_sim::CacheHierarchy) -> Self {
+        BlisGemm::new(BlockingParams::analytical(mem, kernel.mr, kernel.nr, 4))
+    }
+
     /// Computes `c += a * b` using the five-loop algorithm with the given
     /// micro-kernel. Fringe tiles are zero-padded by the packing routines and
     /// the `C` tile is staged through a padded scratch tile, exactly as the

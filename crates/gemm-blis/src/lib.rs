@@ -25,9 +25,11 @@ pub mod model;
 pub mod packing;
 
 pub use algorithm::{naive_gemm, BlisGemm, Matrix};
-pub use baselines::{blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel, KernelImpl, KernelKind};
+pub use baselines::{
+    blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel, KernelImpl, KernelKind,
+};
 pub use blocking::BlockingParams;
-pub use model::{GemmSimulator, Implementation, SimOptions, SimResult};
+pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_b};
 
 use std::fmt;

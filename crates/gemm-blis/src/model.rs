@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use carmel_sim::{gflops, CacheHierarchy, CacheLevel, CarmelCore, Residency};
-use ukernel_gen::{KernelSet, MicroKernelGenerator};
+use ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
 use crate::baselines::{blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, KernelImpl};
 use crate::blocking::BlockingParams;
@@ -83,11 +83,18 @@ impl Default for SimOptions {
 }
 
 /// Predicts GEMM performance on the modelled Carmel core.
+///
+/// The `ALG+EXO` candidate kernels come from a shared
+/// [`KernelCache`] instead of a hard-coded shape list: the simulator asks
+/// the cache for each shape it was configured with, so several simulators
+/// (or a simulator plus the `exo-tune` autotuner) built over the same cache
+/// generate every shape at most once.
 #[derive(Debug, Clone)]
 pub struct GemmSimulator {
     core: CarmelCore,
     exo_kernels: Vec<KernelImpl>,
     options: SimOptions,
+    cache: Arc<KernelCache>,
 }
 
 impl GemmSimulator {
@@ -101,17 +108,44 @@ impl GemmSimulator {
         Self::with_options(CarmelCore::carmel(), SimOptions::default())
     }
 
-    /// Builds a simulator with an explicit core model and options.
+    /// Builds a simulator with an explicit core model and options, a private
+    /// kernel cache, and the paper's shape set.
     ///
     /// # Errors
     ///
     /// Returns [`GemmError::Kernel`] if kernel generation fails.
     pub fn with_options(core: CarmelCore, options: SimOptions) -> Result<Self, GemmError> {
+        Self::with_kernel_cache(core, options, Arc::new(KernelCache::new()), &KernelSet::paper_shapes())
+    }
+
+    /// Builds a simulator whose `ALG+EXO` kernels are served by `cache` for
+    /// the given tile `shapes` — the registry-driven path used by `exo-tune`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::Kernel`] if any shape cannot be generated.
+    pub fn with_kernel_cache(
+        core: CarmelCore,
+        options: SimOptions,
+        cache: Arc<KernelCache>,
+        shapes: &[(usize, usize)],
+    ) -> Result<Self, GemmError> {
         let generator = MicroKernelGenerator::new(exo_isa::neon_f32());
-        let set = KernelSet::generate(&generator, &KernelSet::paper_shapes())
-            .map_err(|e| GemmError::Kernel { kernel: "EXO".into(), message: e.to_string() })?;
-        let exo_kernels = set.kernels().iter().map(|k| exo_kernel(Arc::clone(k))).collect();
-        Ok(GemmSimulator { core, exo_kernels, options })
+        let mut exo_kernels = Vec::with_capacity(shapes.len());
+        for &(mr, nr) in shapes {
+            let kernel = cache.get_or_generate(&generator, mr, nr).map_err(|e| GemmError::Kernel {
+                kernel: format!("EXO {mr}x{nr}"),
+                message: e.to_string(),
+            })?;
+            exo_kernels.push(exo_kernel(kernel));
+        }
+        if exo_kernels.is_empty() {
+            return Err(GemmError::Kernel {
+                kernel: "EXO".into(),
+                message: "the simulator needs at least one generated kernel shape".into(),
+            });
+        }
+        Ok(GemmSimulator { core, exo_kernels, options, cache })
     }
 
     /// The core model in use.
@@ -122,6 +156,11 @@ impl GemmSimulator {
     /// The generated kernels available to `ALG+EXO`.
     pub fn exo_kernels(&self) -> &[KernelImpl] {
         &self.exo_kernels
+    }
+
+    /// The kernel cache serving this simulator's generated kernels.
+    pub fn kernel_cache(&self) -> &Arc<KernelCache> {
+        &self.cache
     }
 
     /// Simulates one GEMM problem with one implementation.
@@ -145,7 +184,13 @@ impl GemmSimulator {
     /// Simulates the paper's solo-mode experiment (Fig. 13): the micro-kernel
     /// alone, operands L1-resident, `KC = 512`, crediting only the useful
     /// `mr x nr` flops of the probed tile shape.
-    pub fn simulate_solo(&self, implementation: Implementation, mr: usize, nr: usize, kc: usize) -> SimResult {
+    pub fn simulate_solo(
+        &self,
+        implementation: Implementation,
+        mr: usize,
+        nr: usize,
+        kc: usize,
+    ) -> SimResult {
         let kernel = match implementation {
             Implementation::AlgExo => self
                 .exo_kernels
@@ -158,7 +203,13 @@ impl GemmSimulator {
             Implementation::BlisLib => blis_assembly_kernel(true),
         };
         let useful_flops = 2.0 * mr as f64 * nr as f64 * kc as f64;
-        let perf = self.core.kernel_cycles(&kernel.trace, kc, Residency::solo(), kernel.prefetch_c, kernel.per_k_overhead);
+        let perf = self.core.kernel_cycles(
+            &kernel.trace,
+            kc,
+            Residency::solo(),
+            kernel.prefetch_c,
+            kernel.per_k_overhead,
+        );
         SimResult {
             implementation,
             m: mr,
@@ -207,59 +258,84 @@ impl GemmSimulator {
         }
     }
 
-    /// Models the total cycles of one GEMM with the BLIS loop structure.
-    fn gemm_cycles(&self, kernel: &KernelImpl, m: usize, n: usize, k: usize) -> f64 {
-        if m == 0 || n == 0 || k == 0 {
-            return 0.0;
-        }
-        let blocking = self.blocking_for(kernel);
-        let mem: &CacheHierarchy = &self.core.mem;
-        let elem = 4.0f64;
-
-        // Residency of the C tile: small outputs stay in cache.
-        let c_bytes = (m * n) as f64 * elem;
-        let c_level = if c_bytes <= mem.capacity(CacheLevel::L2) as f64 / 2.0 {
-            CacheLevel::L2
-        } else if c_bytes <= mem.capacity(CacheLevel::L3) as f64 / 2.0 {
-            CacheLevel::L3
-        } else {
-            CacheLevel::Dram
-        };
-        let residency = Residency { a: CacheLevel::L2, b: CacheLevel::L1, c: c_level };
-
-        let mut total = 0.0f64;
-        let mut jc = 0usize;
-        while jc < n {
-            let nc_eff = blocking.nc.min(n - jc);
-            let mut pc = 0usize;
-            while pc < k {
-                let kc_eff = blocking.kc.min(k - pc);
-                // Pack Bc (kc x nc) from DRAM into the L3-resident buffer.
-                total += mem.copy_cycles(kc_eff as f64 * nc_eff as f64 * elem, CacheLevel::Dram, CacheLevel::L3);
-                let mut ic = 0usize;
-                while ic < m {
-                    let mc_eff = blocking.mc.min(m - ic);
-                    // Pack Ac (mc x kc) from DRAM into the L2-resident buffer.
-                    total += mem.copy_cycles(mc_eff as f64 * kc_eff as f64 * elem, CacheLevel::Dram, CacheLevel::L2);
-                    // Micro-kernel invocations (fringe tiles run the full
-                    // register tile on zero-padded panels).
-                    let tiles = (nc_eff.div_ceil(kernel.nr) * mc_eff.div_ceil(kernel.mr)) as f64;
-                    let perf = self.core.kernel_cycles(
-                        &kernel.trace,
-                        kc_eff,
-                        residency,
-                        kernel.prefetch_c,
-                        kernel.per_k_overhead,
-                    );
-                    total += tiles * perf.total_cycles;
-                    ic += mc_eff;
-                }
-                pc += kc_eff;
-            }
-            jc += nc_eff;
-        }
-        total
+    /// Models the total cycles of one GEMM with the BLIS loop structure,
+    /// using this simulator's blocking policy for the kernel.
+    pub fn modelled_cycles(&self, kernel: &KernelImpl, m: usize, n: usize, k: usize) -> f64 {
+        modelled_gemm_cycles(&self.core, kernel, &self.blocking_for(kernel), m, n, k)
     }
+
+    fn gemm_cycles(&self, kernel: &KernelImpl, m: usize, n: usize, k: usize) -> f64 {
+        self.modelled_cycles(kernel, m, n, k)
+    }
+}
+
+/// Models the total cycles of one `m x n x k` GEMM run through the five-loop
+/// BLIS structure with the given micro-kernel and blocking parameters: the
+/// packing traffic of the `Ac`/`Bc` blocks plus every micro-kernel
+/// invocation (fringe tiles run the full register tile on zero-padded
+/// panels).
+///
+/// This is the cost model shared by [`GemmSimulator`] and the `exo-tune`
+/// autotuner, exposed as a free function so callers can evaluate arbitrary
+/// `(kernel, blocking)` candidates — not just the simulator's own policy.
+pub fn modelled_gemm_cycles(
+    core: &CarmelCore,
+    kernel: &KernelImpl,
+    blocking: &BlockingParams,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let mem: &CacheHierarchy = &core.mem;
+    let elem = 4.0f64;
+
+    // Residency of the C tile: small outputs stay in cache.
+    let c_bytes = (m * n) as f64 * elem;
+    let c_level = if c_bytes <= mem.capacity(CacheLevel::L2) as f64 / 2.0 {
+        CacheLevel::L2
+    } else if c_bytes <= mem.capacity(CacheLevel::L3) as f64 / 2.0 {
+        CacheLevel::L3
+    } else {
+        CacheLevel::Dram
+    };
+    let residency = Residency { a: CacheLevel::L2, b: CacheLevel::L1, c: c_level };
+
+    let mut total = 0.0f64;
+    let mut jc = 0usize;
+    while jc < n {
+        let nc_eff = blocking.nc.min(n - jc);
+        let mut pc = 0usize;
+        while pc < k {
+            let kc_eff = blocking.kc.min(k - pc);
+            // Pack Bc (kc x nc) from DRAM into the L3-resident buffer.
+            total += mem.copy_cycles(kc_eff as f64 * nc_eff as f64 * elem, CacheLevel::Dram, CacheLevel::L3);
+            let mut ic = 0usize;
+            while ic < m {
+                let mc_eff = blocking.mc.min(m - ic);
+                // Pack Ac (mc x kc) from DRAM into the L2-resident buffer.
+                total +=
+                    mem.copy_cycles(mc_eff as f64 * kc_eff as f64 * elem, CacheLevel::Dram, CacheLevel::L2);
+                // Micro-kernel invocations (fringe tiles run the full
+                // register tile on zero-padded panels).
+                let tiles = (nc_eff.div_ceil(kernel.nr) * mc_eff.div_ceil(kernel.mr)) as f64;
+                let perf = core.kernel_cycles(
+                    &kernel.trace,
+                    kc_eff,
+                    residency,
+                    kernel.prefetch_c,
+                    kernel.per_k_overhead,
+                );
+                total += tiles * perf.total_cycles;
+                ic += mc_eff;
+            }
+            pc += kc_eff;
+        }
+        jc += nc_eff;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -335,11 +411,9 @@ mod tests {
     fn monolithic_exo_ablation_hurts_edge_cases() {
         let core = CarmelCore::carmel();
         let specialised = GemmSimulator::with_options(core.clone(), SimOptions::default()).unwrap();
-        let monolithic = GemmSimulator::with_options(
-            core,
-            SimOptions { monolithic_exo: true, ..SimOptions::default() },
-        )
-        .unwrap();
+        let monolithic =
+            GemmSimulator::with_options(core, SimOptions { monolithic_exo: true, ..SimOptions::default() })
+                .unwrap();
         let g_spec = specialised.simulate(Implementation::AlgExo, 49, 512, 4608).gflops;
         let g_mono = monolithic.simulate(Implementation::AlgExo, 49, 512, 4608).gflops;
         assert!(g_spec >= g_mono, "specialised {g_spec} vs monolithic {g_mono}");

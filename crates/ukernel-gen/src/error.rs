@@ -59,10 +59,7 @@ impl From<exo_codegen::CodegenError> for GenError {
 pub type Result<T> = std::result::Result<T, GenError>;
 
 /// Attaches a step label to a scheduling result.
-pub(crate) fn step<T>(
-    label: &str,
-    r: std::result::Result<T, exo_sched::SchedError>,
-) -> Result<T> {
+pub(crate) fn step<T>(label: &str, r: std::result::Result<T, exo_sched::SchedError>) -> Result<T> {
     r.map_err(|source| GenError::Sched { step: label.to_string(), source })
 }
 

@@ -115,12 +115,8 @@ impl GeneratedKernel {
         }
         let mut a = ac.to_vec();
         let mut b = bc.to_vec();
-        let mut args = vec![
-            RunArg::Size(kc as i64),
-            RunArg::Tensor(&mut a),
-            RunArg::Tensor(&mut b),
-            RunArg::Tensor(c),
-        ];
+        let mut args =
+            vec![RunArg::Size(kc as i64), RunArg::Tensor(&mut a), RunArg::Tensor(&mut b), RunArg::Tensor(c)];
         self.compiled.run(&mut args).map_err(GenError::Codegen)
     }
 
@@ -164,14 +160,14 @@ impl MicroKernelGenerator {
     pub fn choose_strategy(&self, mr: usize, nr: usize, packed_a: bool) -> Strategy {
         let lanes = self.isa.lanes;
         let has_lane_fma = self.isa.fma_lane.is_some();
-        if !packed_a && nr % lanes == 0 && mr == 1 {
+        if !packed_a && nr.is_multiple_of(lanes) && mr == 1 {
             return Strategy::BroadcastA;
         }
-        if mr % lanes == 0 && nr % lanes == 0 && has_lane_fma {
+        if mr.is_multiple_of(lanes) && nr.is_multiple_of(lanes) && has_lane_fma {
             Strategy::Laneq
-        } else if mr % lanes == 0 {
+        } else if mr.is_multiple_of(lanes) {
             Strategy::BroadcastB
-        } else if mr == 1 && nr % lanes == 0 {
+        } else if mr == 1 && nr.is_multiple_of(lanes) {
             Strategy::BroadcastA
         } else {
             Strategy::Scalar
@@ -201,9 +197,7 @@ impl MicroKernelGenerator {
                 reason: "tile dimensions must be positive".into(),
             });
         }
-        let strategy = opts
-            .strategy
-            .unwrap_or_else(|| self.choose_strategy(opts.mr, opts.nr, opts.packed_a));
+        let strategy = opts.strategy.unwrap_or_else(|| self.choose_strategy(opts.mr, opts.nr, opts.packed_a));
         let unroll = opts.unroll && self.unroll;
         let steps = match strategy {
             Strategy::Laneq => laneq_recipe(&self.base, &self.isa, opts.mr, opts.nr, unroll)?,
@@ -282,7 +276,7 @@ impl KernelSet {
         let exact = self
             .kernels
             .iter()
-            .filter(|k| m % k.mr == 0 && n % k.nr == 0)
+            .filter(|k| m.is_multiple_of(k.mr) && n.is_multiple_of(k.nr))
             .max_by_key(|k| k.mr * k.nr)
             .cloned();
         if exact.is_some() {
@@ -411,9 +405,8 @@ mod tests {
     #[test]
     fn unroll_ablation_changes_structure_not_semantics() {
         let generator = MicroKernelGenerator::new(neon_f32());
-        let rolled = generator
-            .generate_with(&KernelOptions { unroll: false, ..KernelOptions::new(8, 12) })
-            .unwrap();
+        let rolled =
+            generator.generate_with(&KernelOptions { unroll: false, ..KernelOptions::new(8, 12) }).unwrap();
         let unrolled = generator.generate(8, 12).unwrap();
         assert!(rolled.steps.len() < unrolled.steps.len());
         check_against_naive(&rolled, 19);

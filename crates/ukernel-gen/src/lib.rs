@@ -36,7 +36,9 @@
 mod error;
 mod generator;
 pub mod recipes;
+pub mod registry;
 
 pub use error::{GenError, Result};
 pub use generator::{GeneratedKernel, KernelOptions, KernelSet, MicroKernelGenerator, Strategy};
 pub use recipes::RecipeStep;
+pub use registry::{KernelCache, KernelKey};

@@ -12,8 +12,8 @@
 //! v1..v6 snapshots) so that examples and the `codegen_steps` harness can
 //! print the same progression the paper shows.
 
-use exo_isa::VectorIsa;
 use exo_ir::Proc;
+use exo_isa::VectorIsa;
 use exo_sched::{
     autofission, bind_expr, divide_loop, expand_dim, lift_alloc, partial_eval, rename, reorder_loops,
     replace, set_memory, stage_mem, unroll_loop, unroll_loop_nth, Anchor,
@@ -260,9 +260,9 @@ pub fn scalar_recipe(base: &Proc, mr: usize, nr: usize) -> Result<Vec<RecipeStep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exo_isa::{avx512_f32, neon_f32, ukernel_ref_simple};
     use exo_ir::printer::proc_to_string;
     use exo_ir::ScalarType;
+    use exo_isa::{avx512_f32, neon_f32, ukernel_ref_simple};
 
     #[test]
     fn laneq_recipe_reproduces_the_papers_8x12_kernel() {
@@ -296,7 +296,12 @@ mod tests {
         assert!(v3.contains("neon_vld_4xf32(C_reg["));
         assert!(v3.contains("neon_vst_4xf32(C["));
         let v5 = proc_to_string(&steps[4].proc);
-        assert!(v5.contains("neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], A_reg[it, 0:4], B_reg[jt, 0:4], jtt)"), "{v5}");
+        assert!(
+            v5.contains(
+                "neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], A_reg[it, 0:4], B_reg[jt, 0:4], jtt)"
+            ),
+            "{v5}"
+        );
     }
 
     #[test]
@@ -324,10 +329,7 @@ mod tests {
     fn laneq_recipe_requires_lane_indexed_fma() {
         let base = ukernel_ref_simple(ScalarType::F32);
         let isa = avx512_f32();
-        assert!(matches!(
-            laneq_recipe(&base, &isa, 16, 16, true),
-            Err(GenError::UnsupportedShape { .. })
-        ));
+        assert!(matches!(laneq_recipe(&base, &isa, 16, 16, true), Err(GenError::UnsupportedShape { .. })));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! A shared, thread-safe cache of generated kernels keyed by
+//! `(isa, mr, nr)`.
+//!
+//! Generating a micro-kernel is cheap but not free (a dozen scheduling
+//! rewrites plus code generation), and the same shapes recur across the
+//! simulator, the functional GEMM driver, and the autotuner. A
+//! [`KernelCache`] is the single source of generated kernels for all of
+//! them: the first request for a shape invokes the generator, every later
+//! request returns the cached [`GeneratedKernel`]. The cache counts
+//! generator invocations so callers (and tests) can verify that a warm
+//! cache never regenerates.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::Result;
+use crate::generator::{GeneratedKernel, MicroKernelGenerator};
+
+/// Key of a cached kernel: ISA name and register-tile shape.
+pub type KernelKey = (String, usize, usize);
+
+/// A thread-safe cache of generated kernels keyed by `(isa, mr, nr)`.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    kernels: Mutex<HashMap<KernelKey, Arc<GeneratedKernel>>>,
+    invocations: AtomicU64,
+}
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        KernelCache::default()
+    }
+
+    /// Returns the cached kernel for `(generator ISA, mr, nr)`, generating
+    /// (and caching) it on the first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::GenError`] if the shape cannot be generated.
+    pub fn get_or_generate(
+        &self,
+        generator: &MicroKernelGenerator,
+        mr: usize,
+        nr: usize,
+    ) -> Result<Arc<GeneratedKernel>> {
+        let key = (generator.isa().name.clone(), mr, nr);
+        let mut kernels = self.kernels.lock().expect("kernel cache poisoned");
+        if let Some(kernel) = kernels.get(&key) {
+            return Ok(Arc::clone(kernel));
+        }
+        // Generate while holding the lock: generation is pure and quick, and
+        // this guarantees each shape is generated exactly once.
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::new(generator.generate(mr, nr)?);
+        kernels.insert(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Looks up a kernel without generating.
+    pub fn get(&self, isa: &str, mr: usize, nr: usize) -> Option<Arc<GeneratedKernel>> {
+        let key = (isa.to_string(), mr, nr);
+        self.kernels.lock().expect("kernel cache poisoned").get(&key).map(Arc::clone)
+    }
+
+    /// Inserts an externally generated kernel (e.g. one built with custom
+    /// [`crate::KernelOptions`]) without counting a generator invocation.
+    pub fn insert(&self, kernel: Arc<GeneratedKernel>) {
+        let key = (kernel.isa_name.clone(), kernel.mr, kernel.nr);
+        self.kernels.lock().expect("kernel cache poisoned").insert(key, kernel);
+    }
+
+    /// Number of kernels currently cached.
+    pub fn len(&self) -> usize {
+        self.kernels.lock().expect("kernel cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many times the cache has invoked a generator since creation.
+    pub fn generator_invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// The tile shapes cached for one ISA, sorted.
+    pub fn shapes_for(&self, isa: &str) -> Vec<(usize, usize)> {
+        let mut shapes: Vec<(usize, usize)> = self
+            .kernels
+            .lock()
+            .expect("kernel cache poisoned")
+            .keys()
+            .filter(|(name, _, _)| name == isa)
+            .map(|&(_, mr, nr)| (mr, nr))
+            .collect();
+        shapes.sort_unstable();
+        shapes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_isa::{avx512_f32, neon_f32};
+
+    #[test]
+    fn cache_generates_once_per_shape() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let first = cache.get_or_generate(&generator, 8, 12).unwrap();
+        assert_eq!(cache.generator_invocations(), 1);
+        let second = cache.get_or_generate(&generator, 8, 12).unwrap();
+        assert_eq!(cache.generator_invocations(), 1, "warm lookup must not regenerate");
+        assert!(Arc::ptr_eq(&first, &second));
+        cache.get_or_generate(&generator, 4, 4).unwrap();
+        assert_eq!(cache.generator_invocations(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_keys_include_the_isa() {
+        let cache = KernelCache::new();
+        let neon = MicroKernelGenerator::new(neon_f32());
+        let avx = MicroKernelGenerator::new(avx512_f32());
+        cache.get_or_generate(&neon, 8, 8).unwrap();
+        cache.get_or_generate(&avx, 16, 8).unwrap();
+        assert_eq!(cache.generator_invocations(), 2);
+        assert_eq!(cache.shapes_for("neon-f32"), vec![(8, 8)]);
+        assert_eq!(cache.shapes_for("avx512-f32"), vec![(16, 8)]);
+        assert!(cache.get("neon-f32", 8, 8).is_some());
+        assert!(cache.get("neon-f32", 16, 8).is_none());
+    }
+
+    #[test]
+    fn external_insertions_do_not_count_as_invocations() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let kernel = Arc::new(generator.generate(4, 8).unwrap());
+        cache.insert(kernel);
+        assert_eq!(cache.generator_invocations(), 0);
+        assert!(!cache.is_empty());
+        // And the cached copy is served without regenerating.
+        cache.get_or_generate(&generator, 4, 8).unwrap();
+        assert_eq!(cache.generator_invocations(), 0);
+    }
+}

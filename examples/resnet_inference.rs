@@ -16,7 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = GemmSimulator::new()?;
 
     for workload in [resnet50_table(), vgg16_table()] {
-        println!("== {} ({} unique conv layers, {:.1} GFLOP per inference) ==",
+        println!(
+            "== {} ({} unique conv layers, {:.1} GFLOP per inference) ==",
             workload.name,
             workload.unique_layers.len(),
             workload.total_flops() as f64 / 1e9
@@ -28,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         for (imp, t) in Implementation::all().iter().zip(totals) {
-            println!("  {:<10} {:>8.2} ms  ({:.1} GFLOPS effective)",
+            println!(
+                "  {:<10} {:>8.2} ms  ({:.1} GFLOPS effective)",
                 imp.label(),
                 t * 1e3,
                 workload.total_flops() as f64 / t / 1e9
@@ -54,12 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blocking = BlockingParams::analytical(&carmel_sim::CacheHierarchy::carmel(), kernel.mr, kernel.nr, 4);
     BlisGemm::new(blocking).gemm(&kernel, &a, &b, &mut c)?;
     naive_gemm(&a, &b, &mut c_ref);
-    let max_err = c
-        .data
-        .iter()
-        .zip(&c_ref.data)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = c.data.iter().zip(&c_ref.data).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
     println!("max |error| vs naive GEMM: {max_err:e}");
     assert!(max_err < 1e-2);
     Ok(())

@@ -1,9 +1,50 @@
-//! Root crate: re-exports the whole workspace. Full docs to come.
+//! # exo-gemm
+//!
+//! A Rust reproduction of *"Tackling the Matrix Multiplication Micro-Kernel
+//! Generation with Exo"* (CGO 2024), grown into a small system: a
+//! micro-kernel generator driven by scheduling rewrites, a BLIS-like GEMM
+//! substrate, a performance model of the paper's Carmel testbed, and an
+//! autotuner that searches the kernel design space per problem shape.
+//!
+//! The pipeline, crate by crate (each is re-exported here):
+//!
+//! | stage | crate | what it does |
+//! |---|---|---|
+//! | IR | [`exo_ir`] | Exo-style loop-nest IR: procedures, interpreter, parser, printer |
+//! | sched | [`exo_sched`] | the rewrites of the paper's Section III: `divide_loop`, `stage_mem`, `replace`, `unroll_loop`, ... |
+//! | isa | [`exo_isa`] | hardware instruction libraries (Neon f32/f16, AVX-512) as semantic procedures |
+//! | codegen | [`exo_codegen`] | C-with-intrinsics, pseudo-assembly, machine traces, executable lowering |
+//! | generator | [`ukernel_gen`] | size-specialised kernel generation + the shared [`ukernel_gen::KernelCache`] |
+//! | sim | [`carmel_sim`] | cycle model of one NVIDIA Carmel core and its cache hierarchy |
+//! | GEMM | [`gemm_blis`] | five-loop BLIS algorithm, packing, blocking, baselines, the figure simulator |
+//! | workloads | [`dnn_models`] | ResNet50 v1.5 / VGG16 convolutions lowered to GEMM (Tables I/II) |
+//! | tune | [`exo_tune`] | design-space search, verdict registry with JSON persistence, [`exo_tune::TunedGemm`] dispatch |
+//!
+//! A five-line tour (the long version is `examples/quickstart.rs`):
+//!
+//! ```
+//! use exo_gemm::ukernel_gen::MicroKernelGenerator;
+//! use exo_gemm::exo_isa::neon_f32;
+//!
+//! // Generate the paper's 8x12 Neon kernel with the Section III recipe...
+//! let kernel = MicroKernelGenerator::new(neon_f32()).generate(8, 12)?;
+//! assert!(kernel.c_code.contains("vfmaq_laneq_f32"));
+//!
+//! // ...or let the autotuner pick kernel + blocking for a problem shape.
+//! let tuned = exo_gemm::exo_tune::Tuner::new();
+//! let verdict = tuned.tune(196, 256, 2304)?;
+//! assert!(verdict.predicted_gflops > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
 pub use carmel_sim;
 pub use dnn_models;
 pub use exo_codegen;
 pub use exo_ir;
 pub use exo_isa;
 pub use exo_sched;
+pub use exo_tune;
 pub use gemm_blis;
 pub use ukernel_gen;

@@ -1,0 +1,204 @@
+//! Integration tests of the `exo-tune` subsystem against the acceptance
+//! criteria of its introduction:
+//!
+//! * every kernel the design-space enumerator proposes computes
+//!   `C += A * B` exactly like `gemm_blis::naive_gemm`,
+//! * a warm registry performs zero generator invocations,
+//! * a second tuning run loads every verdict from the persisted cache,
+//! * the tuned `ALG+EXO` path is at least as fast (modelled) as the fixed
+//!   8x12 default on the Fig. 14 square sweep,
+//! * every ResNet50 GEMM shape gets a per-layer kernel.
+
+mod common;
+
+use common::Cases;
+use dnn_models::{resnet50_table, vgg16_table};
+use exo_tune::{KernelRegistry, TunedGemm, Tuner};
+use gemm_blis::{naive_gemm, Implementation, Matrix, SimOptions};
+use ukernel_gen::MicroKernelGenerator;
+
+fn temp_registry_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("exo-tune-it-{tag}-{}.json", std::process::id()))
+}
+
+/// Property: every tile the enumerator proposes generates a kernel that
+/// agrees with the naive reference on random data (via `run_packed`).
+#[test]
+fn every_enumerated_kernel_matches_naive_gemm() {
+    let tuner = Tuner::new();
+    let generator = MicroKernelGenerator::new(tuner.isa().clone());
+    let mut cases = Cases::new(0xE1_0001);
+    let tiles = tuner.space().tile_shapes();
+    assert!(!tiles.is_empty());
+    for tile in tiles {
+        let (mr, nr) = (tile.mr, tile.nr);
+        let kernel = generator.generate(mr, nr).unwrap();
+        for &kc in &[1usize, 7, 24] {
+            let a: Vec<f32> = (0..kc * mr).map(|_| cases.f32_unit()).collect();
+            let b: Vec<f32> = (0..kc * nr).map(|_| cases.f32_unit()).collect();
+            let mut c: Vec<f32> = (0..mr * nr).map(|_| cases.f32_unit()).collect();
+            let mut c_ref = c.clone();
+            kernel.run_packed(kc, &a, &b, &mut c).unwrap();
+            for k in 0..kc {
+                for j in 0..nr {
+                    for i in 0..mr {
+                        c_ref[j * mr + i] += a[k * mr + i] * b[k * nr + j];
+                    }
+                }
+            }
+            for (idx, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-3 * y.abs().max(1.0),
+                    "{mr}x{nr} (kc={kc}) mismatch at {idx}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// A warm registry answers repeat shapes with zero generator invocations.
+#[test]
+fn warm_registry_skips_the_generator() {
+    let tuner = Tuner::new();
+    tuner.tune(300, 200, 100).unwrap();
+    let after_search = tuner.registry().generator_invocations();
+    assert!(after_search > 0, "the cold search must generate candidates");
+
+    // Same shape again: memoised verdict, no generator activity.
+    tuner.tune(300, 200, 100).unwrap();
+    assert_eq!(tuner.registry().generator_invocations(), after_search);
+
+    // A different shape reuses the cached kernels: still no new generation
+    // (the candidate tile set is problem-independent).
+    tuner.tune(128, 128, 128).unwrap();
+    assert_eq!(tuner.registry().generator_invocations(), after_search);
+}
+
+/// Acceptance: a second tuning run over a persisted registry loads every
+/// verdict from disk and never invokes the generator.
+#[test]
+fn second_run_loads_every_verdict_from_the_persisted_cache() {
+    let path = temp_registry_path("second-run");
+    let _ = std::fs::remove_file(&path);
+    let shapes: Vec<(usize, usize, usize)> = resnet50_table().gemm_shapes();
+
+    // First run: cold search, persists verdicts.
+    {
+        let registry = KernelRegistry::with_persistence("neon-f32", &path).unwrap();
+        let tuner = Tuner::with_registry(registry).unwrap();
+        let verdicts = tuner.tune_all(&shapes).unwrap();
+        assert_eq!(verdicts.len(), shapes.len());
+        assert!(tuner.registry().generator_invocations() > 0);
+    }
+
+    // Second run: every verdict comes from the file, generator untouched.
+    let registry = KernelRegistry::with_persistence("neon-f32", &path).unwrap();
+    assert_eq!(registry.len(), shapes.len(), "all verdicts must be persisted");
+    let tuner = Tuner::with_registry(registry).unwrap();
+    let verdicts = tuner.tune_all(&shapes).unwrap();
+    assert_eq!(verdicts.len(), shapes.len());
+    assert_eq!(tuner.registry().generator_invocations(), 0, "a warm run must not invoke the generator");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Acceptance: on the Fig. 14 square sweep the tuned kernels are modelled
+/// at least as fast as the fixed 8x12 default.
+#[test]
+fn tuned_kernels_meet_or_beat_the_fixed_8x12_default_on_fig14_squares() {
+    let tuner = Tuner::new();
+    let monolithic = tuner.simulator(SimOptions { monolithic_exo: true, ..SimOptions::default() }).unwrap();
+    for size in [1000usize, 2000, 3000, 4000, 5000] {
+        let tuned = tuner.tune(size, size, size).unwrap();
+        let fixed = monolithic.simulate(Implementation::AlgExo, size, size, size).gflops;
+        assert!(
+            tuned.predicted_gflops >= fixed - 1e-9,
+            "size {size}: tuned {} GFLOPS < fixed 8x12 {fixed} GFLOPS",
+            tuned.predicted_gflops
+        );
+    }
+}
+
+/// Acceptance: every ResNet50 GEMM shape gets a per-layer kernel, and the
+/// winning tiles are specialised (not one global shape). VGG16 rides along.
+#[test]
+fn resnet50_layers_each_get_a_tuned_kernel() {
+    let tuner = Tuner::new();
+    for workload in [resnet50_table(), vgg16_table()] {
+        let plans = exo_tune::tune_workload(&tuner, &workload).unwrap();
+        assert_eq!(plans.len(), workload.unique_layers.len());
+        for plan in &plans {
+            assert!(plan.verdict.mr > 0 && plan.verdict.nr > 0);
+            assert!(plan.verdict.predicted_gflops > 0.0);
+            // The chosen tile must actually exist in the design space.
+            assert!(tuner
+                .space()
+                .tile_shapes()
+                .iter()
+                .any(|t| (t.mr, t.nr) == (plan.verdict.mr, plan.verdict.nr)));
+        }
+    }
+    // Per-layer specialisation: ResNet50's shapes do not all pick one tile.
+    let resnet_tiles: std::collections::BTreeSet<(usize, usize)> = resnet50_table()
+        .gemm_shapes()
+        .iter()
+        .map(|&(m, n, k)| {
+            let v = tuner.tune(m, n, k).unwrap();
+            (v.mr, v.nr)
+        })
+        .collect();
+    assert!(resnet_tiles.len() > 1, "expected specialised per-layer tiles, got {resnet_tiles:?}");
+}
+
+/// The `TunedGemm` front-end computes the right answer on fringe-heavy
+/// problems while memoising per-shape verdicts.
+#[test]
+fn tuned_gemm_front_end_is_correct_and_memoises() {
+    let tuned = TunedGemm::new();
+    let mut cases = Cases::new(0xE1_0002);
+    for &(m, n, k) in &[(33usize, 47usize, 21usize), (64, 64, 64), (13, 100, 9)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let mut c = Matrix::zeros(m, n);
+        let mut c_ref = Matrix::zeros(m, n);
+        let run = tuned.gemm(&a, &b, &mut c).unwrap();
+        naive_gemm(&a, &b, &mut c_ref);
+        for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
+            assert!(
+                (x - y).abs() <= 2e-3 * y.abs().max(1.0),
+                "{m}x{n}x{k} ({}) mismatch at {idx}: {x} vs {y}",
+                run.kernel
+            );
+        }
+    }
+    assert_eq!(tuned.registry().len(), 3);
+
+    // Repeat dispatch of a known shape: no additional searching.
+    let invocations = tuned.registry().generator_invocations();
+    let a = Matrix::zeros(64, 64);
+    let b = Matrix::zeros(64, 64);
+    let mut c = Matrix::zeros(64, 64);
+    tuned.gemm(&a, &b, &mut c).unwrap();
+    assert_eq!(tuned.registry().generator_invocations(), invocations);
+    assert_eq!(tuned.registry().len(), 3);
+}
+
+/// The registry-backed simulator keeps the qualitative Fig. 14 ordering
+/// while serving its kernels from the shared cache.
+#[test]
+fn registry_backed_simulator_preserves_fig14_ordering() {
+    let tuner = Tuner::new();
+    let sim = tuner.simulator(SimOptions::default()).unwrap();
+    let n = 1000;
+    let blis = sim.simulate(Implementation::BlisLib, n, n, n).gflops;
+    let alg_exo = sim.simulate(Implementation::AlgExo, n, n, n).gflops;
+    let alg_blis = sim.simulate(Implementation::AlgBlis, n, n, n).gflops;
+    let alg_neon = sim.simulate(Implementation::AlgNeon, n, n, n).gflops;
+    assert!(blis > alg_exo, "blis {blis} vs alg+exo {alg_exo}");
+    assert!(alg_exo > alg_blis, "alg+exo {alg_exo} vs alg+blis {alg_blis}");
+    assert!(alg_blis > alg_neon, "alg+blis {alg_blis} vs alg+neon {alg_neon}");
+    // The widened design space can only help ALG+EXO relative to the
+    // paper's eight shapes.
+    let paper_sim = gemm_blis::GemmSimulator::new().unwrap();
+    let paper_exo = paper_sim.simulate(Implementation::AlgExo, n, n, n).gflops;
+    assert!(alg_exo >= paper_exo - 1e-9, "registry space {alg_exo} vs paper set {paper_exo}");
+}

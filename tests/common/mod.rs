@@ -1,0 +1,48 @@
+//! Shared test-support code for the integration suites.
+
+/// Deterministic pseudo-random source (xorshift64*), the workspace's
+/// stand-in for a property-testing framework's case generator.
+pub struct Cases {
+    state: u64,
+}
+
+// Each integration test binary compiles its own copy of this module and
+// uses a different subset of the helpers.
+#[allow(dead_code)]
+impl Cases {
+    pub fn new(seed: u64) -> Self {
+        Cases { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Roughly uniform float in `[-1, 1)`: 24 high bits scaled by 2^24.
+    pub fn f32_unit(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[(self.next_u64() % options.len() as u64) as usize]
+    }
+}
+
+#[test]
+fn f32_unit_stays_in_the_unit_interval() {
+    let mut cases = Cases::new(0xC0FFEE);
+    for _ in 0..10_000 {
+        let v = cases.f32_unit();
+        assert!((-1.0..1.0).contains(&v), "{v} outside [-1, 1)");
+    }
+}

@@ -20,11 +20,7 @@ fn check_full_gemm(kernel: &gemm_blis::KernelImpl, m: usize, n: usize, k: usize)
     BlisGemm::new(blocking).gemm(kernel, &a, &b, &mut c).expect("gemm runs");
     naive_gemm(&a, &b, &mut c_ref);
     for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
-        assert!(
-            (x - y).abs() < 1e-3,
-            "{} mismatch at {idx}: {x} vs {y} for {m}x{n}x{k}",
-            kernel.name
-        );
+        assert!((x - y).abs() < 1e-3, "{} mismatch at {idx}: {x} vs {y} for {m}x{n}x{k}", kernel.name);
     }
 }
 

@@ -1,5 +1,4 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! workspace:
+//! Property-based tests over the core invariants of the workspace:
 //!
 //! * generated micro-kernels agree with the naive reference for random data
 //!   and random depths,
@@ -8,9 +7,17 @@
 //! * scheduling operators preserve interpreter semantics,
 //! * packing round-trips, and the f16 model round-trips exactly
 //!   representable values.
+//!
+//! The workspace carries no external dependencies, so instead of `proptest`
+//! the harness draws its cases from a seeded xorshift generator: each
+//! property runs over a fixed number of pseudo-random cases, fully
+//! deterministic across runs.
 
-use proptest::prelude::*;
+mod common;
+
 use std::sync::Arc;
+
+use common::Cases;
 
 use exo_ir::interp::{run_proc, ArgValue, TensorData};
 use exo_ir::{ScalarType, Sym};
@@ -18,31 +25,22 @@ use exo_isa::{neon_f32, ukernel_ref_simple};
 use gemm_blis::{exo_kernel, naive_gemm, BlisGemm, BlockingParams, Matrix};
 use ukernel_gen::MicroKernelGenerator;
 
-fn tile_shapes() -> impl Strategy<Value = (usize, usize)> {
-    prop::sample::select(vec![(8usize, 12usize), (8, 8), (8, 4), (4, 12), (4, 8), (4, 4), (1, 12), (1, 8), (3, 5)])
-}
+const TILE_SHAPES: [(usize, usize); 9] =
+    [(8, 12), (8, 8), (8, 4), (4, 12), (4, 8), (4, 4), (1, 12), (1, 8), (3, 5)];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every generated kernel computes exactly what the naive reference
-    /// computes, for any tile shape, depth, and data.
-    #[test]
-    fn generated_kernels_match_reference(
-        (mr, nr) in tile_shapes(),
-        kc in 1usize..48,
-        seed in any::<u64>(),
-    ) {
-        let generator = MicroKernelGenerator::new(neon_f32());
+/// Every generated kernel computes exactly what the naive reference
+/// computes, for any tile shape, depth, and data.
+#[test]
+fn generated_kernels_match_reference() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let mut cases = Cases::new(0xA5A5_0001);
+    for _ in 0..12 {
+        let &(mr, nr) = cases.pick(&TILE_SHAPES);
+        let kc = cases.usize_in(1, 48);
         let kernel = generator.generate(mr, nr).unwrap();
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-        };
-        let a: Vec<f32> = (0..kc * mr).map(|_| next()).collect();
-        let b: Vec<f32> = (0..kc * nr).map(|_| next()).collect();
-        let mut c: Vec<f32> = (0..mr * nr).map(|_| next()).collect();
+        let a: Vec<f32> = (0..kc * mr).map(|_| cases.f32_unit()).collect();
+        let b: Vec<f32> = (0..kc * nr).map(|_| cases.f32_unit()).collect();
+        let mut c: Vec<f32> = (0..mr * nr).map(|_| cases.f32_unit()).collect();
         let mut c_ref = c.clone();
         kernel.run_packed(kc, &a, &b, &mut c).unwrap();
         for k in 0..kc {
@@ -53,46 +51,44 @@ proptest! {
             }
         }
         for (x, y) in c.iter().zip(&c_ref) {
-            prop_assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0), "{x} vs {y}");
+            assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0), "{mr}x{nr} kc={kc}: {x} vs {y}");
         }
     }
+}
 
-    /// The five-loop BLIS-like driver agrees with the naive reference for
-    /// arbitrary (fringe-heavy) problem sizes.
-    #[test]
-    fn blis_driver_matches_naive(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 1usize..32,
-        seed in any::<u64>(),
-    ) {
-        let generator = MicroKernelGenerator::new(neon_f32());
-        let kernel = exo_kernel(Arc::new(generator.generate(8, 8).unwrap()));
-        let mut state = seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            ((state >> 34) as f32 / (1u64 << 30) as f32) - 1.0
-        };
-        let a = Matrix::from_fn(m, k, |_, _| next());
-        let b = Matrix::from_fn(k, n, |_, _| next());
+/// The five-loop BLIS-like driver agrees with the naive reference for
+/// arbitrary (fringe-heavy) problem sizes.
+#[test]
+fn blis_driver_matches_naive() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = exo_kernel(Arc::new(generator.generate(8, 8).unwrap()));
+    let mut cases = Cases::new(0xA5A5_0002);
+    for _ in 0..12 {
+        let m = cases.usize_in(1, 40);
+        let n = cases.usize_in(1, 40);
+        let k = cases.usize_in(1, 32);
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let mut c = Matrix::zeros(m, n);
         let mut c_ref = Matrix::zeros(m, n);
         let blocking = BlockingParams { mc: 16, kc: 12, nc: 24, mr: 8, nr: 8 };
         BlisGemm::new(blocking).gemm(&kernel, &a, &b, &mut c).unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for (x, y) in c.data.iter().zip(&c_ref.data) {
-            prop_assert!((x - y).abs() <= 2e-3 * y.abs().max(1.0), "{x} vs {y}");
+            assert!((x - y).abs() <= 2e-3 * y.abs().max(1.0), "{m}x{n}x{k}: {x} vs {y}");
         }
     }
+}
 
-    /// `divide_loop` preserves the interpreter semantics of the reference
-    /// kernel for arbitrary divisible sizes.
-    #[test]
-    fn divide_loop_preserves_semantics(
-        factor in prop::sample::select(vec![1usize, 2, 4, 8]),
-        multiple in 1usize..4,
-        kc in 1usize..12,
-    ) {
+/// `divide_loop` preserves the interpreter semantics of the reference
+/// kernel for arbitrary divisible sizes.
+#[test]
+fn divide_loop_preserves_semantics() {
+    let mut cases = Cases::new(0xA5A5_0003);
+    for _ in 0..10 {
+        let factor = *cases.pick(&[1usize, 2, 4, 8]);
+        let multiple = cases.usize_in(1, 4);
+        let kc = cases.usize_in(1, 12);
         let mr = factor * multiple;
         let nr = 4usize;
         let base = ukernel_ref_simple(ScalarType::F32);
@@ -111,56 +107,62 @@ proptest! {
         let mut args_q = args_p.clone();
         run_proc(&p, &mut args_p).unwrap();
         run_proc(&q, &mut args_q).unwrap();
-        prop_assert_eq!(args_p[3].as_tensor().unwrap(), args_q[3].as_tensor().unwrap());
+        assert_eq!(args_p[3].as_tensor().unwrap(), args_q[3].as_tensor().unwrap());
     }
+}
 
-    /// Packing then reading panels reproduces the original matrix elements
-    /// (and zero-pads the fringe).
-    #[test]
-    fn packing_round_trips(
-        m in 1usize..20,
-        k in 1usize..20,
-        mr in prop::sample::select(vec![4usize, 8]),
-    ) {
+/// Packing then reading panels reproduces the original matrix elements
+/// (and zero-pads the fringe).
+#[test]
+fn packing_round_trips() {
+    let mut cases = Cases::new(0xA5A5_0004);
+    for _ in 0..12 {
+        let m = cases.usize_in(1, 20);
+        let k = cases.usize_in(1, 20);
+        let mr = *cases.pick(&[4usize, 8]);
         let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
         let packed = gemm_blis::pack_a(&a, k, 0, 0, m, k, mr);
         let panels = m.div_ceil(mr);
-        prop_assert_eq!(packed.len(), panels * k * mr);
+        assert_eq!(packed.len(), panels * k * mr);
         for p in 0..panels {
             for kk in 0..k {
                 for i in 0..mr {
                     let got = packed[p * k * mr + kk * mr + i];
                     let row = p * mr + i;
                     let expected = if row < m { a[row * k + kk] } else { 0.0 };
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
             }
         }
     }
+}
 
-    /// The f16 storage model is idempotent: rounding twice equals rounding
-    /// once, and exactly representable values survive unchanged.
-    #[test]
-    fn f16_rounding_is_idempotent(v in -60000.0f64..60000.0) {
+/// The f16 storage model is idempotent: rounding twice equals rounding
+/// once, and exactly representable values survive unchanged.
+#[test]
+fn f16_rounding_is_idempotent() {
+    let mut cases = Cases::new(0xA5A5_0005);
+    for _ in 0..100 {
+        let v = cases.f32_unit() as f64 * 60000.0;
         let once = exo_ir::types::f16_round(v);
         let twice = exo_ir::types::f16_round(once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "v = {v}");
     }
+}
 
-    /// The interpreter and the executable lowering agree on the reference
-    /// kernel for random sizes — the two execution paths are interchangeable.
-    #[test]
-    fn interpreter_and_compiled_execution_agree(
-        mr in 1usize..6,
-        nr in 1usize..6,
-        kc in 1usize..10,
-    ) {
+/// The interpreter and the executable lowering agree on the reference
+/// kernel for random sizes — the two execution paths are interchangeable.
+#[test]
+fn interpreter_and_compiled_execution_agree() {
+    let mut cases = Cases::new(0xA5A5_0006);
+    for _ in 0..10 {
+        let mr = cases.usize_in(1, 6);
+        let nr = cases.usize_in(1, 6);
+        let kc = cases.usize_in(1, 10);
         let base = ukernel_ref_simple(ScalarType::F32);
-        let p = exo_sched::partial_eval_named(
-            &base,
-            &[(Sym::new("MR"), mr as i64), (Sym::new("NR"), nr as i64)],
-        )
-        .unwrap();
+        let p =
+            exo_sched::partial_eval_named(&base, &[(Sym::new("MR"), mr as i64), (Sym::new("NR"), nr as i64)])
+                .unwrap();
         let compiled = exo_codegen::compile(&p).unwrap();
 
         let a_data: Vec<f64> = (0..kc * mr).map(|i| (i % 5) as f64 - 2.0).collect();
@@ -189,7 +191,7 @@ proptest! {
         compiled.run(&mut run_args).unwrap();
 
         for (idx, &v) in c32.iter().enumerate() {
-            prop_assert!((v as f64 - interp_c.data[idx]).abs() < 1e-4);
+            assert!((v as f64 - interp_c.data[idx]).abs() < 1e-4);
         }
     }
 }

@@ -97,30 +97,18 @@ fn recipe_misuse_is_reported_with_useful_errors() {
     let p = partial_eval(&base, &[8, 12]).unwrap();
 
     // Dividing by a factor that does not divide the extent.
-    assert!(matches!(
-        divide_loop(&p, "i", 3, "it", "itt", true),
-        Err(SchedError::NotDivisible { .. })
-    ));
+    assert!(matches!(divide_loop(&p, "i", 3, "it", "itt", true), Err(SchedError::NotDivisible { .. })));
     // Unrolling the symbolic k loop.
     assert!(matches!(unroll_loop(&p, "k"), Err(SchedError::NonConstantBound { .. })));
     // Staging a window that does not cover the accesses.
     let q = divide_loop(&p, "i", 4, "it", "itt", true).unwrap();
-    assert!(matches!(
-        stage_mem(&q, "C[_] += _", "C[it, itt]", "C_reg"),
-        Err(SchedError::OutOfRange { .. })
-    ));
+    assert!(matches!(stage_mem(&q, "C[_] += _", "C[it, itt]", "C_reg"), Err(SchedError::OutOfRange { .. })));
     // Replacing a loop that does not match the instruction semantics.
     let isa = neon_f32();
-    assert!(matches!(
-        replace(&q, "for it in _: _", &isa.load),
-        Err(SchedError::ReplaceFailed { .. })
-    ));
+    assert!(matches!(replace(&q, "for it in _: _", &isa.load), Err(SchedError::ReplaceFailed { .. })));
     // Unknown buffers.
     assert!(matches!(set_memory(&q, "ghost", isa.mem), Err(SchedError::UnknownBuffer { .. })));
-    assert!(matches!(
-        set_precision(&q, "ghost", ScalarType::F16),
-        Err(SchedError::UnknownBuffer { .. })
-    ));
+    assert!(matches!(set_precision(&q, "ghost", ScalarType::F16), Err(SchedError::UnknownBuffer { .. })));
 }
 
 #[test]
