@@ -1,0 +1,164 @@
+//! Wall-clock GFLOPS of the functional GEMM spine, one row per square
+//! problem size, one column per execution configuration:
+//!
+//! * `interp`             — tree-walking interpreter kernel, legacy
+//!   allocate-per-block driver (the pre-tape status quo),
+//! * `tape`               — tape-compiled kernel, legacy driver,
+//! * `tape+arena`         — tape kernel, zero-allocation packing arenas,
+//! * `tape+arena+threads` — arenas plus the threaded `ic` loop (all cores).
+//!
+//! Unlike the figure harnesses (which report *modelled* Carmel GFLOPS),
+//! these are real measured numbers on the host — the perf trajectory data
+//! the ROADMAP asks for. Results are written to `BENCH_gemm.json`.
+//!
+//! Usage: `gemm_throughput [--quick] [--out PATH]`
+//!
+//! Exits non-zero if the tape backend is slower than the interpreter at any
+//! size — the CI perf-smoke gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gemm_blis::{exo_kernel, exo_kernel_interp, BlisGemm, BlockingParams, KernelImpl, Matrix};
+use ukernel_gen::MicroKernelGenerator;
+
+/// Problem sizes of the full sweep (the Fig. 14 square series, scaled to
+/// what a functional backend can sweep in minutes rather than hours).
+const FULL_SIZES: [usize; 5] = [256, 384, 512, 768, 1024];
+/// Problem sizes of the `--quick` CI smoke run.
+const QUICK_SIZES: [usize; 2] = [128, 256];
+
+struct Variant {
+    name: &'static str,
+    kernel: KernelImpl,
+    driver: BlisGemm,
+}
+
+fn matrices(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0);
+    let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0);
+    let c = Matrix::zeros(m, n);
+    (a, b, c)
+}
+
+/// Measures one configuration at one size, returning measured GFLOPS
+/// (`2 m n k` useful flops per wall-clock second, best of `reps` runs).
+fn measure(variant: &Variant, size: usize, reps: usize) -> f64 {
+    let (a, b, mut c) = matrices(size, size, size);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        c.data.fill(0.0);
+        let start = Instant::now();
+        variant.driver.gemm(&variant.kernel, &a, &b, &mut c).expect("gemm run");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let flops = 2.0 * (size as f64).powi(3);
+    flops / best / 1.0e9
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let sizes: Vec<usize> = if quick { QUICK_SIZES.to_vec() } else { FULL_SIZES.to_vec() };
+    // `interp` at the largest sizes costs minutes per run; one rep there,
+    // a few for the fast configurations so noise does not hide the trend.
+    let reps = if quick { 1 } else { 2 };
+
+    let generator = MicroKernelGenerator::new(exo_isa::neon_f32());
+    let kernel = Arc::new(generator.generate(8, 12).expect("8x12 kernel generates"));
+    assert!(kernel.tape.is_some(), "the 8x12 kernel must tape-compile");
+    let blocking = BlockingParams::analytical(&carmel_sim::CacheHierarchy::carmel(), 8, 12, 4);
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let variants = [
+        Variant {
+            name: "interp",
+            kernel: exo_kernel_interp(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).without_arena(),
+        },
+        Variant {
+            name: "tape",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).without_arena(),
+        },
+        Variant {
+            name: "tape+arena",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking),
+        },
+        Variant {
+            name: "tape+arena+threads",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).with_threads(0),
+        },
+    ];
+
+    println!("gemm_throughput — measured GFLOPS, EXO 8x12 kernel ({} host threads)", threads);
+    println!("{:<10}{:>12}{:>12}{:>14}{:>20}", "m=n=k", "interp", "tape", "tape+arena", "tape+arena+threads");
+
+    let mut gflops: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for &size in &sizes {
+        let mut row = Vec::new();
+        for (vi, variant) in variants.iter().enumerate() {
+            // The interpreter is orders of magnitude slower; never repeat it.
+            let v_reps = if variant.name == "interp" { 1 } else { reps };
+            let g = measure(variant, size, v_reps);
+            gflops[vi].push(g);
+            row.push(g);
+        }
+        println!("{:<10}{:>12.3}{:>12.3}{:>14.3}{:>20.3}", size, row[0], row[1], row[2], row[3]);
+    }
+
+    // Speedups of tape+arena over the interpreter per size.
+    let speedups: Vec<f64> = sizes.iter().enumerate().map(|(i, _)| gflops[2][i] / gflops[0][i]).collect();
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\ntape+arena over interp: min {min_speedup:.1}x, geomean {geomean:.1}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"gemm_throughput\",\n");
+    json.push_str("  \"kernel\": \"EXO 8x12\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"sizes\": [{}],\n",
+        sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"gflops\": {\n");
+    for (vi, variant) in variants.iter().enumerate() {
+        let series = gflops[vi].iter().map(|&g| json_f64(g)).collect::<Vec<_>>().join(", ");
+        let comma = if vi + 1 < variants.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": [{}]{}\n", variant.name, series, comma));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_tape_arena_over_interp\": {{ \"min\": {}, \"geomean\": {} }}\n",
+        json_f64(min_speedup),
+        json_f64(geomean)
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_gemm.json");
+    println!("wrote {out_path}");
+
+    // CI gate: the tape backend must never be slower than the interpreter.
+    let tape_regressed = sizes.iter().enumerate().any(|(i, _)| gflops[1][i] < gflops[0][i]);
+    if tape_regressed {
+        eprintln!("FAIL: tape backend slower than the interpreter");
+        std::process::exit(1);
+    }
+}

@@ -28,14 +28,14 @@ pub enum RunArg<'a> {
 
 /// Which runtime slot a compiled buffer reference points to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BufSlot {
+pub(crate) enum BufSlot {
     Arg(u16),
     Local(u16),
 }
 
 /// Compiled integer (index) expression.
 #[derive(Debug, Clone)]
-enum IExpr {
+pub(crate) enum IExpr {
     Const(i64),
     Loop(u16),
     Scalar(u16),
@@ -49,7 +49,7 @@ enum IExpr {
 
 /// Compiled value (f32) expression.
 #[derive(Debug, Clone)]
-enum VExpr {
+pub(crate) enum VExpr {
     Const(f32),
     Int(IExpr),
     Load { buf: BufSlot, flat: IExpr },
@@ -62,7 +62,7 @@ enum VExpr {
 
 /// Compiled statement.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     Assign { buf: BufSlot, flat: IExpr, rhs: VExpr, f16: bool },
     Reduce { buf: BufSlot, flat: IExpr, rhs: VExpr, f16: bool },
     For { var: u16, lo: IExpr, hi: IExpr, body: Vec<Op> },
@@ -71,7 +71,7 @@ enum Op {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ParamKind {
+pub(crate) enum ParamKind {
     Scalar,
     Tensor,
 }
@@ -81,8 +81,8 @@ enum ParamKind {
 pub struct CompiledKernel {
     /// Name of the source procedure.
     pub name: String,
-    params: Vec<(String, ParamKind)>,
-    body: Vec<Op>,
+    pub(crate) params: Vec<(String, ParamKind)>,
+    pub(crate) body: Vec<Op>,
     n_loop_vars: usize,
     n_locals: usize,
 }

@@ -11,7 +11,9 @@
 //! * [`trace::extract_trace`] — the machine-operation trace consumed by the
 //!   `carmel-sim` performance model,
 //! * [`exec::compile`] — an executable lowering used for functional
-//!   validation and wall-clock benches.
+//!   validation and wall-clock benches,
+//! * [`tape`] — a flat, register-allocated tape compiled from the executable
+//!   lowering: the fast backend the GEMM hot path dispatches through.
 
 #![warn(missing_docs)]
 
@@ -19,10 +21,12 @@ pub mod asm;
 pub mod c;
 pub mod error;
 pub mod exec;
+pub mod tape;
 pub mod trace;
 
 pub use asm::{count_mnemonics, emit_asm};
 pub use c::emit_c;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};
+pub use tape::{TapeKernel, TensorView};
 pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

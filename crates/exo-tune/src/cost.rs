@@ -8,9 +8,12 @@
 //!   ([`gemm_blis::modelled_gemm_cycles`]). Deterministic and fast, this is
 //!   what the figure-reproduction harnesses use.
 //! * [`FunctionalCost`] — executes the candidate micro-kernel functionally
-//!   through the `exo_codegen::exec` lowering and extrapolates the measured
-//!   wall-clock to the full problem. Slow and host-dependent; used to
-//!   validate that a modelled ranking is not an artefact of the model.
+//!   and extrapolates the measured wall-clock to the full problem.
+//!   Host-dependent; used to validate that a modelled ranking is not an
+//!   artefact of the model. Candidates dispatch through the tape-compiled
+//!   backend (`exo_codegen::tape`), so a functional tuning sweep costs a
+//!   small multiple of an analytical one rather than orders of magnitude
+//!   more.
 //!
 //! Costs are comparable only *within* one evaluator.
 

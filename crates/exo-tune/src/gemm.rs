@@ -22,21 +22,35 @@ pub struct TunedRun {
 }
 
 /// Autotuned GEMM: searches-or-loads per problem shape, then dispatches.
+///
+/// Dispatch goes through the tape-compiled execution backend (generated
+/// kernels carry their tape), the arena-based five-loop driver, and —
+/// when [`TunedGemm::with_threads`] raises the knob — the threaded `ic`
+/// loop.
 #[derive(Debug, Default)]
 pub struct TunedGemm {
     tuner: Tuner,
+    threads: usize,
 }
 
 impl TunedGemm {
     /// A tuned GEMM with the default tuner (ARM Neon f32, analytical
     /// evaluator, in-memory registry).
     pub fn new() -> Self {
-        TunedGemm { tuner: Tuner::new() }
+        TunedGemm { tuner: Tuner::new(), threads: 1 }
     }
 
     /// A tuned GEMM over an explicit tuner.
     pub fn with_tuner(tuner: Tuner) -> Self {
-        TunedGemm { tuner }
+        TunedGemm { tuner, threads: 1 }
+    }
+
+    /// Sets the worker-thread count the dispatch driver uses for its `ic`
+    /// loop (`0` = all cores, `1` = sequential). Thread count never changes
+    /// results: row blocks of `C` are disjoint.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// A tuned GEMM whose registry persists at `path`: the first process
@@ -48,7 +62,7 @@ impl TunedGemm {
     pub fn with_persistence(path: impl AsRef<std::path::Path>) -> Result<Self, TuneError> {
         let isa = exo_isa::neon_f32();
         let registry = KernelRegistry::with_persistence(isa.name, path)?;
-        Ok(TunedGemm { tuner: Tuner::with_registry(registry)? })
+        Ok(TunedGemm { tuner: Tuner::with_registry(registry)?, threads: 1 })
     }
 
     /// The underlying tuner.
@@ -86,7 +100,7 @@ impl TunedGemm {
         }
         let verdict = self.tuner.tune(a.rows, b.cols, a.cols)?;
         let kernel = self.tuner.kernel_impl_for(&verdict)?;
-        let driver = BlisGemm::new(verdict.blocking());
+        let driver = BlisGemm::new(verdict.blocking()).with_threads(self.threads);
         driver.gemm(&kernel, a, b, c)?;
         Ok(TunedRun { kernel: kernel.name, verdict })
     }
@@ -124,6 +138,15 @@ mod tests {
         naive_gemm(&a2, &b2, &mut c2_ref);
         assert_eq!(tuned.registry().generator_invocations(), invocations);
         assert_eq!(tuned.registry().len(), 1);
+    }
+
+    #[test]
+    fn threaded_dispatch_is_deterministic() {
+        let (a, b, mut c1, _) = matrices(52, 33, 21);
+        let mut c4 = c1.clone();
+        TunedGemm::new().gemm(&a, &b, &mut c1).unwrap();
+        TunedGemm::new().with_threads(4).gemm(&a, &b, &mut c4).unwrap();
+        assert_eq!(c1.data, c4.data, "thread count must not change the result");
     }
 
     #[test]

@@ -2,14 +2,26 @@
 //! the packing routines and a micro-kernel, computing `C += A * B` on real
 //! `f32` data.
 //!
-//! This path exists for correctness: it is how the workspace demonstrates end
-//! to end that generated micro-kernels drop into the GotoBLAS/BLIS structure
-//! and produce the right answer for arbitrary (including fringe) problem
-//! sizes. Performance questions go through [`crate::model`] instead.
+//! The driver has two modes:
+//!
+//! * the default **arena** hot path — a [`crate::packing::PackArena`] and
+//!   the staged `C` tile are allocated once per GEMM and reused across
+//!   every `(jc, pc, ic)` iteration, and the `ic` loop can optionally be
+//!   spread over a scoped thread pool ([`BlisGemm::with_threads`], one
+//!   private `A`-pack/`C`-tile scratch pair per worker, also allocated
+//!   once per GEMM); row blocks of `C` are disjoint, so the result is
+//!   bit-for-bit identical for any thread count;
+//! * the legacy **unbuffered** path ([`BlisGemm::without_arena`]) that
+//!   allocates fresh buffers per block, kept as a baseline for the
+//!   `gemm_throughput` bench and for differential tests.
+//!
+//! Correctness for arbitrary (including fringe) problem sizes is the point;
+//! with tape-compiled kernels the same entry point is also the fast path.
+//! Modelled performance questions go through [`crate::model`] instead.
 
 use crate::baselines::KernelImpl;
 use crate::blocking::BlockingParams;
-use crate::packing::{a_panel, b_panel, pack_a, pack_b};
+use crate::packing::{a_panel, b_panel, pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
 use crate::GemmError;
 
 /// A dense row-major matrix view used by the driver.
@@ -41,25 +53,48 @@ impl Matrix {
     }
 
     /// Element accessor.
+    #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
         self.data[i * self.cols + j]
     }
 
     /// Mutable element accessor.
+    #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
         self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice — hoists the row offset out of hot loops.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let w = self.cols;
+        &mut self.data[i * w..(i + 1) * w]
     }
 }
 
 /// Reference triple-loop GEMM, the ground truth for every test in the
 /// workspace: `c += a * b`.
+///
+/// Row slices are hoisted out of the inner loop so the baseline pays no
+/// per-element index arithmetic — it is run by every differential test, and
+/// its wall-time bounds the whole suite's.
 pub fn naive_gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols, b.rows);
+    assert_eq!(a.rows, c.rows);
+    assert_eq!(b.cols, c.cols);
     for i in 0..a.rows {
-        for p in 0..a.cols {
-            let aip = a.get(i, p);
-            for j in 0..b.cols {
-                c.data[i * c.cols + j] += aip * b.get(p, j);
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &aip) in a_row.iter().enumerate() {
+            let b_row = b.row(p);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
             }
         }
     }
@@ -71,12 +106,18 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 pub struct BlisGemm {
     /// Cache blocking parameters.
     pub blocking: BlockingParams,
+    /// Worker threads for the `ic` loop in the arena path. `1` is fully
+    /// sequential; `0` means "ask the OS" (`available_parallelism`).
+    pub threads: usize,
+    /// Whether to use the zero-allocation arena hot path (default) or the
+    /// legacy allocate-per-block path.
+    pub use_arena: bool,
 }
 
 impl BlisGemm {
-    /// Creates a driver with the given blocking.
+    /// Creates a driver with the given blocking (arena path, single thread).
     pub fn new(blocking: BlockingParams) -> Self {
-        BlisGemm { blocking }
+        BlisGemm { blocking, threads: 1, use_arena: true }
     }
 
     /// Creates a driver whose blocking is derived analytically from the
@@ -85,6 +126,19 @@ impl BlisGemm {
     /// chooses the kernel.
     pub fn for_kernel(kernel: &KernelImpl, mem: &carmel_sim::CacheHierarchy) -> Self {
         BlisGemm::new(BlockingParams::analytical(mem, kernel.mr, kernel.nr, 4))
+    }
+
+    /// Sets the worker-thread count for the `ic` loop (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Switches to the legacy allocate-per-block path (no arena, no
+    /// threading) — the baseline the perf benches compare against.
+    pub fn without_arena(mut self) -> Self {
+        self.use_arena = false;
+        self
     }
 
     /// Computes `c += a * b` using the five-loop algorithm with the given
@@ -105,12 +159,56 @@ impl BlisGemm {
                 ),
             });
         }
-        let (m, n, k) = (a.rows, b.cols, a.cols);
-        if m == 0 || n == 0 || k == 0 {
+        if a.rows == 0 || b.cols == 0 || a.cols == 0 {
             return Ok(());
         }
+        if self.use_arena {
+            self.gemm_arena(kernel, a, b, c)
+        } else {
+            self.gemm_unbuffered(kernel, a, b, c)
+        }
+    }
+
+    /// The zero-allocation hot path: packing buffers and the `C` scratch
+    /// tile are allocated once up front, and the `ic` loop optionally fans
+    /// out over scoped threads.
+    fn gemm_arena(
+        &self,
+        kernel: &KernelImpl,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+    ) -> Result<(), GemmError> {
+        let (m, n, k) = (a.rows, b.cols, a.cols);
         let BlockingParams { mc, kc, nc, .. } = self.blocking;
         let (mr, nr) = (kernel.mr, kernel.nr);
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        };
+
+        // Packing arena sized once at the blocking-derived maxima, clamped
+        // to the problem; split-borrowed so the packed Bc prefix can stay
+        // live while Ac blocks are repacked. Panels are shaped by the
+        // *kernel's* register tile, which the blocking's mr/nr need not
+        // match (callers may pair a generic blocking with any kernel), so
+        // the arena is sized for the tile that will actually be packed.
+        let tile_blocking = BlockingParams { mr, nr, ..self.blocking };
+        let mut arena = PackArena::for_problem(&tile_blocking, m, n, k);
+        let a_cap = arena.a_capacity();
+        let (a_buf, b_buf) = arena.buffers();
+        // Sequential-mode C scratch tile, plus one private A-pack/C-tile
+        // scratch pair per worker, all allocated once per GEMM.
+        let mut c_tile = vec![0.0f32; mr * nr];
+        let mut worker_scratch: Vec<(Vec<f32>, Vec<f32>)> = if threads > 1 {
+            (0..threads).map(|_| (vec![0.0f32; a_cap], vec![0.0f32; mr * nr])).collect()
+        } else {
+            Vec::new()
+        };
+        // The ic blocks are loop-invariant: each owns a disjoint row range
+        // of C, so any partition of the blocks over workers computes
+        // bit-identical results.
+        let blocks = ic_blocks(m, mc);
 
         // Loop L1: columns of C / B.
         let mut jc = 0;
@@ -120,21 +218,108 @@ impl BlisGemm {
             let mut pc = 0;
             while pc < k {
                 let kc_eff = kc.min(k - pc);
+                let b_len = nc_eff.div_ceil(nr) * kc_eff * nr;
+                pack_b_into(&mut b_buf[..b_len], &b.data, n, pc, jc, kc_eff, nc_eff, nr);
+                let packed_b = &b_buf[..b_len];
+
+                // Loop L3: rows of C / A — the threaded loop.
+                if threads <= 1 || blocks.len() <= 1 {
+                    for &(ic, mc_eff) in &blocks {
+                        let c_rows = &mut c.data[ic * n..(ic + mc_eff) * n];
+                        run_ic_block(
+                            kernel,
+                            &a.data,
+                            k,
+                            ic,
+                            pc,
+                            mc_eff,
+                            kc_eff,
+                            packed_b,
+                            nc_eff,
+                            jc,
+                            n,
+                            a_buf,
+                            &mut c_tile,
+                            c_rows,
+                        )?;
+                    }
+                } else {
+                    // Split C into per-block row chunks (the blocks tile
+                    // the rows contiguously), deal them out to up to
+                    // `threads` workers.
+                    let mut chunks: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(blocks.len());
+                    let mut rest: &mut [f32] = &mut c.data;
+                    for &(ic, mc_eff) in &blocks {
+                        let (rows, tail) = rest.split_at_mut(mc_eff * n);
+                        chunks.push((ic, mc_eff, rows));
+                        rest = tail;
+                    }
+                    let workers = threads.min(chunks.len());
+                    let mut groups: Vec<Vec<(usize, usize, &mut [f32])>> =
+                        (0..workers).map(|_| Vec::new()).collect();
+                    for (idx, chunk) in chunks.into_iter().enumerate() {
+                        groups[idx % workers].push(chunk);
+                    }
+                    let a_data = &a.data;
+                    std::thread::scope(|scope| -> Result<(), GemmError> {
+                        let handles: Vec<_> = groups
+                            .into_iter()
+                            .zip(worker_scratch.iter_mut())
+                            .map(|(group, (a_buf, c_tile))| {
+                                scope.spawn(move || -> Result<(), GemmError> {
+                                    for (ic, mc_eff, c_rows) in group {
+                                        run_ic_block(
+                                            kernel, a_data, k, ic, pc, mc_eff, kc_eff, packed_b, nc_eff, jc,
+                                            n, a_buf, c_tile, c_rows,
+                                        )?;
+                                    }
+                                    Ok(())
+                                })
+                            })
+                            .collect();
+                        for handle in handles {
+                            handle.join().expect("gemm worker panicked")?;
+                        }
+                        Ok(())
+                    })?;
+                }
+                pc += kc_eff;
+            }
+            jc += nc_eff;
+        }
+        Ok(())
+    }
+
+    /// The legacy path: fresh packing buffers per block and a fresh scratch
+    /// tile per micro-tile, exactly as the original driver allocated.
+    fn gemm_unbuffered(
+        &self,
+        kernel: &KernelImpl,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+    ) -> Result<(), GemmError> {
+        let (m, n, k) = (a.rows, b.cols, a.cols);
+        let BlockingParams { mc, kc, nc, .. } = self.blocking;
+        let (mr, nr) = (kernel.mr, kernel.nr);
+
+        let mut jc = 0;
+        while jc < n {
+            let nc_eff = nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = kc.min(k - pc);
                 let packed_b = pack_b(&b.data, n, pc, jc, kc_eff, nc_eff, nr);
-                // Loop L3: rows of C / A.
                 let mut ic = 0;
                 while ic < m {
                     let mc_eff = mc.min(m - ic);
                     let packed_a = pack_a(&a.data, k, ic, pc, mc_eff, kc_eff, mr);
-                    // Loops L4 and L5: micro-tiles.
                     let n_panels = nc_eff.div_ceil(nr);
                     let m_panels = mc_eff.div_ceil(mr);
                     for jr in 0..n_panels {
                         for ir in 0..m_panels {
                             let ap = a_panel(&packed_a, ir, kc_eff, mr);
                             let bp = b_panel(&packed_b, jr, kc_eff, nr);
-                            // Stage the (possibly fringe) C tile into a padded
-                            // [nr][mr] scratch in the micro-kernel's layout.
                             let mut c_tile = vec![0.0f32; mr * nr];
                             let rows = mr.min(mc_eff - ir * mr);
                             let cols = nr.min(nc_eff - jr * nr);
@@ -165,6 +350,76 @@ impl BlisGemm {
     }
 }
 
+/// The `ic` block starts of the L3 loop.
+fn ic_blocks(m: usize, mc: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::with_capacity(m.div_ceil(mc.max(1)));
+    let mut ic = 0;
+    while ic < m {
+        let mc_eff = mc.min(m - ic);
+        blocks.push((ic, mc_eff));
+        ic += mc_eff;
+    }
+    blocks
+}
+
+/// Loops L4/L5 for one `ic` block: pack the `A` block into `a_buf`, then run
+/// the micro-kernel over every `(jr, ir)` tile, staging each (possibly
+/// fringe) `C` tile through `c_tile`.
+///
+/// `c_rows` is the row range `ic..ic+mc_eff` of `C` (width `n_total`).
+#[allow(clippy::too_many_arguments)]
+fn run_ic_block(
+    kernel: &KernelImpl,
+    a_data: &[f32],
+    k_total: usize,
+    ic: usize,
+    pc: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    packed_b: &[f32],
+    nc_eff: usize,
+    jc: usize,
+    n_total: usize,
+    a_buf: &mut [f32],
+    c_tile: &mut [f32],
+    c_rows: &mut [f32],
+) -> Result<(), GemmError> {
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    let a_len = mc_eff.div_ceil(mr) * kc_eff * mr;
+    pack_a_into(&mut a_buf[..a_len], a_data, k_total, ic, pc, mc_eff, kc_eff, mr);
+    let packed_a = &a_buf[..a_len];
+
+    let n_panels = nc_eff.div_ceil(nr);
+    let m_panels = mc_eff.div_ceil(mr);
+    for jr in 0..n_panels {
+        for ir in 0..m_panels {
+            let ap = a_panel(packed_a, ir, kc_eff, mr);
+            let bp = b_panel(packed_b, jr, kc_eff, nr);
+            let rows = mr.min(mc_eff - ir * mr);
+            let cols = nr.min(nc_eff - jr * nr);
+            // Stage the C tile. Fringe padding positions receive only
+            // zero-padded products from the kernel and are never copied
+            // back, so the reused scratch needs no re-zeroing.
+            for j in 0..cols {
+                let col0 = jc + jr * nr + j;
+                let tile_col = &mut c_tile[j * mr..j * mr + rows];
+                for (i, t) in tile_col.iter_mut().enumerate() {
+                    *t = c_rows[(ir * mr + i) * n_total + col0];
+                }
+            }
+            kernel.run(kc_eff, ap, bp, c_tile)?;
+            for j in 0..cols {
+                let col0 = jc + jr * nr + j;
+                let tile_col = &c_tile[j * mr..j * mr + rows];
+                for (i, t) in tile_col.iter().enumerate() {
+                    c_rows[(ir * mr + i) * n_total + col0] = *t;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +433,7 @@ mod tests {
         let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0);
         let mut c = Matrix::from_fn(m, n, |i, j| ((i + j) % 3) as f32);
         let mut c_ref = c.clone();
+        let c_start = c.clone();
         // Use small blocking values so every loop level is exercised even on
         // small problems.
         let blocking = BlockingParams { mc: 24, kc: 16, nc: 36, mr: kernel.mr, nr: kernel.nr };
@@ -192,6 +448,15 @@ mod tests {
                 c_ref.data[idx]
             );
         }
+        // The legacy unbuffered path and a threaded run must agree with the
+        // arena path bit-for-bit: same packing, same op order, disjoint
+        // per-thread row blocks.
+        let mut c_legacy = c_start.clone();
+        BlisGemm::new(blocking).without_arena().gemm(kernel, &a, &b, &mut c_legacy).unwrap();
+        assert_eq!(c.data, c_legacy.data, "{}: arena vs legacy", kernel.name);
+        let mut c_threaded = c_start;
+        BlisGemm::new(blocking).with_threads(4).gemm(kernel, &a, &b, &mut c_threaded).unwrap();
+        assert_eq!(c.data, c_threaded.data, "{}: threads=4 vs threads=1", kernel.name);
     }
 
     #[test]
@@ -233,5 +498,38 @@ mod tests {
         let mut c = Matrix::zeros(0, 0);
         let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
         gemm.gemm(&neon_intrinsics_kernel(), &a, &b, &mut c).unwrap();
+    }
+
+    #[test]
+    fn blocking_tile_need_not_match_the_kernel_tile() {
+        // The public API lets a generic blocking drive any kernel; the
+        // arena must size its panels from the kernel's tile, not the
+        // blocking's, or packing overruns the buffer.
+        let kernel = reference_kernel(16, 32);
+        let blocking = BlockingParams { mc: 24, kc: 16, nc: 36, mr: 8, nr: 12 };
+        let a = Matrix::from_fn(13, 9, |i, j| (i * 2 + j) as f32 * 0.25);
+        let b = Matrix::from_fn(9, 13, |i, j| (i + j * 3) as f32 * 0.125);
+        let mut c = Matrix::zeros(13, 13);
+        let mut c_ref = Matrix::zeros(13, 13);
+        BlisGemm::new(blocking).with_threads(3).gemm(&kernel, &a, &b, &mut c).unwrap();
+        naive_gemm(&a, &b, &mut c_ref);
+        for idx in 0..c.data.len() {
+            assert!((c.data[idx] - c_ref.data[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let kernel = neon_intrinsics_kernel();
+        let a = Matrix::from_fn(40, 16, |i, j| (i + j) as f32 * 0.25);
+        let b = Matrix::from_fn(16, 24, |i, j| (i * 2 + j) as f32 * 0.125);
+        let mut c = Matrix::zeros(40, 24);
+        let mut c_ref = Matrix::zeros(40, 24);
+        let blocking = BlockingParams { mc: 8, kc: 8, nc: 24, mr: kernel.mr, nr: kernel.nr };
+        BlisGemm::new(blocking).with_threads(0).gemm(&kernel, &a, &b, &mut c).unwrap();
+        naive_gemm(&a, &b, &mut c_ref);
+        for idx in 0..c.data.len() {
+            assert!((c.data[idx] - c_ref.data[idx]).abs() < 1e-3);
+        }
     }
 }

@@ -26,11 +26,12 @@ pub mod packing;
 
 pub use algorithm::{naive_gemm, BlisGemm, Matrix};
 pub use baselines::{
-    blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel, KernelImpl, KernelKind,
+    blis_assembly_kernel, exo_kernel, exo_kernel_interp, neon_intrinsics_kernel, reference_kernel,
+    ExecBackend, KernelImpl, KernelKind,
 };
 pub use blocking::BlockingParams;
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
-pub use packing::{pack_a, pack_b};
+pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
 
 use std::fmt;
 

@@ -5,6 +5,21 @@
 //! `Bc := B(pc:pc+kc, jc:jc+nc)` is packed into micro-panels of `nr` columns
 //! read as `Bc[k][nr]`. Fringe panels are zero-padded to the full register
 //! tile, which is how the monolithic library kernels handle edge cases.
+//!
+//! Two layers are provided:
+//!
+//! * [`pack_a`] / [`pack_b`] — allocate a fresh buffer per call (the
+//!   original behaviour, kept for the legacy driver path and tests);
+//! * [`pack_a_into`] / [`pack_b_into`] + [`PackArena`] — pack into a
+//!   caller-owned buffer sized once per GEMM at the blocking-derived
+//!   maximum, so the five-loop driver performs zero allocations in its
+//!   block loops.
+//!
+//! Both layers share the same split: all *full* panels are packed by a
+//! branch-free hot loop, and only the single trailing fringe panel (if the
+//! block size is not a tile multiple) runs the padded edge loop.
+
+use crate::blocking::BlockingParams;
 
 /// Packs a block of `A` (row-major `m x k`, selecting rows `ic..ic+mc_eff`
 /// and columns `pc..pc+kc_eff`) into `mr`-row micro-panels, zero-padding the
@@ -21,20 +36,58 @@ pub fn pack_a(
     kc_eff: usize,
     mr: usize,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; mc_eff.div_ceil(mr) * kc_eff * mr];
+    pack_a_into(&mut out, a, k_total, ic, pc, mc_eff, kc_eff, mr);
+    out
+}
+
+/// Packs a block of `A` into `out` (see [`pack_a`]), which must hold at
+/// least `ceil(mc_eff / mr) * kc_eff * mr` elements. Every element of that
+/// prefix is written (values or explicit zero padding), so a reused arena
+/// buffer never leaks stale data.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the packed block.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a_into(
+    out: &mut [f32],
+    a: &[f32],
+    k_total: usize,
+    ic: usize,
+    pc: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    mr: usize,
+) {
     let panels = mc_eff.div_ceil(mr);
-    let mut out = vec![0.0f32; panels * kc_eff * mr];
-    for p in 0..panels {
-        let base = p * kc_eff * mr;
-        for kk in 0..kc_eff {
-            for i in 0..mr {
-                let row = ic + p * mr + i;
-                let col = pc + kk;
-                let v = if p * mr + i < mc_eff { a[row * k_total + col] } else { 0.0 };
-                out[base + kk * mr + i] = v;
+    let full = mc_eff / mr;
+    let panel_len = kc_eff * mr;
+    assert!(out.len() >= panels * panel_len, "pack_a_into: arena too small");
+    // Full panels: no per-element bounds decision, every row exists.
+    for p in 0..full {
+        let row0 = ic + p * mr;
+        let panel = &mut out[p * panel_len..(p + 1) * panel_len];
+        for (kk, dst) in panel.chunks_exact_mut(mr).enumerate() {
+            let col = pc + kk;
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = a[(row0 + i) * k_total + col];
             }
         }
     }
-    out
+    // At most one fringe panel: real rows then explicit zero padding.
+    if full < panels {
+        let rows = mc_eff - full * mr;
+        let row0 = ic + full * mr;
+        let panel = &mut out[full * panel_len..(full + 1) * panel_len];
+        for (kk, dst) in panel.chunks_exact_mut(mr).enumerate() {
+            let col = pc + kk;
+            for (i, d) in dst.iter_mut().take(rows).enumerate() {
+                *d = a[(row0 + i) * k_total + col];
+            }
+            dst[rows..].fill(0.0);
+        }
+    }
 }
 
 /// Packs a block of `B` (row-major `k x n`, selecting rows `pc..pc+kc_eff`
@@ -52,20 +105,53 @@ pub fn pack_b(
     nc_eff: usize,
     nr: usize,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; nc_eff.div_ceil(nr) * kc_eff * nr];
+    pack_b_into(&mut out, b, n_total, pc, jc, kc_eff, nc_eff, nr);
+    out
+}
+
+/// Packs a block of `B` into `out` (see [`pack_b`]), which must hold at
+/// least `ceil(nc_eff / nr) * kc_eff * nr` elements. Every element of that
+/// prefix is written, so a reused arena buffer never leaks stale data.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the packed block.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b_into(
+    out: &mut [f32],
+    b: &[f32],
+    n_total: usize,
+    pc: usize,
+    jc: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    nr: usize,
+) {
     let panels = nc_eff.div_ceil(nr);
-    let mut out = vec![0.0f32; panels * kc_eff * nr];
-    for p in 0..panels {
-        let base = p * kc_eff * nr;
-        for kk in 0..kc_eff {
-            for j in 0..nr {
-                let col = jc + p * nr + j;
-                let row = pc + kk;
-                let v = if p * nr + j < nc_eff { b[row * n_total + col] } else { 0.0 };
-                out[base + kk * nr + j] = v;
-            }
+    let full = nc_eff / nr;
+    let panel_len = kc_eff * nr;
+    assert!(out.len() >= panels * panel_len, "pack_b_into: arena too small");
+    // Full panels: each packed row is a contiguous run of the source row.
+    for p in 0..full {
+        let col0 = jc + p * nr;
+        let panel = &mut out[p * panel_len..(p + 1) * panel_len];
+        for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
+            let src = (pc + kk) * n_total + col0;
+            dst.copy_from_slice(&b[src..src + nr]);
         }
     }
-    out
+    // At most one fringe panel: real columns then explicit zero padding.
+    if full < panels {
+        let cols = nc_eff - full * nr;
+        let col0 = jc + full * nr;
+        let panel = &mut out[full * panel_len..(full + 1) * panel_len];
+        for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
+            let src = (pc + kk) * n_total + col0;
+            dst[..cols].copy_from_slice(&b[src..src + cols]);
+            dst[cols..].fill(0.0);
+        }
+    }
 }
 
 /// Returns the `kc_eff x mr` micro-panel `ir` of a packed `Ac` buffer.
@@ -78,6 +164,84 @@ pub fn a_panel(packed: &[f32], ir: usize, kc_eff: usize, mr: usize) -> &[f32] {
 pub fn b_panel(packed: &[f32], jr: usize, kc_eff: usize, nr: usize) -> &[f32] {
     let base = jr * kc_eff * nr;
     &packed[base..base + kc_eff * nr]
+}
+
+/// Reusable packing buffers for one GEMM invocation.
+///
+/// The five-loop driver historically allocated a fresh `Vec<f32>` for the
+/// packed `Ac` block on every `(jc, pc, ic)` iteration and for `Bc` on every
+/// `(jc, pc)` iteration. A `PackArena` is allocated **once** per GEMM at the
+/// blocking-derived maximum block sizes (clamped to the problem), and the
+/// `pack_*` calls then write in place.
+#[derive(Debug, Clone)]
+pub struct PackArena {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl PackArena {
+    /// An arena sized for the given blocking, clamped to an `m x n x k`
+    /// problem (a small problem never pays for the full `mc x kc` / `kc x
+    /// nc` blocks).
+    pub fn for_problem(blocking: &BlockingParams, m: usize, n: usize, k: usize) -> Self {
+        let kc = blocking.kc.min(k.max(1));
+        let a_len = blocking.mc.min(m.max(1)).div_ceil(blocking.mr) * blocking.mr * kc;
+        let b_len = blocking.nc.min(n.max(1)).div_ceil(blocking.nr) * blocking.nr * kc;
+        PackArena { a: vec![0.0; a_len], b: vec![0.0; b_len] }
+    }
+
+    /// Capacity of the `Ac` buffer in elements.
+    pub fn a_capacity(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Both buffers at once (`Ac`, `Bc`), split-borrowed so a packed `Bc`
+    /// prefix can stay borrowed while `Ac` blocks are repacked — the form
+    /// the five-loop driver needs.
+    pub fn buffers(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// Capacity of the `Bc` buffer in elements.
+    pub fn b_capacity(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Packs an `A` block into the arena (see [`pack_a`]) and returns the
+    /// packed prefix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pack_a<'s>(
+        &'s mut self,
+        a: &[f32],
+        k_total: usize,
+        ic: usize,
+        pc: usize,
+        mc_eff: usize,
+        kc_eff: usize,
+        mr: usize,
+    ) -> &'s [f32] {
+        let len = mc_eff.div_ceil(mr) * kc_eff * mr;
+        pack_a_into(&mut self.a[..len], a, k_total, ic, pc, mc_eff, kc_eff, mr);
+        &self.a[..len]
+    }
+
+    /// Packs a `B` block into the arena (see [`pack_b`]) and returns the
+    /// packed prefix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pack_b<'s>(
+        &'s mut self,
+        b: &[f32],
+        n_total: usize,
+        pc: usize,
+        jc: usize,
+        kc_eff: usize,
+        nc_eff: usize,
+        nr: usize,
+    ) -> &'s [f32] {
+        let len = nc_eff.div_ceil(nr) * kc_eff * nr;
+        pack_b_into(&mut self.b[..len], b, n_total, pc, jc, kc_eff, nc_eff, nr);
+        &self.b[..len]
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +289,36 @@ mod tests {
         assert_eq!(p[0], a[4 * k + 2]);
         assert_eq!(p[4], a[4 * k + 3]);
         assert_eq!(p[3], a[7 * k + 2]);
+    }
+
+    #[test]
+    fn arena_packing_matches_the_allocating_routines_after_reuse() {
+        let blocking = BlockingParams { mc: 8, kc: 6, nc: 12, mr: 4, nr: 4 };
+        let (m, n, k) = (7usize, 11usize, 6usize);
+        let a: Vec<f32> = (0..m * k).map(|x| (x as f32) * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| (x as f32) * 0.25 - 1.0).collect();
+        let mut arena = PackArena::for_problem(&blocking, m, n, k);
+        // Dirty the arena with a large block first, then pack a smaller
+        // fringe block: the reused buffer must not leak stale values.
+        arena.pack_a(&a, k, 0, 0, 7, 6, 4);
+        arena.pack_b(&b, n, 0, 0, 6, 11, 4);
+        let got_a = arena.pack_a(&a, k, 4, 1, 3, 5, 4).to_vec();
+        let want_a = pack_a(&a, k, 4, 1, 3, 5, 4);
+        assert_eq!(got_a, want_a);
+        let got_b = arena.pack_b(&b, n, 2, 8, 4, 3, 4).to_vec();
+        let want_b = pack_b(&b, n, 2, 8, 4, 3, 4);
+        assert_eq!(got_b, want_b);
+    }
+
+    #[test]
+    fn arena_capacity_is_clamped_to_the_problem() {
+        let blocking = BlockingParams { mc: 120, kc: 512, nc: 3072, mr: 8, nr: 12 };
+        let small = PackArena::for_problem(&blocking, 10, 10, 10);
+        // 10 rows -> 2 panels of 8, depth 10; 10 cols -> 1 panel of 12.
+        assert_eq!(small.a_capacity(), 16 * 10);
+        assert_eq!(small.b_capacity(), 12 * 10);
+        let large = PackArena::for_problem(&blocking, 4000, 4000, 4000);
+        assert_eq!(large.a_capacity(), 120 * 512);
+        assert_eq!(large.b_capacity(), 3072 * 512);
     }
 }

@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use exo_codegen::{compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg};
+use exo_codegen::{
+    compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, TapeKernel,
+};
 use exo_ir::{Proc, ScalarType};
 use exo_isa::VectorIsa;
 
@@ -90,17 +92,46 @@ pub struct GeneratedKernel {
     pub trace: KernelTrace,
     /// Executable lowering for functional runs.
     pub compiled: CompiledKernel,
+    /// Tape-compiled form of [`Self::compiled`]: the fast execution backend.
+    /// `None` when the scheduled form contains constructs the tape cannot
+    /// register-allocate, in which case runs fall back to the interpreter.
+    pub tape: Option<Arc<TapeKernel>>,
 }
 
 impl GeneratedKernel {
     /// Runs the kernel on packed operands: `c[nr][mr] += ac[kc][mr] *
     /// bc[kc][nr]` (row-major, exactly the layouts of the paper's Fig. 5).
     ///
+    /// Dispatches through the tape backend when one was compiled (the fast
+    /// path, no operand copies), falling back to the interpreter otherwise.
+    /// Both backends compute bit-for-bit identical results.
+    ///
     /// # Errors
     ///
     /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
     /// shape.
     pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.check_packed_shape(kc, ac, bc, c)?;
+        match &self.tape {
+            Some(tape) => tape.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+            None => self.run_packed_interp_unchecked(kc, ac, bc, c),
+        }
+    }
+
+    /// Runs the kernel through the tree-walking interpreter regardless of
+    /// whether a tape exists — the slow reference backend, kept callable so
+    /// differential tests and benches can compare the two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
+    /// shape.
+    pub fn run_packed_interp(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.check_packed_shape(kc, ac, bc, c)?;
+        self.run_packed_interp_unchecked(kc, ac, bc, c)
+    }
+
+    fn check_packed_shape(&self, kc: usize, ac: &[f32], bc: &[f32], c: &[f32]) -> Result<()> {
         if ac.len() != kc * self.mr || bc.len() != kc * self.nr || c.len() != self.mr * self.nr {
             return Err(GenError::Codegen(exo_codegen::CodegenError::BadArguments {
                 reason: format!(
@@ -113,6 +144,13 @@ impl GeneratedKernel {
                 ),
             }));
         }
+        Ok(())
+    }
+
+    fn run_packed_interp_unchecked(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        // The RunArg interface takes every tensor mutably, so the read-only
+        // operands must be copied; this is part of why the interpreter path
+        // is slow, and why the tape gets a zero-copy entry point.
         let mut a = ac.to_vec();
         let mut b = bc.to_vec();
         let mut args =
@@ -210,6 +248,10 @@ impl MicroKernelGenerator {
         let trace = extract_trace(&proc, "KC")?;
         let asm = emit_asm(&trace);
         let compiled = compile(&proc)?;
+        // Tape compilation can legitimately decline (e.g. a shape the
+        // scheduler left with data-dependent structure); the interpreter
+        // remains the fallback, so a missing tape is not an error.
+        let tape = compiled.to_tape().ok().map(Arc::new);
         Ok(GeneratedKernel {
             mr: opts.mr,
             nr: opts.nr,
@@ -223,6 +265,7 @@ impl MicroKernelGenerator {
             asm,
             trace,
             compiled,
+            tape,
         })
     }
 }
@@ -336,6 +379,27 @@ mod tests {
         for (mr, nr) in KernelSet::paper_shapes() {
             let kernel = generator.generate(mr, nr).unwrap();
             check_against_naive(&kernel, 37);
+        }
+    }
+
+    #[test]
+    fn every_paper_shape_tape_compiles_and_matches_the_interpreter_bit_for_bit() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        for (mr, nr) in KernelSet::paper_shapes() {
+            let kernel = generator.generate(mr, nr).unwrap();
+            let tape = kernel.tape.as_ref().unwrap_or_else(|| panic!("{mr}x{nr} must tape-compile"));
+            // Scheduled kernels stage the C tile (and vector operands) in
+            // locals, which the tape register-allocates.
+            assert!(tape.register_count() >= mr * nr, "{mr}x{nr} C tile must live in registers");
+            let kc = 23;
+            let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect();
+            let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 7 + 11) % 19) as f32 * 0.125 - 1.0).collect();
+            let c0: Vec<f32> = (0..nr * mr).map(|i| (i % 7) as f32 * 0.5).collect();
+            let mut c_tape = c0.clone();
+            kernel.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+            let mut c_interp = c0.clone();
+            kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
+            assert_eq!(c_tape, c_interp, "{mr}x{nr} tape diverges from the interpreter");
         }
     }
 

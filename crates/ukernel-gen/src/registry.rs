@@ -64,6 +64,23 @@ impl KernelCache {
         self.kernels.lock().expect("kernel cache poisoned").get(&key).map(Arc::clone)
     }
 
+    /// The cached tape backend for `(generator ISA, mr, nr)`, generating the
+    /// kernel on the first request. Tapes are compiled once per kernel and
+    /// cached alongside it; `None` means the shape generated but its
+    /// scheduled form could not be tape-compiled (interpreter fallback).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::GenError`] if the shape cannot be generated.
+    pub fn get_or_generate_tape(
+        &self,
+        generator: &MicroKernelGenerator,
+        mr: usize,
+        nr: usize,
+    ) -> Result<Option<Arc<exo_codegen::TapeKernel>>> {
+        Ok(self.get_or_generate(generator, mr, nr)?.tape.clone())
+    }
+
     /// Inserts an externally generated kernel (e.g. one built with custom
     /// [`crate::KernelOptions`]) without counting a generator invocation.
     pub fn insert(&self, kernel: Arc<GeneratedKernel>) {
@@ -132,6 +149,19 @@ mod tests {
         assert_eq!(cache.shapes_for("avx512-f32"), vec![(16, 8)]);
         assert!(cache.get("neon-f32", 8, 8).is_some());
         assert!(cache.get("neon-f32", 16, 8).is_none());
+    }
+
+    #[test]
+    fn tapes_are_cached_alongside_kernels() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let tape = cache.get_or_generate_tape(&generator, 8, 12).unwrap();
+        assert!(tape.is_some(), "the 8x12 kernel must tape-compile");
+        assert_eq!(cache.generator_invocations(), 1);
+        // A second request serves the same tape without regenerating.
+        let again = cache.get_or_generate_tape(&generator, 8, 12).unwrap().unwrap();
+        assert_eq!(cache.generator_invocations(), 1);
+        assert!(Arc::ptr_eq(&tape.unwrap(), &again));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Differential suite for the tape execution engine: the tape backend, the
+//! tree-walking interpreter, and the naive reference must agree — and where
+//! the computation is literally the same sequence of f32 operations
+//! (tape vs. interpreter, arena vs. legacy driver, 1 vs. N threads), they
+//! must agree **bit for bit**.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::Cases;
+use exo_gemm::exo_isa::neon_f32;
+use exo_gemm::gemm_blis::{exo_kernel, exo_kernel_interp, naive_gemm, BlisGemm, BlockingParams, Matrix};
+use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
+
+fn packed_operands(mr: usize, nr: usize, kc: usize, cases: &mut Cases) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..kc * mr).map(|_| cases.f32_unit()).collect();
+    let b: Vec<f32> = (0..kc * nr).map(|_| cases.f32_unit()).collect();
+    let c: Vec<f32> = (0..mr * nr).map(|_| cases.f32_unit()).collect();
+    (a, b, c)
+}
+
+/// `TapeKernel` ≡ `CompiledKernel` bit-for-bit on every registry tile shape,
+/// across several KC values including `k = 1`.
+#[test]
+fn tape_equals_interpreter_bit_for_bit_across_registry_shapes() {
+    let cache = KernelCache::new();
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let mut cases = Cases::new(0x7a9e);
+    for (mr, nr) in KernelSet::paper_shapes() {
+        let kernel = cache.get_or_generate(&generator, mr, nr).unwrap();
+        assert!(kernel.tape.is_some(), "{mr}x{nr} must tape-compile");
+        for kc in [1usize, 2, 17, 64] {
+            let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
+            let mut c_tape = c0.clone();
+            kernel.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+            let mut c_interp = c0.clone();
+            kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
+            assert_eq!(c_tape, c_interp, "{mr}x{nr} kc={kc}: tape vs interpreter");
+        }
+    }
+    // The cache compiled each tape exactly once, alongside its kernel.
+    assert_eq!(cache.generator_invocations(), KernelSet::paper_shapes().len() as u64);
+}
+
+/// The tape path agrees with `naive_gemm` (to accumulation tolerance) on
+/// fringe-heavy problems through the full five-loop driver, and the tape
+/// driver run is bit-identical to the interpreter driver run.
+#[test]
+fn tape_driver_matches_naive_on_fringe_heavy_problems() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let mut cases = Cases::new(0x51ab);
+    // (mr, nr) x (m, n, k) including m < mr, n < nr, and k = 1.
+    let shapes = [(8usize, 12usize), (4, 4), (1, 8)];
+    let problems = [(3usize, 5usize, 1usize), (5, 40, 9), (13, 7, 23), (50, 45, 16), (8, 12, 1)];
+    for &(mr, nr) in &shapes {
+        let kernel = Arc::new(generator.generate(mr, nr).unwrap());
+        for &(m, n, k) in &problems {
+            let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+            let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+            let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+            let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr, nr };
+
+            let mut c_tape = c0.clone();
+            BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_tape).unwrap();
+
+            let mut c_interp = c0.clone();
+            BlisGemm::new(blocking)
+                .gemm(&exo_kernel_interp(Arc::clone(&kernel)), &a, &b, &mut c_interp)
+                .unwrap();
+            assert_eq!(
+                c_tape.data, c_interp.data,
+                "{mr}x{nr} on {m}x{n}x{k}: tape driver vs interpreter driver"
+            );
+
+            let mut c_ref = c0.clone();
+            naive_gemm(&a, &b, &mut c_ref);
+            for idx in 0..c_tape.data.len() {
+                assert!(
+                    (c_tape.data[idx] - c_ref.data[idx]).abs() < 1e-3,
+                    "{mr}x{nr} on {m}x{n}x{k} mismatch at {idx}: {} vs {}",
+                    c_tape.data[idx],
+                    c_ref.data[idx]
+                );
+            }
+        }
+    }
+}
+
+/// The arena hot path computes bit-identical results to the legacy
+/// allocate-per-block path.
+#[test]
+fn arena_driver_is_bit_identical_to_the_legacy_driver() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = Arc::new(generator.generate(8, 8).unwrap());
+    let mut cases = Cases::new(0xc0de);
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (37, 53, 29), (7, 3, 11)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+        let blocking = BlockingParams { mc: 24, kc: 16, nc: 32, mr: 8, nr: 8 };
+        let mut c_arena = c0.clone();
+        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_arena).unwrap();
+        let mut c_legacy = c0.clone();
+        BlisGemm::new(blocking)
+            .without_arena()
+            .gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_legacy)
+            .unwrap();
+        assert_eq!(c_arena.data, c_legacy.data, "{m}x{n}x{k}");
+    }
+}
+
+/// `threads = 1` and `threads = N` produce identical `C`: the `ic` blocks
+/// write disjoint row ranges and each is computed in the same order.
+#[test]
+fn thread_count_never_changes_the_result() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = Arc::new(generator.generate(8, 12).unwrap());
+    let mut cases = Cases::new(0xbeef);
+    // Small mc so even modest m yields many ic blocks to spread over workers.
+    let blocking = BlockingParams { mc: 8, kc: 16, nc: 36, mr: 8, nr: 12 };
+    for &(m, n, k) in &[(96usize, 60usize, 33usize), (70, 25, 9)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+        let mut c1 = c0.clone();
+        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c1).unwrap();
+        for threads in [2usize, 4, 7] {
+            let mut cn = c0.clone();
+            BlisGemm::new(blocking)
+                .with_threads(threads)
+                .gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut cn)
+                .unwrap();
+            assert_eq!(c1.data, cn.data, "{m}x{n}x{k} with {threads} threads");
+        }
+    }
+}
