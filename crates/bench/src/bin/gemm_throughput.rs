@@ -1,32 +1,51 @@
 //! Wall-clock GFLOPS of the functional GEMM spine, one row per square
 //! problem size, one column per execution configuration:
 //!
-//! * `interp`             — tree-walking interpreter kernel, legacy
+//! * `interp`                   — tree-walking interpreter kernel, legacy
 //!   allocate-per-block driver (the pre-tape status quo),
-//! * `tape`               — tape-compiled kernel, legacy driver,
-//! * `tape+arena`         — tape kernel, zero-allocation packing arenas,
-//! * `tape+arena+threads` — arenas plus the threaded `ic` loop (all cores).
+//! * `tape`                     — scalar tape kernel, legacy driver,
+//! * `tape+arena`               — scalar tape, zero-allocation packing
+//!   arenas,
+//! * `superword`                — superword whole-vector kernel, legacy
+//!   driver (isolates the backend win from the driver win),
+//! * `superword+arena`          — superword kernel plus the arenas: the
+//!   default production path,
+//! * `superword+arena+threads`  — arenas plus the threaded block loop
+//!   (all cores).
 //!
 //! Unlike the figure harnesses (which report *modelled* Carmel GFLOPS),
 //! these are real measured numbers on the host — the perf trajectory data
 //! the ROADMAP asks for. Results are written to `BENCH_gemm.json`.
 //!
-//! Usage: `gemm_throughput [--quick] [--out PATH]`
+//! Usage: `gemm_throughput [--quick] [--out PATH] [--check BASELINE]`
 //!
-//! Exits non-zero if the tape backend is slower than the interpreter at any
-//! size — the CI perf-smoke gate.
+//! Exit status encodes the CI perf gates:
+//!
+//! * the backend ordering must hold at every size — `superword >= tape >=
+//!   interp` (a faster tier measuring slower than its fallback means the
+//!   fast path regressed below the slow one);
+//! * with `--check BASELINE`, each backend's geomean GFLOPS over the sizes
+//!   shared with the committed baseline must not drop more than 25% below
+//!   the baseline's geomean over those same sizes.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use gemm_blis::{exo_kernel, exo_kernel_interp, BlisGemm, BlockingParams, KernelImpl, Matrix};
+use gemm_blis::{
+    exo_kernel, exo_kernel_interp, exo_kernel_tape, BlisGemm, BlockingParams, KernelImpl, Matrix,
+};
 use ukernel_gen::MicroKernelGenerator;
 
 /// Problem sizes of the full sweep (the Fig. 14 square series, scaled to
 /// what a functional backend can sweep in minutes rather than hours).
 const FULL_SIZES: [usize; 5] = [256, 384, 512, 768, 1024];
-/// Problem sizes of the `--quick` CI smoke run.
+/// Problem sizes of the `--quick` CI smoke run. 256 overlaps the full sweep
+/// so a `--quick --check` run still has a common size with a committed full
+/// baseline.
 const QUICK_SIZES: [usize; 2] = [128, 256];
+
+/// Geomean drop tolerated by `--check` before the gate fails.
+const CHECK_TOLERANCE: f64 = 0.25;
 
 struct Variant {
     name: &'static str,
@@ -64,23 +83,117 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// A committed baseline parsed from a previous run's JSON.
+struct Baseline {
+    sizes: Vec<usize>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = exo_tune::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let sizes = json
+        .get("sizes")
+        .and_then(|s| s.as_arr())
+        .ok_or("baseline has no sizes array")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("non-integer size"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let gflops = json.get("gflops").and_then(|g| g.as_obj()).ok_or("baseline has no gflops object")?;
+    let mut series = Vec::new();
+    for (name, arr) in gflops {
+        let values = arr
+            .as_arr()
+            .ok_or("gflops series is not an array")?
+            .iter()
+            .map(|v| v.as_num().ok_or("non-numeric gflops"))
+            .collect::<Result<Vec<_>, _>>()?;
+        if values.len() != sizes.len() {
+            return Err(format!("series `{name}` has {} values for {} sizes", values.len(), sizes.len()));
+        }
+        series.push((name.clone(), values));
+    }
+    Ok(Baseline { sizes, series })
+}
+
+/// The `--check` regression gate: every backend in the committed baseline
+/// must be measured by the current run, and its geomean GFLOPS over the
+/// sizes shared with the baseline must stay within [`CHECK_TOLERANCE`] of
+/// the baseline's geomean over those sizes. Returns `true` if the gate
+/// passes.
+fn check_against_baseline(baseline: &Baseline, sizes: &[usize], names: &[&str], gflops: &[Vec<f64>]) -> bool {
+    let common: Vec<usize> = sizes.iter().copied().filter(|s| baseline.sizes.contains(s)).collect();
+    if common.is_empty() {
+        eprintln!("CHECK FAIL: no sizes in common with the baseline ({:?})", baseline.sizes);
+        return false;
+    }
+    println!("\n--check against committed baseline (common sizes {common:?}, tolerance {CHECK_TOLERANCE}):");
+    let mut ok = true;
+    for (name, base_values) in &baseline.series {
+        let Some(vi) = names.iter().position(|n| n == name) else {
+            // The bench measures every series it knows; a baseline series
+            // this run lacks means a variant was renamed or dropped, which
+            // must not silently remove its perf coverage.
+            eprintln!("CHECK FAIL: baseline series `{name}` is not measured by this run");
+            ok = false;
+            continue;
+        };
+        let cur: Vec<f64> =
+            common.iter().map(|s| gflops[vi][sizes.iter().position(|x| x == s).unwrap()]).collect();
+        let base: Vec<f64> =
+            common.iter().map(|s| base_values[baseline.sizes.iter().position(|x| x == s).unwrap()]).collect();
+        let (cur_g, base_g) = (geomean(&cur), geomean(&base));
+        let floor = base_g * (1.0 - CHECK_TOLERANCE);
+        let verdict = if cur_g >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "  {name:<24} geomean {cur_g:>8.3} vs baseline {base_g:>8.3} (floor {floor:>8.3}) {verdict}"
+        );
+        if cur_g < floor {
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    // A flag with a missing value must be an error, not a silent default —
+    // `--check` with no path would otherwise disable the regression gate
+    // while exiting 0.
+    let arg_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("FAIL: {flag} requires a value");
+                std::process::exit(1);
+            })
+        })
+    };
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    // Read the baseline up front: the fresh results may overwrite the file
+    // it lives in.
+    let baseline = arg_after("--check").map(|path| match load_baseline(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("FAIL: cannot load baseline: {e}");
+            std::process::exit(1);
+        }
+    });
     let sizes: Vec<usize> = if quick { QUICK_SIZES.to_vec() } else { FULL_SIZES.to_vec() };
-    // `interp` at the largest sizes costs minutes per run; one rep there,
-    // a few for the fast configurations so noise does not hide the trend.
-    let reps = if quick { 1 } else { 2 };
+    // The fast configurations take a best-of-2 even in quick mode so a
+    // single noisy run does not trip the regression gate; the interpreter
+    // (orders of magnitude slower, and the least noise-sensitive series) is
+    // never repeated.
+    let reps = 2;
 
     let generator = MicroKernelGenerator::new(exo_isa::neon_f32());
     let kernel = Arc::new(generator.generate(8, 12).expect("8x12 kernel generates"));
     assert!(kernel.tape.is_some(), "the 8x12 kernel must tape-compile");
+    assert!(kernel.superword.is_some(), "the 8x12 kernel must superword-compile");
     let blocking = BlockingParams::analytical(&carmel_sim::CacheHierarchy::carmel(), 8, 12, 4);
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -92,42 +205,67 @@ fn main() {
         },
         Variant {
             name: "tape",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_tape(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
         },
         Variant {
             name: "tape+arena",
+            kernel: exo_kernel_tape(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking),
+        },
+        Variant {
+            name: "superword",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).without_arena(),
+        },
+        Variant {
+            name: "superword+arena",
             kernel: exo_kernel(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
         },
         Variant {
-            name: "tape+arena+threads",
+            name: "superword+arena+threads",
             kernel: exo_kernel(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).with_threads(0),
         },
     ];
+    let names: Vec<&str> = variants.iter().map(|v| v.name).collect();
 
-    println!("gemm_throughput — measured GFLOPS, EXO 8x12 kernel ({} host threads)", threads);
-    println!("{:<10}{:>12}{:>12}{:>14}{:>20}", "m=n=k", "interp", "tape", "tape+arena", "tape+arena+threads");
+    println!("gemm_throughput — measured GFLOPS, EXO 8x12 kernel ({threads} host threads)");
+    print!("{:<8}", "m=n=k");
+    for name in &names {
+        print!("{name:>25}");
+    }
+    println!();
 
     let mut gflops: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for &size in &sizes {
-        let mut row = Vec::new();
+        print!("{size:<8}");
         for (vi, variant) in variants.iter().enumerate() {
             // The interpreter is orders of magnitude slower; never repeat it.
             let v_reps = if variant.name == "interp" { 1 } else { reps };
             let g = measure(variant, size, v_reps);
             gflops[vi].push(g);
-            row.push(g);
+            print!("{g:>25.3}");
         }
-        println!("{:<10}{:>12.3}{:>12.3}{:>14.3}{:>20.3}", size, row[0], row[1], row[2], row[3]);
+        println!();
     }
 
-    // Speedups of tape+arena over the interpreter per size.
-    let speedups: Vec<f64> = sizes.iter().enumerate().map(|(i, _)| gflops[2][i] / gflops[0][i]).collect();
-    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
-    println!("\ntape+arena over interp: min {min_speedup:.1}x, geomean {geomean:.1}x");
+    let series_geomeans: Vec<f64> = gflops.iter().map(|g| geomean(g)).collect();
+    // Look series up by name, not position, so reordering or inserting
+    // variants cannot silently rewire the speedups or the ordering gate.
+    let series_of = |name: &str| -> usize {
+        names.iter().position(|n| *n == name).unwrap_or_else(|| panic!("no `{name}` series"))
+    };
+    let (interp_i, tape_i, sw_i) = (series_of("interp"), series_of("tape"), series_of("superword"));
+    let speedup_series = |num: usize, den: usize| -> (f64, f64) {
+        let per_size: Vec<f64> = (0..sizes.len()).map(|i| gflops[num][i] / gflops[den][i]).collect();
+        (per_size.iter().cloned().fold(f64::INFINITY, f64::min), geomean(&per_size))
+    };
+    let (tape_min, tape_geo) = speedup_series(tape_i, interp_i);
+    let (sw_min, sw_geo) = speedup_series(sw_i, tape_i);
+    println!("\ntape over interp:     min {tape_min:.1}x, geomean {tape_geo:.1}x");
+    println!("superword over tape:  min {sw_min:.1}x, geomean {sw_geo:.1}x");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -146,19 +284,46 @@ fn main() {
         json.push_str(&format!("    \"{}\": [{}]{}\n", variant.name, series, comma));
     }
     json.push_str("  },\n");
+    json.push_str("  \"geomean_gflops\": {\n");
+    for (vi, variant) in variants.iter().enumerate() {
+        let comma = if vi + 1 < variants.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {}{}\n", variant.name, json_f64(series_geomeans[vi]), comma));
+    }
+    json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"speedup_tape_arena_over_interp\": {{ \"min\": {}, \"geomean\": {} }}\n",
-        json_f64(min_speedup),
-        json_f64(geomean)
+        "  \"speedup_tape_over_interp\": {{ \"min\": {}, \"geomean\": {} }},\n",
+        json_f64(tape_min),
+        json_f64(tape_geo)
+    ));
+    json.push_str(&format!(
+        "  \"speedup_superword_over_tape\": {{ \"min\": {}, \"geomean\": {} }}\n",
+        json_f64(sw_min),
+        json_f64(sw_geo)
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_gemm.json");
     println!("wrote {out_path}");
 
-    // CI gate: the tape backend must never be slower than the interpreter.
-    let tape_regressed = sizes.iter().enumerate().any(|(i, _)| gflops[1][i] < gflops[0][i]);
-    if tape_regressed {
-        eprintln!("FAIL: tape backend slower than the interpreter");
+    // CI gate 1: the backend ordering must hold at every size — a faster
+    // tier measuring slower than its own fallback is a hard regression.
+    let mut failed = false;
+    for (i, &size) in sizes.iter().enumerate() {
+        if gflops[tape_i][i] < gflops[interp_i][i] {
+            eprintln!("FAIL: tape slower than the interpreter at {size}");
+            failed = true;
+        }
+        if gflops[sw_i][i] < gflops[tape_i][i] {
+            eprintln!("FAIL: superword slower than the scalar tape at {size}");
+            failed = true;
+        }
+    }
+    // CI gate 2: the committed-baseline geomean check.
+    if let Some(baseline) = &baseline {
+        if !check_against_baseline(baseline, &sizes, &names, &gflops) {
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

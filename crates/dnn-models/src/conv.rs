@@ -47,7 +47,7 @@ impl ConvLayer {
     }
 }
 
-/// Applies the IM2ROW transform (Chellapilla et al., reference [25] of the
+/// Applies the IM2ROW transform (Chellapilla et al., reference \[25\] of the
 /// paper): a convolution at batch size 1 becomes a GEMM with
 /// `m = out_h * out_w`, `n = out_channels`, `k = kernel_h * kernel_w *
 /// in_channels`.

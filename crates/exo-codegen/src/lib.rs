@@ -13,7 +13,11 @@
 //! * [`exec::compile`] — an executable lowering used for functional
 //!   validation and wall-clock benches,
 //! * [`tape`] — a flat, register-allocated tape compiled from the executable
-//!   lowering: the fast backend the GEMM hot path dispatches through.
+//!   lowering: the scalar bytecode backend,
+//! * [`superword`] — the superword lowering of the tape: whole-vector ops
+//!   (`VLoad`, `VStore`, `VFmaLane`, `VFmaBcast`) that execute one vector
+//!   register per dispatch over a validated, bounds-free register file —
+//!   the fastest backend, and the one the GEMM hot path dispatches through.
 
 #![warn(missing_docs)]
 
@@ -21,6 +25,7 @@ pub mod asm;
 pub mod c;
 pub mod error;
 pub mod exec;
+pub mod superword;
 pub mod tape;
 pub mod trace;
 
@@ -28,5 +33,6 @@ pub use asm::{count_mnemonics, emit_asm};
 pub use c::emit_c;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};
+pub use superword::SuperwordKernel;
 pub use tape::{TapeKernel, TensorView};
 pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

@@ -1,0 +1,1158 @@
+//! Superword execution: whole-vector tape ops, one vector register per
+//! dispatch.
+//!
+//! The scalar tape of [`crate::tape`] already erased the expression trees,
+//! but it still *scalarises* the kernel's vector instructions: a
+//! `vld1q_f32` becomes four `LoadT` ops, a `vfmaq_laneq_f32` four `Fma`
+//! ops, and every one of them pays a dispatch, a register bounds check and
+//! a tensor bounds check. This module closes that gap with a classic
+//! superword-level-parallelism (SLP) pass over the scalar tape: runs of
+//! isomorphic lane ops over consecutive registers and consecutive affine
+//! addresses are re-rolled into whole-vector ops that execute an entire
+//! vector register per dispatch —
+//!
+//! * `VLoad` / `VStore` — `lanes` contiguous elements moved between a
+//!   tensor and a lane-aligned run of the register file (the tape's local
+//!   allocator aligns every local to `LANE_ALIGN` registers),
+//! * `VFmaLane` — `reg[dst+i] += reg[a+i] * reg[b]` for `i in 0..lanes`,
+//!   the `vfmaq_laneq_f32` shape (one lane of a vector register broadcast
+//!   across the accumulator),
+//! * `VFmaBcast` — the broadcast-from-memory FMA of `vfmaq_n_f32`: the
+//!   scalar tape's repeated `[LoadT rhs; Fma]` pairs collapse into one
+//!   load plus a vector FMA.
+//!
+//! **Validated construction.** [`TapeKernel::to_superword`] proves, at
+//! construction time, that every register operand (including the full
+//! `dst..dst+lanes` runs) stays inside the register file, that the loop
+//! structure is well formed, and that no packed op's scalar operand is
+//! clobbered by its own accumulator writes. At run time, a single exact
+//! interval analysis over the (affine) addresses and the dynamic-loop
+//! bounds proves every tensor access in bounds *before* the tape starts —
+//! which unlocks an `unsafe` bounds-free dispatch loop behind the safe
+//! [`SuperwordKernel::run_views`] API. When the proof does not go through
+//! (an address that could leave its buffer), execution transparently falls
+//! back to a fully checked loop with semantics — including the error
+//! reported — identical to the scalar tape's.
+//!
+//! Packing preserves the scalar tape's exact op order within each packed
+//! group (lanes execute in ascending order, multiplication commutes
+//! bitwise), so the superword backend is **bit-for-bit** equal to the
+//! scalar tape and the tree-walking interpreter; the differential suite in
+//! `tests/tape_exec.rs` asserts this across every registry shape.
+
+use crate::error::{CodegenError, Result};
+use crate::exec::{CompiledKernel, ParamKind, RunArg};
+use crate::tape::{Addr, TOp, TapeKernel, TensorView, Term};
+
+/// One superword tape operation. Packed ops carry their lane count; scalar
+/// leftovers ride along unchanged.
+#[derive(Debug, Clone)]
+enum VOp {
+    /// A scalar tape op that did not pack (never a loop marker).
+    Scalar(TOp),
+    /// `reg[dst..dst+lanes] = tensor[buf][addr..addr+lanes]`
+    VLoad { dst: u32, buf: u16, addr: Addr, lanes: u32 },
+    /// `tensor[buf][addr..addr+lanes] = reg[src..src+lanes]`
+    VStore { src: u32, buf: u16, addr: Addr, lanes: u32 },
+    /// `reg[dst+i] += reg[a+i] * reg[b]` for `i in 0..lanes` (`b` is one
+    /// lane of a vector register, held fixed across the run).
+    VFmaLane { dst: u32, a: u32, b: u32, lanes: u32 },
+    /// `reg[scratch] = tensor[buf][addr]; reg[dst+i] += reg[a+i] *
+    /// reg[scratch]` for `i in 0..lanes` — the broadcast-from-memory FMA.
+    /// `scratch` is written so the register file finishes in exactly the
+    /// state the scalar sequence leaves it in.
+    VFmaBcast { dst: u32, a: u32, buf: u16, addr: Addr, scratch: u32, lanes: u32 },
+    /// Enter a dynamic loop: evaluate bounds, jump to `end` if empty.
+    LoopBegin { slot: u16, lo: Addr, hi: Addr, end: u32 },
+    /// Bottom of a dynamic loop: bump the counter, jump back while it holds.
+    LoopEnd { slot: u16, begin: u32 },
+}
+
+/// A kernel lowered to whole-vector superword ops.
+///
+/// Obtained from [`TapeKernel::to_superword`] (or
+/// [`CompiledKernel::to_superword`]). Computes bit-for-bit the same result
+/// as the scalar tape and the interpreter, dispatching one vector register
+/// per op instead of one lane.
+#[derive(Debug, Clone)]
+pub struct SuperwordKernel {
+    /// Name of the source procedure.
+    pub name: String,
+    params: Vec<(String, ParamKind)>,
+    ops: Vec<VOp>,
+    n_regs: usize,
+    n_dyn_loops: usize,
+    tensor_written: Vec<bool>,
+    n_vector_ops: usize,
+    n_scalar_ops: usize,
+}
+
+fn unsupported(what: impl Into<String>) -> CodegenError {
+    CodegenError::Unsupported { backend: "superword", what: what.into() }
+}
+
+/// `next` is `base` shifted by a constant `k` (same strides, consecutive
+/// memory).
+fn addr_offset_by(base: &Addr, next: &Addr, k: i64) -> bool {
+    next.base == base.base + k && next.terms == base.terms
+}
+
+/// Maximal `VLoad` run starting at `ops[i]`: consecutive destination
+/// registers fed from consecutive addresses of one buffer.
+fn try_vload(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
+    let TOp::LoadT { dst, buf, addr } = &ops[i] else { return None };
+    let mut lanes: u32 = 1;
+    while let Some(TOp::LoadT { dst: d2, buf: b2, addr: a2 }) = ops.get(i + lanes as usize) {
+        if *b2 == *buf && *d2 == dst.wrapping_add(lanes) && addr_offset_by(addr, a2, i64::from(lanes)) {
+            lanes += 1;
+        } else {
+            break;
+        }
+    }
+    (lanes >= 2).then(|| (VOp::VLoad { dst: *dst, buf: *buf, addr: addr.clone(), lanes }, lanes as usize))
+}
+
+/// Maximal `VStore` run starting at `ops[i]`.
+fn try_vstore(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
+    let TOp::StoreT { src, buf, addr } = &ops[i] else { return None };
+    let mut lanes: u32 = 1;
+    while let Some(TOp::StoreT { src: s2, buf: b2, addr: a2 }) = ops.get(i + lanes as usize) {
+        if *b2 == *buf && *s2 == src.wrapping_add(lanes) && addr_offset_by(addr, a2, i64::from(lanes)) {
+            lanes += 1;
+        } else {
+            break;
+        }
+    }
+    (lanes >= 2).then(|| (VOp::VStore { src: *src, buf: *buf, addr: addr.clone(), lanes }, lanes as usize))
+}
+
+/// Maximal `VFmaLane` run starting at `ops[i]`: consecutive accumulators,
+/// one operand consecutive, the other held fixed. Multiplication commutes
+/// bitwise, so the fixed operand becomes the broadcast lane either way.
+fn try_vfma_lane(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
+    let TOp::Fma { dst, a, b } = &ops[i] else { return None };
+    let TOp::Fma { dst: d1, a: a1, b: b1 } = ops.get(i + 1)? else { return None };
+    if *d1 != dst + 1 {
+        return None;
+    }
+    // (vector operand base, fixed lane operand), determined by the second op.
+    let (vec0, lane) = if *a1 == a + 1 && b1 == b {
+        (*a, *b)
+    } else if a1 == a && *b1 == b + 1 {
+        (*b, *a)
+    } else {
+        return None;
+    };
+    let mut lanes: u32 = 2;
+    while let Some(TOp::Fma { dst: d2, a: a2, b: b2 }) = ops.get(i + lanes as usize) {
+        let (v2, l2) = if lane == *b { (*a2, *b2) } else { (*b2, *a2) };
+        if *d2 == dst.wrapping_add(lanes) && v2 == vec0.wrapping_add(lanes) && l2 == lane {
+            lanes += 1;
+        } else {
+            break;
+        }
+    }
+    // The fixed lane register is read once per lane; hoisting it out of the
+    // loop is only sound if no accumulator write can change it.
+    if lane >= *dst && lane < dst + lanes {
+        return None;
+    }
+    Some((VOp::VFmaLane { dst: *dst, a: vec0, b: lane, lanes }, lanes as usize))
+}
+
+/// Maximal `VFmaBcast` run starting at `ops[i]`: repeated `[LoadT t; Fma
+/// {dst+i, a+i, t}]` pairs where every load reads the *same* address into
+/// the *same* scratch register — the scalarised broadcast FMA. One load
+/// replaces them all (each re-load wrote the identical value).
+fn try_vfma_bcast(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
+    let TOp::LoadT { dst: t, buf, addr } = &ops[i] else { return None };
+    let TOp::Fma { dst, a, b } = ops.get(i + 1)? else { return None };
+    if b != t {
+        return None;
+    }
+    let mut lanes: u32 = 1;
+    loop {
+        let j = i + 2 * lanes as usize;
+        match (ops.get(j), ops.get(j + 1)) {
+            (Some(TOp::LoadT { dst: t2, buf: b2, addr: a2 }), Some(TOp::Fma { dst: d2, a: av2, b: bv2 }))
+                if t2 == t
+                    && *b2 == *buf
+                    && addr_offset_by(addr, a2, 0)
+                    && *d2 == dst.wrapping_add(lanes)
+                    && *av2 == a.wrapping_add(lanes)
+                    && bv2 == t =>
+            {
+                lanes += 1;
+            }
+            _ => break,
+        }
+    }
+    if lanes < 2 {
+        return None;
+    }
+    // The scratch register must survive the accumulator writes, or later
+    // lanes would read a clobbered broadcast value.
+    if *t >= *dst && *t < dst + lanes {
+        return None;
+    }
+    Some((
+        VOp::VFmaBcast { dst: *dst, a: *a, buf: *buf, addr: addr.clone(), scratch: *t, lanes },
+        2 * lanes as usize,
+    ))
+}
+
+/// The superword packing pass: re-roll isomorphic scalar runs into vector
+/// ops, rebuilding loop jump targets for the shorter op list.
+fn pack(ops: &[TOp]) -> Result<Vec<VOp>> {
+    let mut out: Vec<VOp> = Vec::with_capacity(ops.len());
+    let mut begin_stack: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        match &ops[i] {
+            TOp::LoopBegin { slot, lo, hi, .. } => {
+                begin_stack.push(out.len());
+                out.push(VOp::LoopBegin { slot: *slot, lo: lo.clone(), hi: hi.clone(), end: 0 });
+                i += 1;
+            }
+            TOp::LoopEnd { slot, .. } => {
+                let begin = begin_stack.pop().ok_or_else(|| unsupported("unbalanced loop end"))?;
+                out.push(VOp::LoopEnd { slot: *slot, begin: begin as u32 });
+                let end = out.len() as u32;
+                let VOp::LoopBegin { end: e, .. } = &mut out[begin] else { unreachable!() };
+                *e = end;
+                i += 1;
+            }
+            op @ TOp::LoadT { .. } => {
+                if let Some((vop, used)) = try_vfma_bcast(ops, i).or_else(|| try_vload(ops, i)) {
+                    out.push(vop);
+                    i += used;
+                } else {
+                    out.push(VOp::Scalar(op.clone()));
+                    i += 1;
+                }
+            }
+            op @ TOp::StoreT { .. } => {
+                if let Some((vop, used)) = try_vstore(ops, i) {
+                    out.push(vop);
+                    i += used;
+                } else {
+                    out.push(VOp::Scalar(op.clone()));
+                    i += 1;
+                }
+            }
+            op @ TOp::Fma { .. } => {
+                if let Some((vop, used)) = try_vfma_lane(ops, i) {
+                    out.push(vop);
+                    i += used;
+                } else {
+                    out.push(VOp::Scalar(op.clone()));
+                    i += 1;
+                }
+            }
+            op => {
+                out.push(VOp::Scalar(op.clone()));
+                i += 1;
+            }
+        }
+    }
+    if !begin_stack.is_empty() {
+        return Err(unsupported("unterminated loop"));
+    }
+    Ok(out)
+}
+
+/// Construction-time proof obligations for the bounds-free dispatch loop:
+/// every register operand (including whole `dst..dst+lanes` runs) indexes
+/// inside the register file, every buffer index inside the parameter list,
+/// every affine term inside its scalar/loop table (loop terms only under an
+/// open loop), and the loop markers form a well-nested structure with
+/// consistent jump targets.
+fn validate_construction(
+    ops: &[VOp],
+    n_regs: usize,
+    n_dyn: usize,
+    n_scalars: usize,
+    n_tensors: usize,
+) -> Result<()> {
+    let reg = |r: u32, lanes: u32| -> Result<()> {
+        if (r as usize) + (lanes as usize) > n_regs {
+            return Err(unsupported(format!("register run {r}+{lanes} exceeds file of {n_regs}")));
+        }
+        Ok(())
+    };
+    let buf = |b: u16| -> Result<()> {
+        if (b as usize) >= n_tensors {
+            return Err(unsupported(format!("tensor index {b} out of {n_tensors}")));
+        }
+        Ok(())
+    };
+    let mut active = vec![false; n_dyn];
+    let addr = |a: &Addr, active: &[bool]| -> Result<()> {
+        for &(t, _) in a.terms.iter() {
+            match t {
+                Term::Scalar(s) if (s as usize) < n_scalars => {}
+                Term::Loop(l) if (l as usize) < n_dyn && active[l as usize] => {}
+                _ => return Err(unsupported("affine term outside its table or loop")),
+            }
+        }
+        Ok(())
+    };
+    let mut stack: Vec<(usize, u16)> = Vec::new();
+    for (idx, op) in ops.iter().enumerate() {
+        match op {
+            VOp::Scalar(s) => match s {
+                TOp::ConstF { dst, .. } => reg(*dst, 1)?,
+                TOp::LoadT { dst, buf: b, addr: a } => {
+                    reg(*dst, 1)?;
+                    buf(*b)?;
+                    addr(a, &active)?;
+                }
+                TOp::StoreT { src, buf: b, addr: a } => {
+                    reg(*src, 1)?;
+                    buf(*b)?;
+                    addr(a, &active)?;
+                }
+                TOp::Mov { dst, src } | TOp::Neg { dst, src } | TOp::AddAssign { dst, src } => {
+                    reg(*dst, 1)?;
+                    reg(*src, 1)?;
+                }
+                TOp::Add { dst, a, b }
+                | TOp::Sub { dst, a, b }
+                | TOp::Mul { dst, a, b }
+                | TOp::Div { dst, a, b }
+                | TOp::Fma { dst, a, b } => {
+                    reg(*dst, 1)?;
+                    reg(*a, 1)?;
+                    reg(*b, 1)?;
+                }
+                TOp::CastI { dst, value } => {
+                    reg(*dst, 1)?;
+                    addr(value, &active)?;
+                }
+                TOp::Round { reg: r } => reg(*r, 1)?,
+                TOp::Zero { base, len } => reg(*base, *len)?,
+                TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => {
+                    return Err(unsupported("loop marker hidden in a scalar op"))
+                }
+            },
+            VOp::VLoad { dst, buf: b, addr: a, lanes } => {
+                reg(*dst, *lanes)?;
+                buf(*b)?;
+                addr(a, &active)?;
+            }
+            VOp::VStore { src, buf: b, addr: a, lanes } => {
+                reg(*src, *lanes)?;
+                buf(*b)?;
+                addr(a, &active)?;
+            }
+            VOp::VFmaLane { dst, a, b, lanes } => {
+                reg(*dst, *lanes)?;
+                reg(*a, *lanes)?;
+                reg(*b, 1)?;
+                if *b >= *dst && *b < dst + lanes {
+                    return Err(unsupported("broadcast lane aliases its accumulator run"));
+                }
+            }
+            VOp::VFmaBcast { dst, a, buf: b, addr: ad, scratch, lanes } => {
+                reg(*dst, *lanes)?;
+                reg(*a, *lanes)?;
+                reg(*scratch, 1)?;
+                buf(*b)?;
+                addr(ad, &active)?;
+                if *scratch >= *dst && *scratch < dst + lanes {
+                    return Err(unsupported("broadcast scratch aliases its accumulator run"));
+                }
+            }
+            VOp::LoopBegin { slot, lo, hi, .. } => {
+                if (*slot as usize) >= n_dyn || active[*slot as usize] {
+                    return Err(unsupported("bad loop slot"));
+                }
+                addr(lo, &active)?;
+                addr(hi, &active)?;
+                stack.push((idx, *slot));
+                active[*slot as usize] = true;
+            }
+            VOp::LoopEnd { slot, begin } => {
+                let Some((b_idx, b_slot)) = stack.pop() else {
+                    return Err(unsupported("unbalanced loop end"));
+                };
+                let VOp::LoopBegin { end, .. } = &ops[b_idx] else { unreachable!() };
+                if b_slot != *slot || *begin as usize != b_idx || *end as usize != idx + 1 {
+                    return Err(unsupported("inconsistent loop targets"));
+                }
+                active[*slot as usize] = false;
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(unsupported("unterminated loop"));
+    }
+    Ok(())
+}
+
+/// Exact interval of an affine address over the current loop-counter
+/// intervals (saturating, so overflow only ever widens the range and fails
+/// toward the checked path).
+fn addr_interval(a: &Addr, iv: &[(i64, i64)], scalars: &[i64]) -> (i64, i64) {
+    let (mut lo, mut hi) = (a.base, a.base);
+    for &(t, c) in a.terms.iter() {
+        let (tmin, tmax) = match t {
+            Term::Loop(i) => iv[i as usize],
+            Term::Scalar(i) => (scalars[i as usize], scalars[i as usize]),
+        };
+        let (p, q) = if c >= 0 { (tmin, tmax) } else { (tmax, tmin) };
+        lo = lo.saturating_add(c.saturating_mul(p));
+        hi = hi.saturating_add(c.saturating_mul(q));
+    }
+    (lo, hi)
+}
+
+impl TapeKernel {
+    /// Lowers this scalar tape to a [`SuperwordKernel`] via the superword
+    /// packing pass, proving the register-file obligations of the unsafe
+    /// dispatch loop at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::Unsupported`] if the tape violates a
+    /// structural invariant (which a tape built by
+    /// [`CompiledKernel::to_tape`] never does).
+    pub fn to_superword(&self) -> Result<SuperwordKernel> {
+        let ops = pack(&self.ops)?;
+        let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
+        let n_tensors = self.params.len() - n_scalars;
+        validate_construction(&ops, self.n_regs, self.n_dyn_loops, n_scalars, n_tensors)?;
+        let n_vector_ops = ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    VOp::VLoad { .. } | VOp::VStore { .. } | VOp::VFmaLane { .. } | VOp::VFmaBcast { .. }
+                )
+            })
+            .count();
+        let n_scalar_ops = ops.iter().filter(|op| matches!(op, VOp::Scalar(_))).count();
+        Ok(SuperwordKernel {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            ops,
+            n_regs: self.n_regs,
+            n_dyn_loops: self.n_dyn_loops,
+            tensor_written: self.tensor_written.clone(),
+            n_vector_ops,
+            n_scalar_ops,
+        })
+    }
+}
+
+impl CompiledKernel {
+    /// Compiles this kernel straight to a [`SuperwordKernel`]
+    /// (tape-compile, then superword-pack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::Unsupported`] for constructs the tape cannot
+    /// register-allocate; callers keep the interpreter as the fallback.
+    pub fn to_superword(&self) -> Result<SuperwordKernel> {
+        self.to_tape()?.to_superword()
+    }
+}
+
+impl SuperwordKernel {
+    /// Number of parameters (scalar and tensor) the kernel expects.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Parameter names in signature order.
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of ops on the superword tape (packed ops count once).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Size of the flat `f32` register file.
+    pub fn register_count(&self) -> usize {
+        self.n_regs
+    }
+
+    /// How many whole-vector ops the packing pass produced.
+    pub fn vector_op_count(&self) -> usize {
+        self.n_vector_ops
+    }
+
+    /// How many scalar ops survived unpacked.
+    pub fn scalar_op_count(&self) -> usize {
+        self.n_scalar_ops
+    }
+
+    /// Whether the tape stores to tensor parameter `idx` (counting tensor
+    /// parameters only, in signature order).
+    pub fn writes_tensor(&self, idx: usize) -> bool {
+        self.tensor_written.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Runs the superword tape through the same argument interface as
+    /// [`CompiledKernel::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::BadArguments`] on an argument-count or kind
+    /// mismatch and [`CodegenError::OutOfBounds`] if an access leaves its
+    /// buffer.
+    pub fn run(&self, args: &mut [RunArg<'_>]) -> Result<()> {
+        if args.len() != self.params.len() {
+            return Err(CodegenError::BadArguments {
+                reason: format!(
+                    "superword kernel `{}` expects {} arguments, got {}",
+                    self.name,
+                    self.params.len(),
+                    args.len()
+                ),
+            });
+        }
+        let mut scalars = Vec::new();
+        let mut tensors: Vec<TensorView<'_>> = Vec::new();
+        for ((name, kind), arg) in self.params.iter().zip(args.iter_mut()) {
+            match (kind, arg) {
+                (ParamKind::Scalar, RunArg::Size(v)) => scalars.push(*v),
+                (ParamKind::Tensor, RunArg::Tensor(t)) => tensors.push(TensorView::Rw(t)),
+                _ => {
+                    return Err(CodegenError::BadArguments {
+                        reason: format!("argument `{name}` has the wrong kind"),
+                    })
+                }
+            }
+        }
+        self.exec(&scalars, &mut tensors)
+    }
+
+    /// Runs the superword tape over borrowed tensor views.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::BadArguments`] if the counts do not match or
+    /// a read-only view is passed for a tensor the tape writes, and
+    /// [`CodegenError::OutOfBounds`] for accesses that leave a buffer.
+    pub fn run_views(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
+        let n_tensors = self.params.len() - n_scalars;
+        if scalars.len() != n_scalars || tensors.len() != n_tensors {
+            return Err(CodegenError::BadArguments {
+                reason: format!(
+                    "superword kernel `{}` expects {n_scalars} scalars and {n_tensors} tensors, got {} and {}",
+                    self.name,
+                    scalars.len(),
+                    tensors.len()
+                ),
+            });
+        }
+        for (i, view) in tensors.iter().enumerate() {
+            if matches!(view, TensorView::Ro(_)) && self.tensor_written[i] {
+                return Err(CodegenError::BadArguments {
+                    reason: format!(
+                        "superword kernel `{}` writes tensor parameter {i}, which was passed read-only",
+                        self.name
+                    ),
+                });
+            }
+        }
+        self.exec(scalars, tensors)
+    }
+
+    /// Runs a packed micro-kernel signature `(KC, Ac, Bc, C)`:
+    /// `c[nr][mr] += ac[kc][mr] * bc[kc][nr]` without copying the operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::BadArguments`] if the kernel does not have
+    /// the one-scalar/three-tensor packed signature or writes its packed
+    /// operands, and propagates execution errors.
+    pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
+        if n_scalars != 1 || self.params.len() != 4 {
+            return Err(CodegenError::BadArguments {
+                reason: format!(
+                    "superword kernel `{}` does not have the packed (KC, Ac, Bc, C) signature",
+                    self.name
+                ),
+            });
+        }
+        self.run_views(&[kc as i64], &mut [TensorView::Ro(ac), TensorView::Ro(bc), TensorView::Rw(c)])
+    }
+
+    fn exec(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        let lens: Vec<usize> = tensors.iter().map(|t| t.as_slice().len()).collect();
+        if self.bounds_provable(scalars, &lens) {
+            // SAFETY: `validate_construction` proved every register operand
+            // in range and the loop structure well formed;
+            // `bounds_provable` just proved every tensor access in bounds
+            // for these scalars and buffer lengths; and the written-tensor
+            // check in `run_views`/`run` guarantees stores only target
+            // mutably borrowed views.
+            unsafe { self.exec_unchecked(scalars, tensors) };
+            Ok(())
+        } else {
+            self.exec_checked(scalars, tensors)
+        }
+    }
+
+    /// The runtime half of the validation proof: an exact interval analysis
+    /// over the affine addresses. The tape has no data-dependent branches,
+    /// so an op inside a loop executes for *every* counter value in the
+    /// loop's range — the interval bound is not an approximation unless a
+    /// loop bound itself depends on an outer loop (where it degrades to a
+    /// safe over-approximation and execution falls back to the checked
+    /// loop).
+    fn bounds_provable(&self, scalars: &[i64], lens: &[usize]) -> bool {
+        let mut iv: Vec<(i64, i64)> = vec![(0, 0); self.n_dyn_loops];
+        let check = |a: &Addr, span: u32, iv: &[(i64, i64)], buf: u16| -> bool {
+            let (lo, hi) = addr_interval(a, iv, scalars);
+            lo >= 0 && hi.saturating_add(i64::from(span) - 1) < lens[buf as usize] as i64
+        };
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                VOp::Scalar(TOp::LoadT { buf, addr, .. })
+                | VOp::Scalar(TOp::StoreT { buf, addr, .. })
+                | VOp::VFmaBcast { buf, addr, .. }
+                    if !check(addr, 1, &iv, *buf) =>
+                {
+                    return false;
+                }
+                VOp::VLoad { buf, addr, lanes, .. } | VOp::VStore { buf, addr, lanes, .. }
+                    if !check(addr, *lanes, &iv, *buf) =>
+                {
+                    return false;
+                }
+                VOp::LoopBegin { slot, lo, hi, end } => {
+                    let (lo_min, _) = addr_interval(lo, &iv, scalars);
+                    let (_, hi_max) = addr_interval(hi, &iv, scalars);
+                    if hi_max.saturating_sub(1) < lo_min {
+                        // The loop never executes for any outer assignment:
+                        // skip its body entirely.
+                        pc = *end as usize;
+                        continue;
+                    }
+                    iv[*slot as usize] = (lo_min, hi_max - 1);
+                }
+                _ => {}
+            }
+            pc += 1;
+        }
+        true
+    }
+
+    /// The bounds-free dispatch loop.
+    ///
+    /// # Safety
+    ///
+    /// Callers must have established (a) the construction-time register and
+    /// loop-structure proof (always true for a [`SuperwordKernel`], checked
+    /// in `to_superword`), (b) `bounds_provable` for these exact scalars
+    /// and tensor lengths, and (c) that every tensor the tape writes is a
+    /// [`TensorView::Rw`].
+    unsafe fn exec_unchecked(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) {
+        let mut reg_file = vec![0.0f32; self.n_regs];
+        let regs = reg_file.as_mut_slice();
+        let mut loops = vec![0i64; self.n_dyn_loops];
+        let mut bounds = vec![0i64; self.n_dyn_loops];
+        // Raw base pointers; the `*mut` view of a read-only tensor is never
+        // written through (precondition (c)).
+        let tens: Vec<*mut f32> = tensors
+            .iter_mut()
+            .map(|t| match t {
+                TensorView::Ro(s) => s.as_ptr().cast_mut(),
+                TensorView::Rw(s) => s.as_mut_ptr(),
+            })
+            .collect();
+        let ops = &self.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match ops.get_unchecked(pc) {
+                VOp::VFmaLane { dst, a, b, lanes } => {
+                    let bval = *regs.get_unchecked(*b as usize);
+                    let (dst, a) = (*dst as usize, *a as usize);
+                    for i in 0..*lanes as usize {
+                        let av = *regs.get_unchecked(a + i);
+                        *regs.get_unchecked_mut(dst + i) += av * bval;
+                    }
+                }
+                VOp::VLoad { dst, buf, addr, lanes } => {
+                    let idx = addr.eval(&loops, scalars) as usize;
+                    let src = tens.get_unchecked(*buf as usize).add(idx);
+                    std::ptr::copy_nonoverlapping(src, regs.as_mut_ptr().add(*dst as usize), *lanes as usize);
+                }
+                VOp::VStore { src, buf, addr, lanes } => {
+                    let idx = addr.eval(&loops, scalars) as usize;
+                    let dst = tens.get_unchecked(*buf as usize).add(idx);
+                    std::ptr::copy_nonoverlapping(regs.as_ptr().add(*src as usize), dst, *lanes as usize);
+                }
+                VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
+                    let idx = addr.eval(&loops, scalars) as usize;
+                    let bval = *tens.get_unchecked(*buf as usize).add(idx);
+                    *regs.get_unchecked_mut(*scratch as usize) = bval;
+                    let (dst, a) = (*dst as usize, *a as usize);
+                    for i in 0..*lanes as usize {
+                        let av = *regs.get_unchecked(a + i);
+                        *regs.get_unchecked_mut(dst + i) += av * bval;
+                    }
+                }
+                VOp::LoopBegin { slot, lo, hi, end } => {
+                    let l = lo.eval(&loops, scalars);
+                    let h = hi.eval(&loops, scalars);
+                    if l >= h {
+                        pc = *end as usize;
+                        continue;
+                    }
+                    *loops.get_unchecked_mut(*slot as usize) = l;
+                    *bounds.get_unchecked_mut(*slot as usize) = h;
+                }
+                VOp::LoopEnd { slot, begin } => {
+                    let s = *slot as usize;
+                    *loops.get_unchecked_mut(s) += 1;
+                    if *loops.get_unchecked(s) < *bounds.get_unchecked(s) {
+                        pc = *begin as usize + 1;
+                        continue;
+                    }
+                }
+                VOp::Scalar(op) => match op {
+                    TOp::Fma { dst, a, b } => {
+                        let v = *regs.get_unchecked(*a as usize) * *regs.get_unchecked(*b as usize);
+                        *regs.get_unchecked_mut(*dst as usize) += v;
+                    }
+                    TOp::LoadT { dst, buf, addr } => {
+                        let idx = addr.eval(&loops, scalars) as usize;
+                        *regs.get_unchecked_mut(*dst as usize) = *tens.get_unchecked(*buf as usize).add(idx);
+                    }
+                    TOp::StoreT { src, buf, addr } => {
+                        let idx = addr.eval(&loops, scalars) as usize;
+                        *tens.get_unchecked(*buf as usize).add(idx) = *regs.get_unchecked(*src as usize);
+                    }
+                    TOp::ConstF { dst, val } => *regs.get_unchecked_mut(*dst as usize) = *val,
+                    TOp::Mov { dst, src } => {
+                        *regs.get_unchecked_mut(*dst as usize) = *regs.get_unchecked(*src as usize)
+                    }
+                    TOp::Add { dst, a, b } => {
+                        let v = *regs.get_unchecked(*a as usize) + *regs.get_unchecked(*b as usize);
+                        *regs.get_unchecked_mut(*dst as usize) = v;
+                    }
+                    TOp::Sub { dst, a, b } => {
+                        let v = *regs.get_unchecked(*a as usize) - *regs.get_unchecked(*b as usize);
+                        *regs.get_unchecked_mut(*dst as usize) = v;
+                    }
+                    TOp::Mul { dst, a, b } => {
+                        let v = *regs.get_unchecked(*a as usize) * *regs.get_unchecked(*b as usize);
+                        *regs.get_unchecked_mut(*dst as usize) = v;
+                    }
+                    TOp::Div { dst, a, b } => {
+                        let v = *regs.get_unchecked(*a as usize) / *regs.get_unchecked(*b as usize);
+                        *regs.get_unchecked_mut(*dst as usize) = v;
+                    }
+                    TOp::Neg { dst, src } => {
+                        *regs.get_unchecked_mut(*dst as usize) = -*regs.get_unchecked(*src as usize)
+                    }
+                    TOp::AddAssign { dst, src } => {
+                        let v = *regs.get_unchecked(*src as usize);
+                        *regs.get_unchecked_mut(*dst as usize) += v;
+                    }
+                    TOp::CastI { dst, value } => {
+                        *regs.get_unchecked_mut(*dst as usize) = value.eval(&loops, scalars) as f32
+                    }
+                    TOp::Round { reg } => {
+                        let r = regs.get_unchecked_mut(*reg as usize);
+                        *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
+                    }
+                    TOp::Zero { base, len } => {
+                        std::ptr::write_bytes(regs.as_mut_ptr().add(*base as usize), 0, *len as usize);
+                    }
+                    TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => {
+                        debug_assert!(false, "loop markers are lifted to VOp level");
+                    }
+                },
+            }
+            pc += 1;
+        }
+    }
+
+    /// The fully checked fallback, taken when the interval proof declines:
+    /// identical semantics (op order, rounding, and errors) to the scalar
+    /// tape, one lane at a time inside the packed ops.
+    fn exec_checked(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        let mut regs = vec![0.0f32; self.n_regs];
+        let mut loops = vec![0i64; self.n_dyn_loops];
+        let mut bounds = vec![0i64; self.n_dyn_loops];
+        let load =
+            |tensors: &[TensorView<'_>], buf: u16, idx: i64| -> Result<f32> {
+                let slice = tensors[buf as usize].as_slice();
+                slice.get(usize::try_from(idx).unwrap_or(usize::MAX)).copied().ok_or(
+                    CodegenError::OutOfBounds { buf: format!("Arg({buf})"), index: idx, len: slice.len() },
+                )
+            };
+        fn store(tensors: &mut [TensorView<'_>], buf: u16, idx: i64, value: f32) -> Result<()> {
+            match &mut tensors[buf as usize] {
+                TensorView::Rw(slice) => {
+                    let len = slice.len();
+                    *slice
+                        .get_mut(usize::try_from(idx).unwrap_or(usize::MAX))
+                        .ok_or(CodegenError::OutOfBounds { buf: format!("Arg({buf})"), index: idx, len })? =
+                        value;
+                    Ok(())
+                }
+                TensorView::Ro(_) => Err(CodegenError::BadArguments {
+                    reason: format!("store to read-only tensor parameter {buf}"),
+                }),
+            }
+        }
+        let ops = &self.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match &ops[pc] {
+                VOp::VFmaLane { dst, a, b, lanes } => {
+                    let bval = regs[*b as usize];
+                    for i in 0..*lanes as usize {
+                        let v = regs[*a as usize + i] * bval;
+                        regs[*dst as usize + i] += v;
+                    }
+                }
+                VOp::VLoad { dst, buf, addr, lanes } => {
+                    let base = addr.eval(&loops, scalars);
+                    for i in 0..*lanes as usize {
+                        regs[*dst as usize + i] = load(tensors, *buf, base + i as i64)?;
+                    }
+                }
+                VOp::VStore { src, buf, addr, lanes } => {
+                    let base = addr.eval(&loops, scalars);
+                    for i in 0..*lanes as usize {
+                        store(tensors, *buf, base + i as i64, regs[*src as usize + i])?;
+                    }
+                }
+                VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
+                    let bval = load(tensors, *buf, addr.eval(&loops, scalars))?;
+                    regs[*scratch as usize] = bval;
+                    for i in 0..*lanes as usize {
+                        let v = regs[*a as usize + i] * bval;
+                        regs[*dst as usize + i] += v;
+                    }
+                }
+                VOp::LoopBegin { slot, lo, hi, end } => {
+                    let l = lo.eval(&loops, scalars);
+                    let h = hi.eval(&loops, scalars);
+                    if l >= h {
+                        pc = *end as usize;
+                        continue;
+                    }
+                    loops[*slot as usize] = l;
+                    bounds[*slot as usize] = h;
+                }
+                VOp::LoopEnd { slot, begin } => {
+                    let s = *slot as usize;
+                    loops[s] += 1;
+                    if loops[s] < bounds[s] {
+                        pc = *begin as usize + 1;
+                        continue;
+                    }
+                }
+                VOp::Scalar(op) => match op {
+                    TOp::Fma { dst, a, b } => {
+                        let v = regs[*a as usize] * regs[*b as usize];
+                        regs[*dst as usize] += v;
+                    }
+                    TOp::LoadT { dst, buf, addr } => {
+                        regs[*dst as usize] = load(tensors, *buf, addr.eval(&loops, scalars))?;
+                    }
+                    TOp::StoreT { src, buf, addr } => {
+                        store(tensors, *buf, addr.eval(&loops, scalars), regs[*src as usize])?;
+                    }
+                    TOp::ConstF { dst, val } => regs[*dst as usize] = *val,
+                    TOp::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                    TOp::Add { dst, a, b } => {
+                        let v = regs[*a as usize] + regs[*b as usize];
+                        regs[*dst as usize] = v;
+                    }
+                    TOp::Sub { dst, a, b } => {
+                        let v = regs[*a as usize] - regs[*b as usize];
+                        regs[*dst as usize] = v;
+                    }
+                    TOp::Mul { dst, a, b } => {
+                        let v = regs[*a as usize] * regs[*b as usize];
+                        regs[*dst as usize] = v;
+                    }
+                    TOp::Div { dst, a, b } => {
+                        let v = regs[*a as usize] / regs[*b as usize];
+                        regs[*dst as usize] = v;
+                    }
+                    TOp::Neg { dst, src } => regs[*dst as usize] = -regs[*src as usize],
+                    TOp::AddAssign { dst, src } => {
+                        let v = regs[*src as usize];
+                        regs[*dst as usize] += v;
+                    }
+                    TOp::CastI { dst, value } => regs[*dst as usize] = value.eval(&loops, scalars) as f32,
+                    TOp::Round { reg } => {
+                        let r = &mut regs[*reg as usize];
+                        *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
+                    }
+                    TOp::Zero { base, len } => {
+                        regs[*base as usize..(*base + *len) as usize].fill(0.0);
+                    }
+                    TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => unreachable!("lifted to VOp level"),
+                },
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::compile;
+    use exo_ir::builder::*;
+    use exo_ir::{Expr, MemSpace, ScalarType};
+
+    /// A hand-staged 8x4 laneq-shaped kernel with the structure every
+    /// scheduled micro-kernel lowers to: the `C` tile and both operand
+    /// stages live in locals (registers), so the tape scalarises them into
+    /// exactly the lane runs the superword pass re-rolls.
+    fn staged_kernels() -> (TapeKernel, SuperwordKernel) {
+        let (mr, nr) = (8i64, 4i64);
+        let p = proc("ukr_8x4_staged")
+            .size_arg("KC")
+            .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(mr)], MemSpace::Dram)
+            .tensor_arg("Bc", ScalarType::F32, vec![var("KC"), int(nr)], MemSpace::Dram)
+            .tensor_arg("C", ScalarType::F32, vec![int(nr * mr)], MemSpace::Dram)
+            .body(vec![
+                alloc("Ct", ScalarType::F32, vec![int(nr), int(mr)], MemSpace::Neon),
+                alloc("Ra", ScalarType::F32, vec![int(mr)], MemSpace::Neon),
+                alloc("Rb", ScalarType::F32, vec![int(nr)], MemSpace::Neon),
+                for_(
+                    "j",
+                    0,
+                    nr,
+                    vec![for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign(
+                            "Ct",
+                            vec![var("j"), var("i")],
+                            read("C", vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))]),
+                        )],
+                    )],
+                ),
+                for_(
+                    "k",
+                    0,
+                    var("KC"),
+                    vec![
+                        for_(
+                            "i",
+                            0,
+                            mr,
+                            vec![assign("Ra", vec![var("i")], read("Ac", vec![var("k"), var("i")]))],
+                        ),
+                        for_(
+                            "j",
+                            0,
+                            nr,
+                            vec![assign("Rb", vec![var("j")], read("Bc", vec![var("k"), var("j")]))],
+                        ),
+                        for_(
+                            "j",
+                            0,
+                            nr,
+                            vec![for_(
+                                "i",
+                                0,
+                                mr,
+                                vec![reduce(
+                                    "Ct",
+                                    vec![var("j"), var("i")],
+                                    Expr::mul(read("Ra", vec![var("i")]), read("Rb", vec![var("j")])),
+                                )],
+                            )],
+                        ),
+                    ],
+                ),
+                for_(
+                    "j",
+                    0,
+                    nr,
+                    vec![for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign(
+                            "C",
+                            vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))],
+                            read("Ct", vec![var("j"), var("i")]),
+                        )],
+                    )],
+                ),
+            ])
+            .build();
+        let compiled = compile(&p).unwrap();
+        let tape = compiled.to_tape().unwrap();
+        let sw = tape.to_superword().unwrap();
+        (tape, sw)
+    }
+
+    #[test]
+    fn superword_matches_the_scalar_tape_bit_for_bit() {
+        let (tape, sw) = staged_kernels();
+        let (mr, nr, kc) = (8usize, 4usize, 29usize);
+        let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 7 + 3) % 13) as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 5 + 1) % 11) as f32 * 0.25 - 1.0).collect();
+        let c0: Vec<f32> = (0..nr * mr).map(|i| (i % 5) as f32 * 0.5).collect();
+        let mut c_tape = c0.clone();
+        tape.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+        let mut c_sw = c0.clone();
+        sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+        assert_eq!(c_tape, c_sw, "superword must be bit-for-bit equal to the scalar tape");
+    }
+
+    #[test]
+    fn unscheduled_kernels_survive_as_scalar_passthrough() {
+        // The unscheduled reference kernel keeps `C` in memory, so nothing
+        // packs — the superword tape degenerates to the scalar one (plus
+        // the unchecked dispatch) and must still agree bit for bit.
+        let p = exo_isa::ukernel_ref_simple(ScalarType::F32);
+        let p = exo_sched::partial_eval(&p, &[4, 4]).unwrap();
+        let compiled = compile(&p).unwrap();
+        let tape = compiled.to_tape().unwrap();
+        let sw = tape.to_superword().unwrap();
+        let kc = 13usize;
+        let a: Vec<f32> = (0..kc * 4).map(|i| (i % 7) as f32 * 0.25 - 0.5).collect();
+        let b: Vec<f32> = (0..kc * 4).map(|i| (i % 5) as f32 * 0.5 - 1.0).collect();
+        let c0: Vec<f32> = (0..16).map(|i| i as f32 * 0.125).collect();
+        let mut c_tape = c0.clone();
+        tape.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+        let mut c_sw = c0.clone();
+        sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+        assert_eq!(c_tape, c_sw);
+    }
+
+    #[test]
+    fn packing_produces_whole_vector_ops() {
+        let (tape, sw) = staged_kernels();
+        assert!(sw.vector_op_count() > 0, "the staged 8x4 kernel must pack");
+        // Packing re-rolls lane runs, so the superword tape is much shorter
+        // than the scalar one; the FMA stream packs completely.
+        assert!(sw.len() * 3 < tape.len(), "superword tape ({}) vs scalar tape ({})", sw.len(), tape.len());
+        assert!(sw.ops.iter().any(|op| matches!(op, VOp::VFmaLane { lanes, .. } if *lanes >= 4)));
+    }
+
+    #[test]
+    fn empty_kc_loops_skip_their_body() {
+        let (_, sw) = staged_kernels();
+        // kc = 0: the packed operands are empty, the KC loop never runs, and
+        // the interval proof must skip its body rather than reject it.
+        let mut c = vec![1.0f32; 32];
+        let before = c.clone();
+        sw.run_packed(0, &[], &[], &mut c).unwrap();
+        assert_eq!(c, before, "kc = 0 stages C through registers and writes it back unchanged");
+    }
+
+    #[test]
+    fn out_of_bounds_falls_back_to_the_checked_loop_and_reports() {
+        let p = proc("oob")
+            .size_arg("N")
+            .tensor_arg("x", ScalarType::F32, vec![var("N")], MemSpace::Dram)
+            .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(1.0))])])
+            .build();
+        let sw = compile(&p).unwrap().to_superword().unwrap();
+        let mut x = vec![0.0f32; 2];
+        // Claim N = 7 over a 2-element buffer: the interval proof declines,
+        // the checked loop reports exactly what the scalar tape would.
+        assert!(matches!(
+            sw.run(&mut [RunArg::Size(7), RunArg::Tensor(&mut x)]),
+            Err(CodegenError::OutOfBounds { .. })
+        ));
+        // The first two stores landed before the error, like the tape's.
+        assert_eq!(x, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn f16_rounding_matches_the_tape() {
+        let p = proc("round16")
+            .tensor_arg("out", ScalarType::F16, vec![int(2)], MemSpace::Dram)
+            .body(vec![assign("out", vec![int(0)], flt(1.0 + 1.0e-5)), reduce("out", vec![int(1)], flt(0.1))])
+            .build();
+        let compiled = compile(&p).unwrap();
+        let tape = compiled.to_tape().unwrap();
+        let sw = tape.to_superword().unwrap();
+        let mut out_tape = vec![0.0f32, 3.0];
+        tape.run(&mut [RunArg::Tensor(&mut out_tape)]).unwrap();
+        let mut out_sw = vec![0.0f32, 3.0];
+        sw.run(&mut [RunArg::Tensor(&mut out_sw)]).unwrap();
+        assert_eq!(out_tape, out_sw);
+    }
+
+    #[test]
+    fn written_tensors_and_argument_mismatches_are_rejected() {
+        let (_, sw) = staged_kernels();
+        assert!(!sw.writes_tensor(0) && !sw.writes_tensor(1) && sw.writes_tensor(2));
+        let a = vec![0.0f32; 8];
+        let b = vec![0.0f32; 4];
+        let c = vec![0.0f32; 32];
+        let err = sw.run_views(&[1], &mut [TensorView::Ro(&a), TensorView::Ro(&b), TensorView::Ro(&c)]);
+        assert!(matches!(err, Err(CodegenError::BadArguments { .. })));
+        let mut too_few = vec![RunArg::Size(1)];
+        assert!(matches!(sw.run(&mut too_few), Err(CodegenError::BadArguments { .. })));
+    }
+
+    #[test]
+    fn broadcast_pairs_pack_into_vfma_bcast() {
+        // The scalarised broadcast FMA: a register-staged operand times one
+        // memory element, accumulated into a register run — the tape
+        // interleaves [LoadT rhs; Fma] pairs, which must collapse into one
+        // VFmaBcast per statement.
+        let p = proc("bcast")
+            .tensor_arg("x", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+            .tensor_arg("s", ScalarType::F32, vec![int(1)], MemSpace::Dram)
+            .tensor_arg("y", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+            .body(vec![
+                alloc("acc", ScalarType::F32, vec![int(4)], MemSpace::Neon),
+                alloc("r", ScalarType::F32, vec![int(4)], MemSpace::Neon),
+                for_("i", 0, 4, vec![assign("r", vec![var("i")], read("x", vec![var("i")]))]),
+                for_(
+                    "i",
+                    0,
+                    4,
+                    vec![reduce(
+                        "acc",
+                        vec![var("i")],
+                        Expr::mul(read("r", vec![var("i")]), read("s", vec![int(0)])),
+                    )],
+                ),
+                for_("i", 0, 4, vec![assign("y", vec![var("i")], read("acc", vec![var("i")]))]),
+            ])
+            .build();
+        let compiled = compile(&p).unwrap();
+        let tape = compiled.to_tape().unwrap();
+        let sw = tape.to_superword().unwrap();
+        assert!(sw.ops.iter().any(|op| matches!(op, VOp::VFmaBcast { lanes: 4, .. })), "{:?}", sw.ops);
+        assert!(sw.ops.iter().any(|op| matches!(op, VOp::VLoad { lanes: 4, .. })));
+        assert!(sw.ops.iter().any(|op| matches!(op, VOp::VStore { lanes: 4, .. })));
+        let x = vec![1.5f32, -2.0, 0.25, 3.0];
+        let s = vec![0.5f32];
+        let run = |k: &dyn Fn(&mut [RunArg<'_>]) -> Result<()>| {
+            let mut xb = x.clone();
+            let mut sb = s.clone();
+            let mut y = vec![0.0f32; 4];
+            k(&mut [RunArg::Tensor(&mut xb), RunArg::Tensor(&mut sb), RunArg::Tensor(&mut y)]).unwrap();
+            y
+        };
+        assert_eq!(run(&|args| tape.run(args)), run(&|args| sw.run(args)));
+        assert_eq!(run(&|args| sw.run(args)), vec![0.75, -1.0, 0.125, 1.5]);
+    }
+}

@@ -43,10 +43,15 @@ const MAX_TAPE_OPS: usize = 1 << 20;
 /// registers while the tape is being built; cleared by the final remap.
 const TEMP_FLAG: u32 = 1 << 31;
 
+/// Vector lanes the register file is aligned to: every local buffer starts
+/// on a multiple of this, so the whole-vector ops of the superword backend
+/// ([`crate::superword`]) always address lane-aligned register runs.
+pub(crate) const LANE_ALIGN: u32 = 8;
+
 /// A term of an affine address: one dynamic-loop counter or one scalar
 /// parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Term {
+pub(crate) enum Term {
     Loop(u16),
     Scalar(u16),
 }
@@ -105,14 +110,14 @@ impl Affine {
 /// A precomputed affine address, evaluated per use with one multiply-add per
 /// term (typically zero or one term in a micro-kernel's hot loop).
 #[derive(Debug, Clone)]
-struct Addr {
-    base: i64,
-    terms: Box<[(Term, i64)]>,
+pub(crate) struct Addr {
+    pub(crate) base: i64,
+    pub(crate) terms: Box<[(Term, i64)]>,
 }
 
 impl Addr {
     #[inline]
-    fn eval(&self, loops: &[i64], scalars: &[i64]) -> i64 {
+    pub(crate) fn eval(&self, loops: &[i64], scalars: &[i64]) -> i64 {
         let mut v = self.base;
         for &(t, c) in self.terms.iter() {
             v += c * match t {
@@ -126,7 +131,7 @@ impl Addr {
 
 /// One tape operation. Register fields index the flat `f32` register file.
 #[derive(Debug, Clone)]
-enum TOp {
+pub(crate) enum TOp {
     /// `reg[dst] = val`
     ConstF { dst: u32, val: f32 },
     /// `reg[dst] = tensor[buf][addr]`
@@ -174,7 +179,7 @@ pub enum TensorView<'a> {
 
 impl TensorView<'_> {
     #[inline]
-    fn as_slice(&self) -> &[f32] {
+    pub(crate) fn as_slice(&self) -> &[f32] {
         match self {
             TensorView::Ro(s) => s,
             TensorView::Rw(s) => s,
@@ -191,12 +196,12 @@ impl TensorView<'_> {
 pub struct TapeKernel {
     /// Name of the source procedure.
     pub name: String,
-    params: Vec<(String, ParamKind)>,
-    ops: Vec<TOp>,
-    n_regs: usize,
-    n_dyn_loops: usize,
+    pub(crate) params: Vec<(String, ParamKind)>,
+    pub(crate) ops: Vec<TOp>,
+    pub(crate) n_regs: usize,
+    pub(crate) n_dyn_loops: usize,
     /// Per tensor-parameter flag: does any tape op store to it?
-    tensor_written: Vec<bool>,
+    pub(crate) tensor_written: Vec<bool>,
 }
 
 impl TapeKernel {
@@ -487,8 +492,11 @@ impl TapeBuilder {
     }
 
     fn persist_alloc(&mut self, len: u32) -> u32 {
-        let base = self.persist_next;
-        self.persist_next += len;
+        // Lane-align every local so the superword backend's whole-vector ops
+        // address lane-aligned register runs; the padding registers are never
+        // read or written.
+        let base = self.persist_next.next_multiple_of(LANE_ALIGN);
+        self.persist_next = base + len;
         base
     }
 

@@ -10,8 +10,9 @@
 //! * [`FunctionalCost`] — executes the candidate micro-kernel functionally
 //!   and extrapolates the measured wall-clock to the full problem.
 //!   Host-dependent; used to validate that a modelled ranking is not an
-//!   artefact of the model. Candidates dispatch through the tape-compiled
-//!   backend (`exo_codegen::tape`), so a functional tuning sweep costs a
+//!   artefact of the model. Candidates dispatch through the superword
+//!   backend (`exo_codegen::superword`, whole-vector ops over a validated
+//!   bounds-free register file), so a functional tuning sweep costs a
 //!   small multiple of an analytical one rather than orders of magnitude
 //!   more.
 //!

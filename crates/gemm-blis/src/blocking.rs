@@ -3,7 +3,7 @@
 //! and the micro-panels streaming through L1 (Section II-A of the paper).
 //!
 //! Two sources are provided: the analytical model of Low et al. ("Analytical
-//! modeling is enough for high-performance BLIS", reference [9] of the
+//! modeling is enough for high-performance BLIS", reference \[9\] of the
 //! paper), and the fixed values BLIS ships for the Carmel/A57 family, which
 //! the paper quotes (`kc = 512`). The choice between them is one of the
 //! ablations listed in DESIGN.md.

@@ -26,8 +26,8 @@ pub mod packing;
 
 pub use algorithm::{naive_gemm, BlisGemm, Matrix};
 pub use baselines::{
-    blis_assembly_kernel, exo_kernel, exo_kernel_interp, neon_intrinsics_kernel, reference_kernel,
-    ExecBackend, KernelImpl, KernelKind,
+    blis_assembly_kernel, exo_kernel, exo_kernel_interp, exo_kernel_tape, neon_intrinsics_kernel,
+    reference_kernel, ExecBackend, KernelImpl, KernelKind,
 };
 pub use blocking::BlockingParams;
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};

@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use exo_codegen::{
-    compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, TapeKernel,
+    compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, SuperwordKernel,
+    TapeKernel,
 };
 use exo_ir::{Proc, ScalarType};
 use exo_isa::VectorIsa;
@@ -92,25 +93,49 @@ pub struct GeneratedKernel {
     pub trace: KernelTrace,
     /// Executable lowering for functional runs.
     pub compiled: CompiledKernel,
-    /// Tape-compiled form of [`Self::compiled`]: the fast execution backend.
-    /// `None` when the scheduled form contains constructs the tape cannot
-    /// register-allocate, in which case runs fall back to the interpreter.
+    /// Tape-compiled form of [`Self::compiled`]: the scalar bytecode
+    /// backend. `None` when the scheduled form contains constructs the tape
+    /// cannot register-allocate, in which case runs fall back to the
+    /// interpreter.
     pub tape: Option<Arc<TapeKernel>>,
+    /// Superword lowering of [`Self::tape`]: whole-vector ops, one vector
+    /// register per dispatch — the fastest backend and the default for
+    /// [`Self::run_packed`]. `None` exactly when `tape` is `None`.
+    pub superword: Option<Arc<SuperwordKernel>>,
 }
 
 impl GeneratedKernel {
     /// Runs the kernel on packed operands: `c[nr][mr] += ac[kc][mr] *
     /// bc[kc][nr]` (row-major, exactly the layouts of the paper's Fig. 5).
     ///
-    /// Dispatches through the tape backend when one was compiled (the fast
-    /// path, no operand copies), falling back to the interpreter otherwise.
-    /// Both backends compute bit-for-bit identical results.
+    /// Dispatches through the superword backend when one was compiled (the
+    /// fast path: whole-vector ops, no operand copies), then the scalar
+    /// tape, then the interpreter. All backends compute bit-for-bit
+    /// identical results.
     ///
     /// # Errors
     ///
     /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
     /// shape.
     pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.check_packed_shape(kc, ac, bc, c)?;
+        match (&self.superword, &self.tape) {
+            (Some(sw), _) => sw.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+            (None, Some(tape)) => tape.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+            (None, None) => self.run_packed_interp_unchecked(kc, ac, bc, c),
+        }
+    }
+
+    /// Runs the kernel through the scalar tape regardless of whether a
+    /// superword lowering exists — the intermediate backend, kept callable
+    /// so differential tests and the `gemm_throughput` bench can compare
+    /// tiers. Falls back to the interpreter when no tape compiled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
+    /// shape.
+    pub fn run_packed_tape(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
         self.check_packed_shape(kc, ac, bc, c)?;
         match &self.tape {
             Some(tape) => tape.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
@@ -119,8 +144,8 @@ impl GeneratedKernel {
     }
 
     /// Runs the kernel through the tree-walking interpreter regardless of
-    /// whether a tape exists — the slow reference backend, kept callable so
-    /// differential tests and benches can compare the two.
+    /// which compiled backends exist — the slow reference backend, kept
+    /// callable so differential tests and benches can compare the tiers.
     ///
     /// # Errors
     ///
@@ -250,8 +275,10 @@ impl MicroKernelGenerator {
         let compiled = compile(&proc)?;
         // Tape compilation can legitimately decline (e.g. a shape the
         // scheduler left with data-dependent structure); the interpreter
-        // remains the fallback, so a missing tape is not an error.
+        // remains the fallback, so a missing tape is not an error. The
+        // superword lowering always succeeds on a valid tape.
         let tape = compiled.to_tape().ok().map(Arc::new);
+        let superword = tape.as_ref().and_then(|t| t.to_superword().ok()).map(Arc::new);
         Ok(GeneratedKernel {
             mr: opts.mr,
             nr: opts.nr,
@@ -266,6 +293,7 @@ impl MicroKernelGenerator {
             trace,
             compiled,
             tape,
+            superword,
         })
     }
 }

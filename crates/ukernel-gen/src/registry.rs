@@ -81,6 +81,23 @@ impl KernelCache {
         Ok(self.get_or_generate(generator, mr, nr)?.tape.clone())
     }
 
+    /// The cached superword backend for `(generator ISA, mr, nr)`,
+    /// generating the kernel on the first request. Superword tapes are
+    /// lowered once per kernel and cached alongside it; `None` means the
+    /// shape did not tape-compile (interpreter fallback).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::GenError`] if the shape cannot be generated.
+    pub fn get_or_generate_superword(
+        &self,
+        generator: &MicroKernelGenerator,
+        mr: usize,
+        nr: usize,
+    ) -> Result<Option<Arc<exo_codegen::SuperwordKernel>>> {
+        Ok(self.get_or_generate(generator, mr, nr)?.superword.clone())
+    }
+
     /// Inserts an externally generated kernel (e.g. one built with custom
     /// [`crate::KernelOptions`]) without counting a generator invocation.
     pub fn insert(&self, kernel: Arc<GeneratedKernel>) {
@@ -162,6 +179,18 @@ mod tests {
         let again = cache.get_or_generate_tape(&generator, 8, 12).unwrap().unwrap();
         assert_eq!(cache.generator_invocations(), 1);
         assert!(Arc::ptr_eq(&tape.unwrap(), &again));
+    }
+
+    #[test]
+    fn superword_tapes_are_cached_alongside_kernels() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let sw = cache.get_or_generate_superword(&generator, 8, 12).unwrap();
+        assert!(sw.is_some(), "the 8x12 kernel must superword-compile");
+        assert_eq!(cache.generator_invocations(), 1);
+        let again = cache.get_or_generate_superword(&generator, 8, 12).unwrap().unwrap();
+        assert_eq!(cache.generator_invocations(), 1);
+        assert!(Arc::ptr_eq(&sw.unwrap(), &again));
     }
 
     #[test]

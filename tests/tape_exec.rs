@@ -1,8 +1,9 @@
-//! Differential suite for the tape execution engine: the tape backend, the
-//! tree-walking interpreter, and the naive reference must agree — and where
-//! the computation is literally the same sequence of f32 operations
-//! (tape vs. interpreter, arena vs. legacy driver, 1 vs. N threads), they
-//! must agree **bit for bit**.
+//! Differential suite for the tape execution engines: the superword
+//! backend, the scalar tape, the tree-walking interpreter, and the naive
+//! reference must agree — and where the computation is literally the same
+//! sequence of f32 operations (superword vs. tape vs. interpreter, arena
+//! vs. legacy driver, 1 vs. N threads, ic vs. jc split), they must agree
+//! **bit for bit**.
 
 mod common;
 
@@ -10,7 +11,9 @@ use std::sync::Arc;
 
 use common::Cases;
 use exo_gemm::exo_isa::neon_f32;
-use exo_gemm::gemm_blis::{exo_kernel, exo_kernel_interp, naive_gemm, BlisGemm, BlockingParams, Matrix};
+use exo_gemm::gemm_blis::{
+    exo_kernel, exo_kernel_interp, exo_kernel_tape, naive_gemm, BlisGemm, BlockingParams, Matrix,
+};
 use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
 fn packed_operands(mr: usize, nr: usize, kc: usize, cases: &mut Cases) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
@@ -20,34 +23,41 @@ fn packed_operands(mr: usize, nr: usize, kc: usize, cases: &mut Cases) -> (Vec<f
     (a, b, c)
 }
 
-/// `TapeKernel` ≡ `CompiledKernel` bit-for-bit on every registry tile shape,
-/// across several KC values including `k = 1`.
+/// `SuperwordKernel` ≡ `TapeKernel` ≡ `CompiledKernel` bit-for-bit on every
+/// registry tile shape, across several KC values including `k = 0` and
+/// `k = 1`.
 #[test]
-fn tape_equals_interpreter_bit_for_bit_across_registry_shapes() {
+fn superword_equals_tape_equals_interpreter_bit_for_bit_across_registry_shapes() {
     let cache = KernelCache::new();
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x7a9e);
     for (mr, nr) in KernelSet::paper_shapes() {
         let kernel = cache.get_or_generate(&generator, mr, nr).unwrap();
         assert!(kernel.tape.is_some(), "{mr}x{nr} must tape-compile");
-        for kc in [1usize, 2, 17, 64] {
+        let sw = kernel.superword.as_ref().unwrap_or_else(|| panic!("{mr}x{nr} must superword-compile"));
+        assert!(sw.vector_op_count() > 0, "{mr}x{nr} must pack whole-vector ops");
+        for kc in [0usize, 1, 2, 17, 64] {
             let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
+            let mut c_sw = c0.clone();
+            kernel.run_packed(kc, &a, &b, &mut c_sw).unwrap();
             let mut c_tape = c0.clone();
-            kernel.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+            kernel.run_packed_tape(kc, &a, &b, &mut c_tape).unwrap();
             let mut c_interp = c0.clone();
             kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
+            assert_eq!(c_sw, c_tape, "{mr}x{nr} kc={kc}: superword vs tape");
             assert_eq!(c_tape, c_interp, "{mr}x{nr} kc={kc}: tape vs interpreter");
         }
     }
-    // The cache compiled each tape exactly once, alongside its kernel.
+    // The cache compiled each tape and superword lowering exactly once,
+    // alongside its kernel.
     assert_eq!(cache.generator_invocations(), KernelSet::paper_shapes().len() as u64);
 }
 
-/// The tape path agrees with `naive_gemm` (to accumulation tolerance) on
-/// fringe-heavy problems through the full five-loop driver, and the tape
-/// driver run is bit-identical to the interpreter driver run.
+/// The superword path agrees with `naive_gemm` (to accumulation tolerance)
+/// on fringe-heavy problems through the full five-loop driver, and the
+/// superword, scalar-tape, and interpreter driver runs are bit-identical.
 #[test]
-fn tape_driver_matches_naive_on_fringe_heavy_problems() {
+fn superword_driver_matches_naive_on_fringe_heavy_problems() {
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x51ab);
     // (mr, nr) x (m, n, k) including m < mr, n < nr, and k = 1.
@@ -61,8 +71,12 @@ fn tape_driver_matches_naive_on_fringe_heavy_problems() {
             let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
             let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr, nr };
 
+            let mut c_sw = c0.clone();
+            BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_sw).unwrap();
+
             let mut c_tape = c0.clone();
-            BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_tape).unwrap();
+            BlisGemm::new(blocking).gemm(&exo_kernel_tape(Arc::clone(&kernel)), &a, &b, &mut c_tape).unwrap();
+            assert_eq!(c_sw.data, c_tape.data, "{mr}x{nr} on {m}x{n}x{k}: superword driver vs tape driver");
 
             let mut c_interp = c0.clone();
             BlisGemm::new(blocking)
@@ -75,11 +89,11 @@ fn tape_driver_matches_naive_on_fringe_heavy_problems() {
 
             let mut c_ref = c0.clone();
             naive_gemm(&a, &b, &mut c_ref);
-            for idx in 0..c_tape.data.len() {
+            for idx in 0..c_sw.data.len() {
                 assert!(
-                    (c_tape.data[idx] - c_ref.data[idx]).abs() < 1e-3,
+                    (c_sw.data[idx] - c_ref.data[idx]).abs() < 1e-3,
                     "{mr}x{nr} on {m}x{n}x{k} mismatch at {idx}: {} vs {}",
-                    c_tape.data[idx],
+                    c_sw.data[idx],
                     c_ref.data[idx]
                 );
             }
@@ -132,6 +146,44 @@ fn thread_count_never_changes_the_result() {
                 .gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut cn)
                 .unwrap();
             assert_eq!(c1.data, cn.data, "{m}x{n}x{k} with {threads} threads");
+        }
+    }
+}
+
+/// Wide-and-short problems take the `jc` column split instead of the `ic`
+/// row split; across fringe-heavy shapes and every backend it must stay
+/// bit-identical to the sequential run and match the naive reference.
+#[test]
+fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = Arc::new(generator.generate(8, 12).unwrap());
+    let mut cases = Cases::new(0x1c0f);
+    // Single ic block (m <= mc) with many nc-wide jc blocks, including a
+    // fringe column block and a fringe row range.
+    let blocking = BlockingParams { mc: 32, kc: 16, nc: 24, mr: 8, nr: 12 };
+    for &(m, n, k) in &[(8usize, 200usize, 33usize), (13, 100, 9), (5, 49, 17)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+        let mut c_seq = c0.clone();
+        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_seq).unwrap();
+        for threads in [2usize, 4, 7] {
+            for (label, kimpl) in [
+                ("superword", exo_kernel(Arc::clone(&kernel))),
+                ("tape", exo_kernel_tape(Arc::clone(&kernel))),
+            ] {
+                let mut c_par = c0.clone();
+                BlisGemm::new(blocking).with_threads(threads).gemm(&kimpl, &a, &b, &mut c_par).unwrap();
+                assert_eq!(
+                    c_seq.data, c_par.data,
+                    "{m}x{n}x{k} jc split, {threads} threads, {label} backend"
+                );
+            }
+        }
+        let mut c_ref = c0.clone();
+        naive_gemm(&a, &b, &mut c_ref);
+        for idx in 0..c_seq.data.len() {
+            assert!((c_seq.data[idx] - c_ref.data[idx]).abs() < 1e-3, "{m}x{n}x{k} at {idx}");
         }
     }
 }
