@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exo_isa::neon_f32;
-use gemm_blis::{exo_kernel, naive_gemm, neon_intrinsics_kernel, BlisGemm, BlockingParams, Matrix};
+use gemm_blis::{
+    exo_kernel, naive_gemm, neon_intrinsics_kernel, BlisGemm, BlockingParams, GemmProblem, Matrix,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use ukernel_gen::MicroKernelGenerator;
@@ -38,7 +40,9 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("blis_like", label), |bench| {
             bench.iter(|| {
                 let mut c_out = Matrix::zeros(m, n);
-                driver.gemm(kernel, black_box(&a), black_box(&b), &mut c_out).unwrap();
+                let problem =
+                    GemmProblem::new(black_box(&a).view(), black_box(&b).view(), c_out.view_mut());
+                driver.gemm_with(kernel, problem).unwrap();
                 black_box(c_out);
             });
         });

@@ -11,7 +11,12 @@
 //! * `superword+arena`          — superword kernel plus the arenas: the
 //!   default production path,
 //! * `superword+arena+threads`  — arenas plus the threaded block loop
-//!   (all cores).
+//!   (all cores),
+//! * `superword+arena+strided`  — the production path over *strided*
+//!   operand views (padded leading dimensions on `A`, `B`, and `C`),
+//! * `superword+arena+transB`   — the production path with `op(B) = T`
+//!   (`B` stored `n x k`, transposed through the view, folded into
+//!   packing's stride walk).
 //!
 //! Unlike the figure harnesses (which report *modelled* Carmel GFLOPS),
 //! these are real measured numbers on the host — the perf trajectory data
@@ -32,7 +37,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_tape, BlisGemm, BlockingParams, KernelImpl, Matrix,
+    exo_kernel, exo_kernel_interp, exo_kernel_tape, BlisGemm, BlockingParams, GemmProblem, KernelImpl,
+    MatMut, MatRef,
 };
 use ukernel_gen::MicroKernelGenerator;
 
@@ -47,28 +53,97 @@ const QUICK_SIZES: [usize; 2] = [128, 256];
 /// Geomean drop tolerated by `--check` before the gate fails.
 const CHECK_TOLERANCE: f64 = 0.25;
 
+/// How a variant lays out and views its operands.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Dense row-major `A`, `B`, `C` — the historical series.
+    Dense,
+    /// Dense buffers with a padded leading dimension on every operand: the
+    /// views are strided sub-matrices of wider allocations.
+    Strided,
+    /// `B` stored `n x k` and passed through `op(B) = T`.
+    TransposedB,
+}
+
+/// Extra columns a [`Mode::Strided`] allocation carries beyond the viewed
+/// extent (a deliberately cache-unfriendly leading dimension).
+const STRIDE_PAD: usize = 16;
+
 struct Variant {
     name: &'static str,
     kernel: KernelImpl,
     driver: BlisGemm,
+    mode: Mode,
 }
 
-fn matrices(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
-    let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0);
-    let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0);
-    let c = Matrix::zeros(m, n);
-    (a, b, c)
+/// Owned operand storage for one measurement, laid out per [`Mode`].
+struct Operands {
+    mode: Mode,
+    size: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl Operands {
+    fn new(mode: Mode, size: usize) -> Self {
+        let (m, n, k) = (size, size, size);
+        let av = |i: usize, j: usize| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0;
+        let bv = |i: usize, j: usize| ((i * 5 + j * 11 + 2) % 17) as f32 * 0.125 - 1.0;
+        let fill = |rows: usize, cols: usize, ld: usize, f: &dyn Fn(usize, usize) -> f32| -> Vec<f32> {
+            let mut v = vec![0.0f32; rows * ld];
+            for i in 0..rows {
+                for j in 0..cols {
+                    v[i * ld + j] = f(i, j);
+                }
+            }
+            v
+        };
+        let (a, b, c) = match mode {
+            Mode::Dense => (fill(m, k, k, &av), fill(k, n, n, &bv), vec![0.0f32; m * n]),
+            Mode::Strided => (
+                fill(m, k, k + STRIDE_PAD, &av),
+                fill(k, n, n + STRIDE_PAD, &bv),
+                vec![0.0f32; m * (n + STRIDE_PAD)],
+            ),
+            // B^T stored n x k: element (j, i) of the buffer is B[i][j].
+            Mode::TransposedB => (fill(m, k, k, &av), fill(n, k, k, &|j, i| bv(i, j)), vec![0.0f32; m * n]),
+        };
+        Operands { mode, size, a, b, c }
+    }
+
+    fn problem(&mut self) -> GemmProblem<'_> {
+        let (m, n, k) = (self.size, self.size, self.size);
+        match self.mode {
+            Mode::Dense => GemmProblem::new(
+                MatRef::from_slice(&self.a, m, k),
+                MatRef::from_slice(&self.b, k, n),
+                MatMut::from_slice(&mut self.c, m, n),
+            ),
+            Mode::Strided => GemmProblem::new(
+                MatRef::with_strides(&self.a, m, k, k + STRIDE_PAD, 1),
+                MatRef::with_strides(&self.b, k, n, n + STRIDE_PAD, 1),
+                MatMut::with_strides(&mut self.c, m, n, n + STRIDE_PAD, 1),
+            ),
+            Mode::TransposedB => GemmProblem::new(
+                MatRef::from_slice(&self.a, m, k),
+                MatRef::from_slice(&self.b, n, k),
+                MatMut::from_slice(&mut self.c, m, n),
+            )
+            .transpose_b(),
+        }
+    }
 }
 
 /// Measures one configuration at one size, returning measured GFLOPS
 /// (`2 m n k` useful flops per wall-clock second, best of `reps` runs).
 fn measure(variant: &Variant, size: usize, reps: usize) -> f64 {
-    let (a, b, mut c) = matrices(size, size, size);
+    let mut operands = Operands::new(variant.mode, size);
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        c.data.fill(0.0);
+        operands.c.fill(0.0);
         let start = Instant::now();
-        variant.driver.gemm(&variant.kernel, &a, &b, &mut c).expect("gemm run");
+        variant.driver.gemm_with(&variant.kernel, operands.problem()).expect("gemm run");
         best = best.min(start.elapsed().as_secs_f64());
     }
     let flops = 2.0 * (size as f64).powi(3);
@@ -202,31 +277,49 @@ fn main() {
             name: "interp",
             kernel: exo_kernel_interp(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
+            mode: Mode::Dense,
         },
         Variant {
             name: "tape",
             kernel: exo_kernel_tape(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
+            mode: Mode::Dense,
         },
         Variant {
             name: "tape+arena",
             kernel: exo_kernel_tape(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
+            mode: Mode::Dense,
         },
         Variant {
             name: "superword",
             kernel: exo_kernel(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
+            mode: Mode::Dense,
         },
         Variant {
             name: "superword+arena",
             kernel: exo_kernel(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
+            mode: Mode::Dense,
         },
         Variant {
             name: "superword+arena+threads",
             kernel: exo_kernel(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).with_threads(0),
+            mode: Mode::Dense,
+        },
+        Variant {
+            name: "superword+arena+strided",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking),
+            mode: Mode::Strided,
+        },
+        Variant {
+            name: "superword+arena+transB",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking),
+            mode: Mode::TransposedB,
         },
     ];
     let names: Vec<&str> = variants.iter().map(|v| v.name).collect();

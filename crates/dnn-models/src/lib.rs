@@ -1,10 +1,21 @@
 //! # dnn-models
 //!
 //! The deep-learning workloads of the paper's Section IV-C: the convolution
-//! layers of ResNet50 v1.5 and VGG16, lowered to GEMM problems with the
-//! IM2ROW transform at batch size 1 (Tables I and II), together with the
-//! per-layer repetition counts needed to reproduce the aggregated inference
-//! time figures (Figs. 16 and 18).
+//! layers of ResNet50 v1.5 and VGG16, lowered to GEMM with the IM2ROW
+//! transform at batch size 1 (Tables I and II), together with the per-layer
+//! repetition counts needed to reproduce the aggregated inference time
+//! figures (Figs. 16 and 18).
+//!
+//! Two layers of lowering are provided:
+//!
+//! * [`im2row`] — the *shape* lowering: a [`ConvLayer`] becomes a
+//!   [`GemmShape`] (`m`, `n`, `k` plus layer numbers), the unit the
+//!   autotuner and the figure harnesses sweep;
+//! * [`conv::conv2d`] — the *execution* lowering: run a layer's forward
+//!   pass through any [`gemm_blis::GemmExecutor`], feeding pointwise
+//!   (1x1, stride 1) convolutions as zero-copy strided views and
+//!   materialising im2row panels only when the access pattern genuinely
+//!   needs a gather.
 
 #![warn(missing_docs)]
 
@@ -12,14 +23,16 @@ pub mod conv;
 pub mod resnet50;
 pub mod vgg16;
 
-pub use conv::{im2row, ConvLayer};
+pub use conv::{conv2d, conv2d_reference, im2row, ConvLayer};
 pub use resnet50::resnet50_table;
 pub use vgg16::{vgg16_conv_layers, vgg16_table};
 
-/// A GEMM problem `C(m x n) += A(m x k) * B(k x n)` derived from one or more
-/// identical convolution layers.
+/// The GEMM shape `C(m x n) = A(m x k) * B(k x n)` derived from one or more
+/// identical convolution layers — a problem *descriptor* (no data); the
+/// executable counterpart with views and scalars is
+/// [`gemm_blis::GemmProblem`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GemmProblem {
+pub struct GemmShape {
     /// Row count of `A` and `C`.
     pub m: usize,
     /// Column count of `B` and `C`.
@@ -31,10 +44,10 @@ pub struct GemmProblem {
     pub layer_numbers: Vec<u32>,
 }
 
-impl GemmProblem {
+impl GemmShape {
     /// Creates a problem.
     pub fn new(m: usize, n: usize, k: usize, layer_numbers: Vec<u32>) -> Self {
-        GemmProblem { m, n, k, layer_numbers }
+        GemmShape { m, n, k, layer_numbers }
     }
 
     /// Floating-point operations of a single instance of the problem.
@@ -55,14 +68,14 @@ pub struct ModelWorkload {
     /// Human-readable model name.
     pub name: String,
     /// Unique GEMM problems in layer order (the rows of Table I / II).
-    pub unique_layers: Vec<GemmProblem>,
+    pub unique_layers: Vec<GemmShape>,
 }
 
 impl ModelWorkload {
     /// Every layer instance in execution order (repeated layers expanded),
     /// as `(layer_number, problem)` pairs — the x-axis of Figs. 16 and 18.
-    pub fn instances(&self) -> Vec<(u32, &GemmProblem)> {
-        let mut out: Vec<(u32, &GemmProblem)> = Vec::new();
+    pub fn instances(&self) -> Vec<(u32, &GemmShape)> {
+        let mut out: Vec<(u32, &GemmShape)> = Vec::new();
         for p in &self.unique_layers {
             for &id in &p.layer_numbers {
                 out.push((id, p));
@@ -91,7 +104,7 @@ mod tests {
 
     #[test]
     fn problem_flops() {
-        let p = GemmProblem::new(100, 10, 4, vec![1]);
+        let p = GemmShape::new(100, 10, 4, vec![1]);
         assert_eq!(p.flops(), 8000);
         assert_eq!(p.occurrences(), 1);
     }
@@ -102,7 +115,7 @@ mod tests {
         assert_eq!(w.unique_layers.len(), 20);
         assert_eq!(w.instances().len(), 53);
         // First layer of Table I.
-        assert_eq!(w.unique_layers[0], GemmProblem::new(12544, 64, 147, vec![1]));
+        assert_eq!(w.unique_layers[0], GemmShape::new(12544, 64, 147, vec![1]));
         // Layer id 083 belongs to the 196 x 256 x 2304 problem.
         let binding = w.instances();
         let (_, p) = binding.iter().find(|(id, _)| *id == 83).unwrap();
@@ -114,7 +127,7 @@ mod tests {
         let w = vgg16_table();
         assert_eq!(w.unique_layers.len(), 9);
         assert_eq!(w.instances().len(), 13);
-        assert_eq!(w.unique_layers[0], GemmProblem::new(50176, 64, 27, vec![1]));
+        assert_eq!(w.unique_layers[0], GemmShape::new(50176, 64, 27, vec![1]));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! is additionally re-derived from the network architecture as a cross-check
 //! of the IM2ROW lowering.
 
-use crate::{GemmProblem, ModelWorkload};
+use crate::{GemmShape, ModelWorkload};
 
 /// The 20 unique GEMM problems of ResNet50 v1.5 (Table I), batch size 1.
 pub fn resnet50_table() -> ModelWorkload {
@@ -34,7 +34,7 @@ pub fn resnet50_table() -> ModelWorkload {
     ];
     ModelWorkload {
         name: "ResNet50 v1.5".to_string(),
-        unique_layers: rows.into_iter().map(|(m, n, k, ids)| GemmProblem::new(m, n, k, ids)).collect(),
+        unique_layers: rows.into_iter().map(|(m, n, k, ids)| GemmShape::new(m, n, k, ids)).collect(),
     }
 }
 
@@ -46,9 +46,9 @@ mod tests {
     fn table_matches_the_paper_rows() {
         let w = resnet50_table();
         // Spot-check a few rows against Table I.
-        assert_eq!(w.unique_layers[2], GemmProblem::new(3136, 64, 576, vec![9, 21, 31]));
-        assert_eq!(w.unique_layers[16], GemmProblem::new(49, 512, 4608, vec![145, 157, 167]));
-        assert_eq!(w.unique_layers[19], GemmProblem::new(49, 512, 2048, vec![154, 164]));
+        assert_eq!(w.unique_layers[2], GemmShape::new(3136, 64, 576, vec![9, 21, 31]));
+        assert_eq!(w.unique_layers[16], GemmShape::new(49, 512, 4608, vec![145, 157, 167]));
+        assert_eq!(w.unique_layers[19], GemmShape::new(49, 512, 2048, vec![154, 164]));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! network architecture through [`crate::im2row`].
 
 use crate::conv::{im2row, ConvLayer};
-use crate::{GemmProblem, ModelWorkload};
+use crate::{GemmShape, ModelWorkload};
 
 /// The 13 convolution layers of VGG16 (all 3x3, stride 1, padding 1), with
 /// the paper's layer numbering.
@@ -44,7 +44,7 @@ pub fn vgg16_conv_layers() -> Vec<ConvLayer> {
 /// The 9 unique GEMM problems of VGG16 (Table II), batch size 1, derived from
 /// [`vgg16_conv_layers`] via IM2ROW and grouped by identical dimensions.
 pub fn vgg16_table() -> ModelWorkload {
-    let mut unique: Vec<GemmProblem> = Vec::new();
+    let mut unique: Vec<GemmShape> = Vec::new();
     for layer in vgg16_conv_layers() {
         let g = im2row(&layer);
         match unique.iter_mut().find(|p| p.m == g.m && p.n == g.n && p.k == g.k) {

@@ -33,6 +33,6 @@ pub use asm::{count_mnemonics, emit_asm};
 pub use c::emit_c;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};
-pub use superword::SuperwordKernel;
+pub use superword::{SuperwordDispatch, SuperwordKernel};
 pub use tape::{TapeKernel, TensorView};
 pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

@@ -543,6 +543,13 @@ impl SuperwordKernel {
     /// a read-only view is passed for a tensor the tape writes, and
     /// [`CodegenError::OutOfBounds`] for accesses that leave a buffer.
     pub fn run_views(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        self.validate_views(scalars, tensors)?;
+        self.exec(scalars, tensors)
+    }
+
+    /// The argument validation shared by the one-shot entry points and the
+    /// prove-once [`SuperwordDispatch`] handle.
+    fn validate_views(&self, scalars: &[i64], tensors: &[TensorView<'_>]) -> Result<()> {
         let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
         let n_tensors = self.params.len() - n_scalars;
         if scalars.len() != n_scalars || tensors.len() != n_tensors {
@@ -565,7 +572,22 @@ impl SuperwordKernel {
                 });
             }
         }
-        self.exec(scalars, tensors)
+        Ok(())
+    }
+
+    /// Whether the kernel has the packed `(KC, Ac, Bc, C)` micro-kernel
+    /// signature (one scalar, three tensors).
+    fn check_packed_signature(&self) -> Result<()> {
+        let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
+        if n_scalars != 1 || self.params.len() != 4 {
+            return Err(CodegenError::BadArguments {
+                reason: format!(
+                    "superword kernel `{}` does not have the packed (KC, Ac, Bc, C) signature",
+                    self.name
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Runs a packed micro-kernel signature `(KC, Ac, Bc, C)`:
@@ -577,19 +599,12 @@ impl SuperwordKernel {
     /// the one-scalar/three-tensor packed signature or writes its packed
     /// operands, and propagates execution errors.
     pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
-        let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
-        if n_scalars != 1 || self.params.len() != 4 {
-            return Err(CodegenError::BadArguments {
-                reason: format!(
-                    "superword kernel `{}` does not have the packed (KC, Ac, Bc, C) signature",
-                    self.name
-                ),
-            });
-        }
+        self.check_packed_signature()?;
         self.run_views(&[kc as i64], &mut [TensorView::Ro(ac), TensorView::Ro(bc), TensorView::Rw(c)])
     }
 
     fn exec(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        let mut scratch = ExecScratch::for_kernel(self);
         let lens: Vec<usize> = tensors.iter().map(|t| t.as_slice().len()).collect();
         if self.bounds_provable(scalars, &lens) {
             // SAFETY: `validate_construction` proved every register operand
@@ -598,10 +613,10 @@ impl SuperwordKernel {
             // for these scalars and buffer lengths; and the written-tensor
             // check in `run_views`/`run` guarantees stores only target
             // mutably borrowed views.
-            unsafe { self.exec_unchecked(scalars, tensors) };
+            unsafe { self.exec_unchecked(scalars, tensors, &mut scratch) };
             Ok(())
         } else {
-            self.exec_checked(scalars, tensors)
+            self.exec_checked(scalars, tensors, &mut scratch)
         }
     }
 
@@ -659,21 +674,39 @@ impl SuperwordKernel {
     /// loop-structure proof (always true for a [`SuperwordKernel`], checked
     /// in `to_superword`), (b) `bounds_provable` for these exact scalars
     /// and tensor lengths, and (c) that every tensor the tape writes is a
-    /// [`TensorView::Rw`].
-    unsafe fn exec_unchecked(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) {
-        let mut reg_file = vec![0.0f32; self.n_regs];
-        let regs = reg_file.as_mut_slice();
-        let mut loops = vec![0i64; self.n_dyn_loops];
-        let mut bounds = vec![0i64; self.n_dyn_loops];
+    /// [`TensorView::Rw`]. `scratch` must be sized for this kernel
+    /// ([`ExecScratch::for_kernel`]).
+    unsafe fn exec_unchecked(
+        &self,
+        scalars: &[i64],
+        tensors: &mut [TensorView<'_>],
+        scratch: &mut ExecScratch,
+    ) {
+        // The register file starts at zero on every run, exactly like the
+        // scalar tape's freshly allocated one; loop slots are always written
+        // by their `LoopBegin` before being read.
+        scratch.regs.fill(0.0);
+        let ExecScratch { regs, loops, bounds } = scratch;
+        let (regs, loops, bounds) = (regs.as_mut_slice(), loops.as_mut_slice(), bounds.as_mut_slice());
         // Raw base pointers; the `*mut` view of a read-only tensor is never
-        // written through (precondition (c)).
-        let tens: Vec<*mut f32> = tensors
-            .iter_mut()
-            .map(|t| match t {
-                TensorView::Ro(s) => s.as_ptr().cast_mut(),
-                TensorView::Rw(s) => s.as_mut_ptr(),
-            })
-            .collect();
+        // written through (precondition (c)). The packed micro-kernel
+        // signature has three tensors, so the common case stays on the
+        // stack instead of allocating per dispatch.
+        let mut tens_stack = [std::ptr::null_mut::<f32>(); 4];
+        let mut tens_heap: Vec<*mut f32> = Vec::new();
+        let raw = |t: &mut TensorView<'_>| match t {
+            TensorView::Ro(s) => s.as_ptr().cast_mut(),
+            TensorView::Rw(s) => s.as_mut_ptr(),
+        };
+        let tens: &[*mut f32] = if tensors.len() <= tens_stack.len() {
+            for (slot, t) in tens_stack.iter_mut().zip(tensors.iter_mut()) {
+                *slot = raw(t);
+            }
+            &tens_stack[..tensors.len()]
+        } else {
+            tens_heap.extend(tensors.iter_mut().map(raw));
+            &tens_heap
+        };
         let ops = &self.ops;
         let mut pc = 0usize;
         while pc < ops.len() {
@@ -687,17 +720,17 @@ impl SuperwordKernel {
                     }
                 }
                 VOp::VLoad { dst, buf, addr, lanes } => {
-                    let idx = addr.eval(&loops, scalars) as usize;
+                    let idx = addr.eval(loops, scalars) as usize;
                     let src = tens.get_unchecked(*buf as usize).add(idx);
                     std::ptr::copy_nonoverlapping(src, regs.as_mut_ptr().add(*dst as usize), *lanes as usize);
                 }
                 VOp::VStore { src, buf, addr, lanes } => {
-                    let idx = addr.eval(&loops, scalars) as usize;
+                    let idx = addr.eval(loops, scalars) as usize;
                     let dst = tens.get_unchecked(*buf as usize).add(idx);
                     std::ptr::copy_nonoverlapping(regs.as_ptr().add(*src as usize), dst, *lanes as usize);
                 }
                 VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
-                    let idx = addr.eval(&loops, scalars) as usize;
+                    let idx = addr.eval(loops, scalars) as usize;
                     let bval = *tens.get_unchecked(*buf as usize).add(idx);
                     *regs.get_unchecked_mut(*scratch as usize) = bval;
                     let (dst, a) = (*dst as usize, *a as usize);
@@ -707,8 +740,8 @@ impl SuperwordKernel {
                     }
                 }
                 VOp::LoopBegin { slot, lo, hi, end } => {
-                    let l = lo.eval(&loops, scalars);
-                    let h = hi.eval(&loops, scalars);
+                    let l = lo.eval(loops, scalars);
+                    let h = hi.eval(loops, scalars);
                     if l >= h {
                         pc = *end as usize;
                         continue;
@@ -730,11 +763,11 @@ impl SuperwordKernel {
                         *regs.get_unchecked_mut(*dst as usize) += v;
                     }
                     TOp::LoadT { dst, buf, addr } => {
-                        let idx = addr.eval(&loops, scalars) as usize;
+                        let idx = addr.eval(loops, scalars) as usize;
                         *regs.get_unchecked_mut(*dst as usize) = *tens.get_unchecked(*buf as usize).add(idx);
                     }
                     TOp::StoreT { src, buf, addr } => {
-                        let idx = addr.eval(&loops, scalars) as usize;
+                        let idx = addr.eval(loops, scalars) as usize;
                         *tens.get_unchecked(*buf as usize).add(idx) = *regs.get_unchecked(*src as usize);
                     }
                     TOp::ConstF { dst, val } => *regs.get_unchecked_mut(*dst as usize) = *val,
@@ -765,7 +798,7 @@ impl SuperwordKernel {
                         *regs.get_unchecked_mut(*dst as usize) += v;
                     }
                     TOp::CastI { dst, value } => {
-                        *regs.get_unchecked_mut(*dst as usize) = value.eval(&loops, scalars) as f32
+                        *regs.get_unchecked_mut(*dst as usize) = value.eval(loops, scalars) as f32
                     }
                     TOp::Round { reg } => {
                         let r = regs.get_unchecked_mut(*reg as usize);
@@ -786,10 +819,14 @@ impl SuperwordKernel {
     /// The fully checked fallback, taken when the interval proof declines:
     /// identical semantics (op order, rounding, and errors) to the scalar
     /// tape, one lane at a time inside the packed ops.
-    fn exec_checked(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
-        let mut regs = vec![0.0f32; self.n_regs];
-        let mut loops = vec![0i64; self.n_dyn_loops];
-        let mut bounds = vec![0i64; self.n_dyn_loops];
+    fn exec_checked(
+        &self,
+        scalars: &[i64],
+        tensors: &mut [TensorView<'_>],
+        scratch: &mut ExecScratch,
+    ) -> Result<()> {
+        scratch.regs.fill(0.0);
+        let ExecScratch { regs, loops, bounds } = scratch;
         let load =
             |tensors: &[TensorView<'_>], buf: u16, idx: i64| -> Result<f32> {
                 let slice = tensors[buf as usize].as_slice();
@@ -824,19 +861,19 @@ impl SuperwordKernel {
                     }
                 }
                 VOp::VLoad { dst, buf, addr, lanes } => {
-                    let base = addr.eval(&loops, scalars);
+                    let base = addr.eval(loops, scalars);
                     for i in 0..*lanes as usize {
                         regs[*dst as usize + i] = load(tensors, *buf, base + i as i64)?;
                     }
                 }
                 VOp::VStore { src, buf, addr, lanes } => {
-                    let base = addr.eval(&loops, scalars);
+                    let base = addr.eval(loops, scalars);
                     for i in 0..*lanes as usize {
                         store(tensors, *buf, base + i as i64, regs[*src as usize + i])?;
                     }
                 }
                 VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
-                    let bval = load(tensors, *buf, addr.eval(&loops, scalars))?;
+                    let bval = load(tensors, *buf, addr.eval(loops, scalars))?;
                     regs[*scratch as usize] = bval;
                     for i in 0..*lanes as usize {
                         let v = regs[*a as usize + i] * bval;
@@ -844,8 +881,8 @@ impl SuperwordKernel {
                     }
                 }
                 VOp::LoopBegin { slot, lo, hi, end } => {
-                    let l = lo.eval(&loops, scalars);
-                    let h = hi.eval(&loops, scalars);
+                    let l = lo.eval(loops, scalars);
+                    let h = hi.eval(loops, scalars);
                     if l >= h {
                         pc = *end as usize;
                         continue;
@@ -867,10 +904,10 @@ impl SuperwordKernel {
                         regs[*dst as usize] += v;
                     }
                     TOp::LoadT { dst, buf, addr } => {
-                        regs[*dst as usize] = load(tensors, *buf, addr.eval(&loops, scalars))?;
+                        regs[*dst as usize] = load(tensors, *buf, addr.eval(loops, scalars))?;
                     }
                     TOp::StoreT { src, buf, addr } => {
-                        store(tensors, *buf, addr.eval(&loops, scalars), regs[*src as usize])?;
+                        store(tensors, *buf, addr.eval(loops, scalars), regs[*src as usize])?;
                     }
                     TOp::ConstF { dst, val } => regs[*dst as usize] = *val,
                     TOp::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
@@ -895,7 +932,7 @@ impl SuperwordKernel {
                         let v = regs[*src as usize];
                         regs[*dst as usize] += v;
                     }
-                    TOp::CastI { dst, value } => regs[*dst as usize] = value.eval(&loops, scalars) as f32,
+                    TOp::CastI { dst, value } => regs[*dst as usize] = value.eval(loops, scalars) as f32,
                     TOp::Round { reg } => {
                         let r = &mut regs[*reg as usize];
                         *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
@@ -909,6 +946,155 @@ impl SuperwordKernel {
             pc += 1;
         }
         Ok(())
+    }
+
+    /// A prove-once dispatch handle over this kernel (see
+    /// [`SuperwordDispatch`]).
+    pub fn dispatcher(self: &std::sync::Arc<Self>) -> SuperwordDispatch {
+        SuperwordDispatch::new(std::sync::Arc::clone(self))
+    }
+}
+
+/// Reusable execution state: the flat register file and the loop
+/// counter/bound tables, allocated once and shared by every run of one
+/// [`SuperwordDispatch`].
+#[derive(Debug, Clone)]
+struct ExecScratch {
+    regs: Vec<f32>,
+    loops: Vec<i64>,
+    bounds: Vec<i64>,
+}
+
+impl ExecScratch {
+    fn for_kernel(kernel: &SuperwordKernel) -> Self {
+        ExecScratch {
+            regs: vec![0.0; kernel.n_regs],
+            loops: vec![0; kernel.n_dyn_loops],
+            bounds: vec![0; kernel.n_dyn_loops],
+        }
+    }
+}
+
+/// One memoised run of the interval proof: the scalar arguments and buffer
+/// lengths it was run for, and its verdict.
+#[derive(Debug, Clone)]
+struct ProofEntry {
+    scalars: Vec<i64>,
+    lens: Vec<usize>,
+    provable: bool,
+}
+
+/// A prove-once dispatch handle: the reusable per-GEMM state of a
+/// [`SuperwordKernel`].
+///
+/// [`SuperwordKernel::run_views`] re-runs the (cheap, `O(ops)`) interval
+/// proof and re-allocates its register file on **every** call, even though a
+/// GEMM driver dispatches the same kernel thousands of times per problem
+/// with only a couple of distinct proof inputs (`KC` full vs. fringe, and
+/// the matching buffer lengths). A `SuperwordDispatch` memoises the proof
+/// verdict per distinct `(scalars, lengths)` tuple and reuses one register
+/// file across calls, so steady-state dispatch does no allocation and no
+/// re-proving. Results are bit-for-bit identical to the one-shot entry
+/// points.
+///
+/// The handle owns its scratch, so create one per worker thread (it is
+/// `Send`) and reuse it for every micro-tile of that worker's share of the
+/// problem.
+#[derive(Debug, Clone)]
+pub struct SuperwordDispatch {
+    kernel: std::sync::Arc<SuperwordKernel>,
+    scratch: ExecScratch,
+    proofs: Vec<ProofEntry>,
+}
+
+impl SuperwordDispatch {
+    /// Creates a dispatch handle for a kernel, allocating its register file
+    /// and loop tables up front.
+    pub fn new(kernel: std::sync::Arc<SuperwordKernel>) -> Self {
+        let scratch = ExecScratch::for_kernel(&kernel);
+        SuperwordDispatch { kernel, scratch, proofs: Vec::new() }
+    }
+
+    /// The kernel this handle dispatches.
+    pub fn kernel(&self) -> &SuperwordKernel {
+        &self.kernel
+    }
+
+    /// How many distinct `(scalars, buffer lengths)` proof inputs have been
+    /// memoised so far. A well-blocked GEMM sees only a handful.
+    pub fn memoised_proofs(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// Looks up (or runs and memoises) the interval proof for one input
+    /// tuple.
+    fn provable(&mut self, scalars: &[i64], lens: &[usize]) -> bool {
+        if let Some(entry) = self.proofs.iter().find(|p| p.scalars == scalars && p.lens == lens) {
+            return entry.provable;
+        }
+        let provable = self.kernel.bounds_provable(scalars, lens);
+        self.proofs.push(ProofEntry { scalars: scalars.to_vec(), lens: lens.to_vec(), provable });
+        provable
+    }
+
+    /// Runs the kernel over borrowed tensor views, reusing the memoised
+    /// proof and the handle's register file. Semantics (including errors)
+    /// are identical to [`SuperwordKernel::run_views`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::BadArguments`] on an argument mismatch and
+    /// [`CodegenError::OutOfBounds`] if an access leaves its buffer.
+    pub fn run_views(&mut self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        self.kernel.validate_views(scalars, tensors)?;
+        // The proof inputs: buffer lengths only (contents never affect
+        // addresses — the tape has no data-dependent control flow).
+        let mut lens_stack = [0usize; 4];
+        let lens: &[usize] = if tensors.len() <= lens_stack.len() {
+            for (slot, t) in lens_stack.iter_mut().zip(tensors.iter()) {
+                *slot = t.as_slice().len();
+            }
+            &lens_stack[..tensors.len()]
+        } else {
+            return self.run_views_slow(scalars, tensors);
+        };
+        let kernel = std::sync::Arc::clone(&self.kernel);
+        if self.provable(scalars, lens) {
+            // SAFETY: construction-time register/loop proof holds for every
+            // `SuperwordKernel`; `provable` just certified (or recalled the
+            // certification of) these exact scalars and buffer lengths; and
+            // `validate_views` guaranteed written tensors are `Rw`.
+            unsafe { kernel.exec_unchecked(scalars, tensors, &mut self.scratch) };
+            Ok(())
+        } else {
+            kernel.exec_checked(scalars, tensors, &mut self.scratch)
+        }
+    }
+
+    /// Fallback for kernels with more tensors than the stack buffer holds:
+    /// identical semantics, one heap allocation for the length tuple.
+    fn run_views_slow(&mut self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        let lens: Vec<usize> = tensors.iter().map(|t| t.as_slice().len()).collect();
+        let kernel = std::sync::Arc::clone(&self.kernel);
+        if self.provable(scalars, &lens) {
+            // SAFETY: as in `run_views`.
+            unsafe { kernel.exec_unchecked(scalars, tensors, &mut self.scratch) };
+            Ok(())
+        } else {
+            kernel.exec_checked(scalars, tensors, &mut self.scratch)
+        }
+    }
+
+    /// Runs the packed `(KC, Ac, Bc, C)` micro-kernel signature, reusing the
+    /// memoised proof and register file:
+    /// `c[nr][mr] += ac[kc][mr] * bc[kc][nr]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SuperwordKernel::run_packed`].
+    pub fn run_packed(&mut self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.kernel.check_packed_signature()?;
+        self.run_views(&[kc as i64], &mut [TensorView::Ro(ac), TensorView::Ro(bc), TensorView::Rw(c)])
     }
 }
 
@@ -1108,6 +1294,54 @@ mod tests {
         assert!(matches!(err, Err(CodegenError::BadArguments { .. })));
         let mut too_few = vec![RunArg::Size(1)];
         assert!(matches!(sw.run(&mut too_few), Err(CodegenError::BadArguments { .. })));
+    }
+
+    #[test]
+    fn dispatch_handle_matches_one_shot_runs_and_memoises_proofs() {
+        let (_, sw) = staged_kernels();
+        let sw = std::sync::Arc::new(sw);
+        let mut dispatch = sw.dispatcher();
+        let (mr, nr) = (8usize, 4usize);
+        // Sweep the per-GEMM dispatch pattern: many tiles, two distinct KC
+        // values (full and fringe) — the proof must run once per distinct
+        // input, not once per tile.
+        for rep in 0..6 {
+            for &kc in &[17usize, 5] {
+                let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 7 + rep) % 13) as f32 * 0.5 - 2.0).collect();
+                let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 5 + rep) % 11) as f32 * 0.25 - 1.0).collect();
+                let c0: Vec<f32> = (0..nr * mr).map(|i| ((i + rep) % 5) as f32 * 0.5).collect();
+                let mut c_dispatch = c0.clone();
+                dispatch.run_packed(kc, &a, &b, &mut c_dispatch).unwrap();
+                let mut c_one_shot = c0.clone();
+                sw.run_packed(kc, &a, &b, &mut c_one_shot).unwrap();
+                assert_eq!(c_dispatch, c_one_shot, "kc={kc} rep={rep}");
+            }
+        }
+        assert_eq!(dispatch.memoised_proofs(), 2, "one proof per distinct (KC, lens) input");
+    }
+
+    #[test]
+    fn dispatch_handle_reports_checked_path_errors_like_the_one_shot_run() {
+        let p = proc("oob")
+            .size_arg("N")
+            .tensor_arg("x", ScalarType::F32, vec![var("N")], MemSpace::Dram)
+            .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(1.0))])])
+            .build();
+        let sw = std::sync::Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let mut dispatch = sw.dispatcher();
+        let mut x = vec![0.0f32; 2];
+        assert!(matches!(
+            dispatch.run_views(&[7], &mut [TensorView::Rw(&mut x)]),
+            Err(CodegenError::OutOfBounds { .. })
+        ));
+        assert_eq!(x, vec![1.0, 1.0], "partial stores before the error, like the tape's");
+        // The failed proof is memoised too: a retry with the same inputs
+        // goes straight back to the checked loop.
+        assert_eq!(dispatch.memoised_proofs(), 1);
+        let mut y = vec![0.0f32; 8];
+        dispatch.run_views(&[7], &mut [TensorView::Rw(&mut y)]).unwrap();
+        assert_eq!(&y[..7], &[1.0; 7]);
+        assert_eq!(dispatch.memoised_proofs(), 2);
     }
 
     #[test]

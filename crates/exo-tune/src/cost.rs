@@ -124,12 +124,15 @@ impl CostEvaluator for FunctionalCost {
         let a = vec![1.0f32; kc * mr];
         let b = vec![0.5f32; kc * nr];
         let mut c = vec![0.0f32; mr * nr];
-        // Warm-up run (also surfaces shape errors before timing).
-        kernel.run(kc, &a, &b, &mut c)?;
+        // Time through the prove-once dispatch handle, exactly as the
+        // five-loop driver will run the kernel in production (the warm-up
+        // run also pays the proof and surfaces shape errors before timing).
+        let mut dispatch = kernel.dispatcher();
+        dispatch.run(kc, &a, &b, &mut c)?;
         let reps = self.repetitions.max(1);
         let start = Instant::now();
         for _ in 0..reps {
-            kernel.run(kc, &a, &b, &mut c)?;
+            dispatch.run(kc, &a, &b, &mut c)?;
         }
         let per_tile = start.elapsed().as_secs_f64() / reps as f64;
         // Tiles the five-loop algorithm would invoke for the full problem.

@@ -1,12 +1,14 @@
-//! The `TunedGemm` front-end: `C += A * B` where the micro-kernel and the
+//! The `TunedGemm` front-end: a [`GemmExecutor`] whose micro-kernel and
 //! blocking are chosen by the autotuner.
 //!
 //! This is the subsystem's serving path. Each distinct problem shape is
 //! tuned once (or loaded from a persisted registry) and dispatched through
 //! the functional five-loop driver with the winning kernel; repeat shapes
-//! skip straight to dispatch.
+//! skip straight to dispatch. The full BLAS contract of
+//! [`gemm_blis::GemmProblem`] — strided views, `op(A)`/`op(B)`,
+//! `alpha`/`beta` — is honored by the underlying driver.
 
-use gemm_blis::{BlisGemm, Matrix};
+use gemm_blis::{BlisGemm, GemmExecutor, GemmProblem, GemmStats};
 
 use crate::error::TuneError;
 use crate::registry::{KernelRegistry, TuneVerdict};
@@ -17,16 +19,18 @@ use crate::tuner::Tuner;
 pub struct TunedRun {
     /// The verdict that chose the kernel (memoised or freshly searched).
     pub verdict: TuneVerdict,
-    /// Display name of the dispatched kernel.
-    pub kernel: String,
+    /// Driver statistics of the dispatched problem.
+    pub stats: GemmStats,
 }
 
 /// Autotuned GEMM: searches-or-loads per problem shape, then dispatches.
 ///
-/// Dispatch goes through the tape-compiled execution backend (generated
-/// kernels carry their tape), the arena-based five-loop driver, and —
-/// when [`TunedGemm::with_threads`] raises the knob — the threaded `ic`
-/// loop.
+/// Dispatch goes through the superword execution backend (generated kernels
+/// carry their tape and superword lowering), the arena-based five-loop
+/// driver, and — when [`TunedGemm::with_threads`] raises the knob — the
+/// threaded block loop. Use it through [`GemmExecutor::gemm`] like every
+/// other driver, or through [`TunedGemm::execute`] to also receive the
+/// tuning verdict.
 #[derive(Debug, Default)]
 pub struct TunedGemm {
     tuner: Tuner,
@@ -45,9 +49,11 @@ impl TunedGemm {
         TunedGemm { tuner, threads: 1 }
     }
 
-    /// Sets the worker-thread count the dispatch driver uses for its `ic`
-    /// loop (`0` = all cores, `1` = sequential). Thread count never changes
-    /// results: row blocks of `C` are disjoint.
+    /// Sets the worker-thread count the dispatch driver uses for its
+    /// parallel block loop (`0` = all cores, `1` = sequential). Thread
+    /// count never changes results: every `C` element is computed by
+    /// exactly one worker in the sequential op order.
+    #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -84,32 +90,62 @@ impl TunedGemm {
         self.tuner.tune(m, n, k)
     }
 
-    /// Computes `c += a * b` with the autotuned kernel and blocking for the
-    /// problem's shape.
+    /// Solves the problem with the autotuned kernel and blocking for its
+    /// shape, returning both the verdict and the driver statistics.
     ///
     /// # Errors
     ///
-    /// Returns [`TuneError::Gemm`] for inconsistent matrix shapes and
+    /// Returns [`TuneError::Gemm`] for inconsistent view shapes and
     /// propagates search or generation failures.
-    pub fn gemm(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<TunedRun, TuneError> {
-        if a.cols != b.rows || a.rows != c.rows || b.cols != c.cols {
-            return Err(TuneError::Gemm(format!(
-                "A is {}x{}, B is {}x{}, C is {}x{}",
-                a.rows, a.cols, b.rows, b.cols, c.rows, c.cols
-            )));
+    pub fn execute(&self, problem: GemmProblem<'_>) -> Result<TunedRun, TuneError> {
+        let (m, n, k) = problem.dims().map_err(|e| TuneError::Gemm(e.to_string()))?;
+        if m == 0 || n == 0 || k == 0 {
+            // Nothing to tune: the driver handles the degenerate contract
+            // (beta scaling, nothing else) with any kernel, and the
+            // registry stays untouched.
+            let blocking = gemm_blis::BlockingParams::carmel_defaults(8, 12);
+            let driver = BlisGemm::new(blocking).with_threads(self.threads);
+            let stats = driver.gemm(problem)?;
+            let verdict = TuneVerdict {
+                m,
+                n,
+                k,
+                mr: blocking.mr,
+                nr: blocking.nr,
+                mc: blocking.mc,
+                kc: blocking.kc,
+                nc: blocking.nc,
+                predicted_cycles: 0.0,
+                predicted_gflops: 0.0,
+                candidates_evaluated: 0,
+                evaluator: "degenerate".into(),
+            };
+            return Ok(TunedRun { verdict, stats });
         }
-        let verdict = self.tuner.tune(a.rows, b.cols, a.cols)?;
+        let verdict = self.tuner.tune(m, n, k)?;
         let kernel = self.tuner.kernel_impl_for(&verdict)?;
-        let driver = BlisGemm::new(verdict.blocking()).with_threads(self.threads);
-        driver.gemm(&kernel, a, b, c)?;
-        Ok(TunedRun { kernel: kernel.name, verdict })
+        let driver = BlisGemm::new(verdict.blocking()).with_threads(self.threads).with_kernel(kernel);
+        let stats = driver.gemm(problem)?;
+        Ok(TunedRun { verdict, stats })
+    }
+}
+
+impl GemmExecutor for TunedGemm {
+    fn gemm(&self, problem: GemmProblem<'_>) -> Result<GemmStats, gemm_blis::GemmError> {
+        match self.execute(problem) {
+            Ok(run) => Ok(run.stats),
+            Err(TuneError::Gemm(what)) => Err(gemm_blis::GemmError::ShapeMismatch { what }),
+            Err(e) => {
+                Err(gemm_blis::GemmError::Backend { backend: "exo-tune".into(), message: e.to_string() })
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gemm_blis::naive_gemm;
+    use gemm_blis::{naive_gemm, Matrix, NaiveGemm};
 
     fn matrices(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix, Matrix) {
         let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + 1) % 13) as f32 * 0.25 - 1.0);
@@ -123,29 +159,62 @@ mod tests {
     fn tuned_gemm_matches_naive_and_memoises() {
         let tuned = TunedGemm::new();
         let (a, b, mut c, mut c_ref) = matrices(45, 37, 29);
-        let run = tuned.gemm(&a, &b, &mut c).unwrap();
+        let run = tuned.execute(GemmProblem::new(a.view(), b.view(), c.view_mut())).unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
             assert!((x - y).abs() < 1e-3, "mismatch at {idx}: {x} vs {y}");
         }
-        assert!(run.kernel.starts_with("EXO"));
+        assert!(run.stats.kernel.starts_with("EXO"));
         assert_eq!(run.verdict.m, 45);
+        assert_eq!((run.stats.m, run.stats.n, run.stats.k), (45, 37, 29));
 
         // A repeat shape dispatches without re-searching.
         let invocations = tuned.registry().generator_invocations();
         let (a2, b2, mut c2, mut c2_ref) = matrices(45, 37, 29);
-        tuned.gemm(&a2, &b2, &mut c2).unwrap();
+        tuned.gemm(GemmProblem::new(a2.view(), b2.view(), c2.view_mut())).unwrap();
         naive_gemm(&a2, &b2, &mut c2_ref);
         assert_eq!(tuned.registry().generator_invocations(), invocations);
         assert_eq!(tuned.registry().len(), 1);
     }
 
     #[test]
+    fn tuned_gemm_honors_the_full_blas_contract() {
+        // C = alpha * A^T * B + beta * C through the autotuned executor vs
+        // the naive strided reference.
+        let (m, n, k) = (31usize, 20usize, 17usize);
+        let at = Matrix::from_fn(k, m, |i, j| ((i * 3 + j * 5 + 2) % 11) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j + 1) % 9) as f32 * 0.5 - 2.0);
+        let c0 = Matrix::from_fn(m, n, |i, j| ((i + 2 * j) % 5) as f32 * 0.25);
+        let tuned = TunedGemm::new();
+        let mut c_tuned = c0.clone();
+        tuned
+            .gemm(
+                GemmProblem::new(at.view(), b.view(), c_tuned.view_mut())
+                    .transpose_a()
+                    .alpha(1.5)
+                    .beta(-0.25),
+            )
+            .unwrap();
+        let mut c_ref = c0.clone();
+        NaiveGemm
+            .gemm(
+                GemmProblem::new(at.view(), b.view(), c_ref.view_mut()).transpose_a().alpha(1.5).beta(-0.25),
+            )
+            .unwrap();
+        for (idx, (x, y)) in c_tuned.data.iter().zip(&c_ref.data).enumerate() {
+            assert!((x - y).abs() < 1e-3, "mismatch at {idx}: {x} vs {y}");
+        }
+    }
+
+    #[test]
     fn threaded_dispatch_is_deterministic() {
         let (a, b, mut c1, _) = matrices(52, 33, 21);
         let mut c4 = c1.clone();
-        TunedGemm::new().gemm(&a, &b, &mut c1).unwrap();
-        TunedGemm::new().with_threads(4).gemm(&a, &b, &mut c4).unwrap();
+        TunedGemm::new().execute(GemmProblem::new(a.view(), b.view(), c1.view_mut())).unwrap();
+        TunedGemm::new()
+            .with_threads(4)
+            .execute(GemmProblem::new(a.view(), b.view(), c4.view_mut()))
+            .unwrap();
         assert_eq!(c1.data, c4.data, "thread count must not change the result");
     }
 
@@ -155,7 +224,22 @@ mod tests {
         let a = Matrix::zeros(4, 5);
         let b = Matrix::zeros(6, 4);
         let mut c = Matrix::zeros(4, 4);
-        assert!(matches!(tuned.gemm(&a, &b, &mut c), Err(TuneError::Gemm(_))));
+        assert!(matches!(
+            tuned.execute(GemmProblem::new(a.view(), b.view(), c.view_mut())),
+            Err(TuneError::Gemm(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_shapes_apply_beta_without_tuning() {
+        let tuned = TunedGemm::new();
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let run = tuned.execute(GemmProblem::new(a.view(), b.view(), c.view_mut()).beta(2.0)).unwrap();
+        assert_eq!(c.get(1, 1), 10.0, "k = 0 still applies beta");
+        assert_eq!(run.verdict.k, 0);
+        assert_eq!(tuned.registry().len(), 0, "degenerate shapes are not tuned");
     }
 
     #[test]

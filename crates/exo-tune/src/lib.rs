@@ -20,23 +20,23 @@
 //!   `(isa, mr, nr)` (via [`ukernel_gen::KernelCache`]) and memoises
 //!   tuning verdicts keyed by problem shape, with JSON persistence so a
 //!   second run skips the search entirely;
-//! * [`TunedGemm`] — the front-end: given `(m, n, k)`, transparently
-//!   searches-or-loads the verdict and dispatches the winning kernel
-//!   through the functional BLIS-like driver.
+//! * [`TunedGemm`] — the front-end: a [`gemm_blis::GemmExecutor`] that
+//!   transparently searches-or-loads the verdict for each problem shape and
+//!   dispatches the winning kernel through the functional BLIS-like driver.
 //!
 //! ```
 //! use exo_tune::TunedGemm;
-//! use gemm_blis::Matrix;
+//! use gemm_blis::{GemmExecutor, GemmProblem, Matrix};
 //!
 //! let tuned = TunedGemm::new();
 //! let a = Matrix::from_fn(50, 30, |i, j| (i + j) as f32 * 0.25);
 //! let b = Matrix::from_fn(30, 40, |i, j| (i as f32 - j as f32) * 0.5);
 //! let mut c = Matrix::zeros(50, 40);
-//! let run = tuned.gemm(&a, &b, &mut c)?;
-//! assert!(run.kernel.starts_with("EXO"));
+//! let stats = tuned.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut()))?;
+//! assert!(stats.kernel.starts_with("EXO"));
 //! // The verdict is memoised: the same shape never searches again.
 //! assert_eq!(tuned.registry().len(), 1);
-//! # Ok::<(), exo_tune::TuneError>(())
+//! # Ok::<(), gemm_blis::GemmError>(())
 //! ```
 
 #![warn(missing_docs)]

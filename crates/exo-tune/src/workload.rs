@@ -5,7 +5,7 @@
 //! blocking, exactly the "one specialised micro-kernel per layer" setting
 //! behind the paper's Figs. 15–18.
 
-use dnn_models::{GemmProblem, ModelWorkload};
+use dnn_models::{GemmShape, ModelWorkload};
 
 use crate::error::TuneError;
 use crate::registry::TuneVerdict;
@@ -14,8 +14,8 @@ use crate::tuner::Tuner;
 /// The tuning outcome for one unique workload layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerPlan {
-    /// The layer's GEMM problem (with its layer numbers).
-    pub problem: GemmProblem,
+    /// The layer's GEMM shape (with its layer numbers).
+    pub problem: GemmShape,
     /// The verdict chosen for the layer.
     pub verdict: TuneVerdict,
 }

@@ -1,20 +1,30 @@
 //! The functional BLIS-like GEMM algorithm: the five loops of Fig. 1 around
-//! the packing routines and a micro-kernel, computing `C += A * B` on real
-//! `f32` data.
+//! the packing routines and a micro-kernel, computing
+//! `C = alpha * op(A) * op(B) + beta * C` over strided views
+//! ([`crate::GemmProblem`]).
+//!
+//! The BLAS contract is honored *inside* the blocked structure, never via
+//! temporaries:
+//!
+//! * `op(A)`/`op(B)` reach the packing routines as stride-swapped views, so
+//!   a transpose is a different gather walk, not a copy;
+//! * `alpha` is folded into the packed `Ac` elements (one multiply in the
+//!   pass that already touches every element once per k-block);
+//! * `beta` is applied on the `C` write-back path of the **first** k-block
+//!   only — later k-blocks accumulate — and `beta == 0` never reads `C`.
 //!
 //! The driver has two modes:
 //!
-//! * the default **arena** hot path — a [`crate::packing::PackArena`] and
-//!   the staged `C` tile are allocated once per GEMM and reused across
-//!   every `(jc, pc, ic)` iteration, and one of the block loops can
-//!   optionally be spread over a scoped thread pool
-//!   ([`BlisGemm::with_threads`]): the `ic` loop by default (disjoint row
-//!   blocks of `C`, one private `A`-pack/`C`-tile scratch pair per worker),
-//!   or the `jc` loop when the problem is wide and short (large `n`, small
-//!   `m` — disjoint nc-wide column blocks, each staged through a private
-//!   dense copy). Either way every `C` element is computed by exactly one
-//!   worker in the sequential op order, so the result is bit-for-bit
-//!   identical for any thread count;
+//! * the default **arena** hot path — a [`crate::packing::PackArena`], the
+//!   staged `C` tile, and a prove-once [`KernelDispatch`] per worker are
+//!   allocated once per GEMM and reused across every `(jc, pc, ic)`
+//!   iteration, and one of the block loops can optionally be spread over a
+//!   scoped thread pool ([`BlisGemm::with_threads`]): the `ic` loop by
+//!   default (disjoint row blocks of `C`), or the `jc` loop when the
+//!   problem is wide and short (large `n`, small `m` — disjoint nc-wide
+//!   column blocks, each staged through a private dense copy). Either way
+//!   every `C` element is computed by exactly one worker in the sequential
+//!   op order, so the result is bit-for-bit identical for any thread count;
 //! * the legacy **unbuffered** path ([`BlisGemm::without_arena`]) that
 //!   allocates fresh buffers per block, kept as a baseline for the
 //!   `gemm_throughput` bench and for differential tests.
@@ -23,12 +33,19 @@
 //! with tape-compiled kernels the same entry point is also the fast path.
 //! Modelled performance questions go through [`crate::model`] instead.
 
-use crate::baselines::KernelImpl;
+use crate::baselines::{neon_intrinsics_kernel, KernelDispatch, KernelImpl};
 use crate::blocking::BlockingParams;
 use crate::packing::{a_panel, b_panel, pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
+use crate::problem::{GemmExecutor, GemmProblem, GemmStats};
+use crate::views::{MatMut, MatRef};
 use crate::GemmError;
 
-/// A dense row-major matrix view used by the driver.
+/// A dense row-major owned matrix: the convenience container of the
+/// workspace's tests, benches, and examples.
+///
+/// `Matrix` is storage only — GEMM entry points take borrowed strided views
+/// ([`MatRef`]/[`MatMut`]), which a `Matrix` produces zero-copy via
+/// [`Matrix::view`] / [`Matrix::view_mut`] (or the `From` impls).
 #[derive(Debug, Clone)]
 pub struct Matrix {
     /// Number of rows.
@@ -57,14 +74,23 @@ impl Matrix {
     }
 
     /// Element accessor.
+    ///
+    /// Both axes are checked in debug builds: an out-of-range `j` with an
+    /// in-range `i` would otherwise silently alias into the next row of the
+    /// flat storage instead of panicking.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows, "row index {i} out of {} rows", self.rows);
+        debug_assert!(j < self.cols, "column index {j} out of {} columns", self.cols);
         self.data[i * self.cols + j]
     }
 
-    /// Mutable element accessor.
+    /// Mutable element accessor (both axes checked in debug builds, see
+    /// [`Matrix::get`]).
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows, "row index {i} out of {} rows", self.rows);
+        debug_assert!(j < self.cols, "column index {j} out of {} columns", self.cols);
         self.data[i * self.cols + j] = v;
     }
 
@@ -80,14 +106,39 @@ impl Matrix {
         let w = self.cols;
         &mut self.data[i * w..(i + 1) * w]
     }
+
+    /// A borrowed read-only view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.data, self.rows, self.cols)
+    }
+
+    /// A borrowed mutable view of the whole matrix.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        MatMut::from_slice(&mut self.data, self.rows, self.cols)
+    }
 }
 
-/// Reference triple-loop GEMM, the ground truth for every test in the
-/// workspace: `c += a * b`.
+impl<'a> From<&'a Matrix> for MatRef<'a> {
+    fn from(m: &'a Matrix) -> Self {
+        m.view()
+    }
+}
+
+impl<'a> From<&'a mut Matrix> for MatMut<'a> {
+    fn from(m: &'a mut Matrix) -> Self {
+        m.view_mut()
+    }
+}
+
+/// Reference triple-loop GEMM over dense matrices, the ground truth for the
+/// dense differential tests in the workspace: `c += a * b`.
 ///
 /// Row slices are hoisted out of the inner loop so the baseline pays no
 /// per-element index arithmetic — it is run by every differential test, and
-/// its wall-time bounds the whole suite's.
+/// its wall-time bounds the whole suite's. The strided/transposed/
+/// alpha-beta generalisation is [`crate::NaiveGemm`].
 pub fn naive_gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols, b.rows);
     assert_eq!(a.rows, c.rows);
@@ -104,8 +155,70 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     }
 }
 
+/// A raw strided window onto the `C` operand, shared across the driver's
+/// workers.
+///
+/// Why raw pointers: with arbitrary strides the row blocks of `C` are
+/// logically disjoint but *interleaved* in memory (e.g. a column-major or
+/// padded-submatrix `C`), so the safe `split_at_mut` partition of the old
+/// dense driver cannot express them. Each worker reads and writes only
+/// `(i, j)` elements of its own row range; [`MatMut`]'s constructor proved
+/// the stride map injective, so those element sets are disjoint and the
+/// shared pointer is race-free.
+#[derive(Clone, Copy)]
+struct RawMat {
+    ptr: *mut f32,
+    row_stride: usize,
+    col_stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: see the type docs — workers touch disjoint element sets, which
+// the driver guarantees by partitioning rows (or handing each worker a
+// private staging buffer).
+unsafe impl Send for RawMat {}
+unsafe impl Sync for RawMat {}
+
+impl RawMat {
+    fn of(c: &mut MatMut<'_>) -> Self {
+        let (rows, cols) = (c.rows(), c.cols());
+        let (ptr, row_stride, col_stride) = c.raw_parts();
+        RawMat { ptr, row_stride, col_stride, rows, cols }
+    }
+
+    fn of_dense(data: &mut [f32], rows: usize, cols: usize) -> Self {
+        debug_assert!(data.len() >= rows * cols);
+        RawMat { ptr: data.as_mut_ptr(), row_stride: cols, col_stride: 1, rows, cols }
+    }
+
+    /// # Safety
+    ///
+    /// `(i, j)` must be in bounds and the caller must own the element (no
+    /// concurrent writer).
+    #[inline]
+    unsafe fn load(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.row_stride + j * self.col_stride)
+    }
+
+    /// # Safety
+    ///
+    /// `(i, j)` must be in bounds and the caller must own the element (no
+    /// concurrent reader or writer).
+    #[inline]
+    unsafe fn store(&self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.row_stride + j * self.col_stride) = v;
+    }
+}
+
 /// The BLIS-like GEMM driver of Fig. 1, parameterised by blocking values and
 /// a micro-kernel.
+///
+/// As a [`GemmExecutor`] it dispatches its stored kernel (set with
+/// [`BlisGemm::with_kernel`] / [`BlisGemm::for_kernel`]); the kernel-sweep
+/// harnesses use [`BlisGemm::gemm_with`] to supply one per call.
 #[derive(Debug, Clone)]
 pub struct BlisGemm {
     /// Cache blocking parameters.
@@ -117,25 +230,42 @@ pub struct BlisGemm {
     /// Whether to use the zero-allocation arena hot path (default) or the
     /// legacy allocate-per-block path.
     pub use_arena: bool,
+    /// The micro-kernel the [`GemmExecutor`] entry point dispatches.
+    kernel: KernelImpl,
 }
 
 impl BlisGemm {
-    /// Creates a driver with the given blocking (arena path, single thread).
+    /// Creates a driver with the given blocking (arena path, single thread,
+    /// and the hand-written NEON 8x12 kernel as the executor default —
+    /// override with [`BlisGemm::with_kernel`]).
     pub fn new(blocking: BlockingParams) -> Self {
-        BlisGemm { blocking, threads: 1, use_arena: true }
+        BlisGemm { blocking, threads: 1, use_arena: true, kernel: neon_intrinsics_kernel() }
     }
 
-    /// Creates a driver whose blocking is derived analytically from the
-    /// cache hierarchy for the given micro-kernel's register tile — the
-    /// constructor used when a registry (rather than a hard-coded shape)
-    /// chooses the kernel.
+    /// Creates a driver around a micro-kernel, with blocking derived
+    /// analytically from the cache hierarchy for the kernel's register tile
+    /// — the constructor used when a registry (rather than a hard-coded
+    /// shape) chooses the kernel.
     pub fn for_kernel(kernel: &KernelImpl, mem: &carmel_sim::CacheHierarchy) -> Self {
-        BlisGemm::new(BlockingParams::analytical(mem, kernel.mr, kernel.nr, 4))
+        BlisGemm::new(BlockingParams::analytical(mem, kernel.mr, kernel.nr, 4)).with_kernel(kernel.clone())
+    }
+
+    /// Sets the micro-kernel the [`GemmExecutor`] entry point dispatches.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelImpl) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The micro-kernel the [`GemmExecutor`] entry point dispatches.
+    pub fn kernel(&self) -> &KernelImpl {
+        &self.kernel
     }
 
     /// Sets the worker-thread count for the parallel block loop (`0` = all
     /// cores). Wide-and-short problems split the `jc` column loop, all
     /// others the `ic` row loop; the result is identical either way.
+    #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -143,50 +273,65 @@ impl BlisGemm {
 
     /// Switches to the legacy allocate-per-block path (no arena, no
     /// threading) — the baseline the perf benches compare against.
+    #[must_use]
     pub fn without_arena(mut self) -> Self {
         self.use_arena = false;
         self
     }
 
-    /// Computes `c += a * b` using the five-loop algorithm with the given
-    /// micro-kernel. Fringe tiles are zero-padded by the packing routines and
-    /// the `C` tile is staged through a padded scratch tile, exactly as the
+    /// Solves a [`GemmProblem`] with an explicitly supplied micro-kernel
+    /// (the stored one is ignored): the full-control entry point behind the
+    /// [`GemmExecutor`] impl, used by harnesses that sweep kernels over one
+    /// driver.
+    ///
+    /// Fringe tiles are zero-padded by the packing routines and the `C`
+    /// tile is staged through a padded scratch tile, exactly as the
     /// monolithic library kernels do.
     ///
     /// # Errors
     ///
-    /// Returns [`GemmError::ShapeMismatch`] if the matrix dimensions are
+    /// Returns [`GemmError::ShapeMismatch`] if the view dimensions are
     /// inconsistent, and propagates micro-kernel failures.
-    pub fn gemm(&self, kernel: &KernelImpl, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), GemmError> {
-        if a.cols != b.rows || a.rows != c.rows || b.cols != c.cols {
-            return Err(GemmError::ShapeMismatch {
-                what: format!(
-                    "A is {}x{}, B is {}x{}, C is {}x{}",
-                    a.rows, a.cols, b.rows, b.cols, c.rows, c.cols
-                ),
-            });
+    pub fn gemm_with(&self, kernel: &KernelImpl, problem: GemmProblem<'_>) -> Result<GemmStats, GemmError> {
+        let (m, n, k) = problem.dims()?;
+        let a = problem.op_a.apply(problem.a);
+        let b = problem.op_b.apply(problem.b);
+        let (alpha, beta) = (problem.alpha, problem.beta);
+        let mut c = problem.c;
+        let flop_count = if alpha == 0.0 { 0 } else { 2 * m as u64 * n as u64 * k as u64 };
+        let stats = |threads: usize| GemmStats { m, n, k, flop_count, kernel: kernel.name.clone(), threads };
+        if m == 0 || n == 0 {
+            return Ok(stats(1));
         }
-        if a.rows == 0 || b.cols == 0 || a.cols == 0 {
-            return Ok(());
+        if k == 0 || alpha == 0.0 {
+            // Degenerate product: C = beta * C, honoring beta == 0 as
+            // "never read".
+            scale_c(&mut c, beta);
+            return Ok(stats(1));
         }
         if self.use_arena {
-            self.gemm_arena(kernel, a, b, c)
+            let threads = self.gemm_arena(kernel, a, b, &mut c, alpha, beta)?;
+            Ok(stats(threads))
         } else {
-            self.gemm_unbuffered(kernel, a, b, c)
+            self.gemm_unbuffered(kernel, a, b, &mut c, alpha, beta)?;
+            Ok(stats(1))
         }
     }
 
-    /// The zero-allocation hot path: packing buffers and the `C` scratch
-    /// tile are allocated once up front, and the `ic` loop optionally fans
-    /// out over scoped threads.
+    /// The zero-allocation hot path: packing buffers, the `C` scratch tile,
+    /// and one prove-once kernel dispatch handle per worker are allocated
+    /// once up front, and the `ic` (or `jc`) loop optionally fans out over
+    /// scoped threads. Returns the worker count used.
     fn gemm_arena(
         &self,
         kernel: &KernelImpl,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
-    ) -> Result<(), GemmError> {
-        let (m, n, k) = (a.rows, b.cols, a.cols);
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
+        alpha: f32,
+        beta: f32,
+    ) -> Result<usize, GemmError> {
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let BlockingParams { mc, kc, nc, .. } = self.blocking;
         let (mr, nr) = (kernel.mr, kernel.nr);
         let threads = match self.threads {
@@ -195,13 +340,13 @@ impl BlisGemm {
         };
 
         // Pick the parallel loop. The ic loop is the default (disjoint row
-        // ranges of C split with safe borrows), but a wide-and-short problem
-        // (large n, small m) has too few ic blocks to occupy the pool — there
-        // the jc loop over nc column blocks offers more parallelism.
+        // ranges of C), but a wide-and-short problem (large n, small m) has
+        // too few ic blocks to occupy the pool — there the jc loop over nc
+        // column blocks offers more parallelism.
         let blocks = ic_blocks(m, mc);
         let col_blocks = jc_blocks(n, nc);
         if threads > 1 && col_blocks.len() > blocks.len() && blocks.len() < threads {
-            return self.gemm_arena_jc(kernel, a, b, c, &blocks, &col_blocks, threads);
+            return self.gemm_arena_jc(kernel, a, b, c, &blocks, &col_blocks, alpha, beta, threads);
         }
 
         // Packing arena sized once at the blocking-derived maxima, clamped
@@ -214,76 +359,88 @@ impl BlisGemm {
         let mut arena = PackArena::for_problem(&tile_blocking, m, n, k);
         let a_cap = arena.a_capacity();
         let (a_buf, b_buf) = arena.buffers();
-        // Sequential-mode C scratch tile, plus one private A-pack/C-tile
-        // scratch pair per worker, all allocated once per GEMM.
+        // Sequential-mode scratch (C tile + dispatch handle), plus one
+        // private A-pack/C-tile/dispatch triple per worker, all allocated
+        // once per GEMM.
         let mut c_tile = vec![0.0f32; mr * nr];
-        let mut worker_scratch: Vec<(Vec<f32>, Vec<f32>)> = if threads > 1 {
-            (0..threads).map(|_| (vec![0.0f32; a_cap], vec![0.0f32; mr * nr])).collect()
+        let mut dispatch = kernel.dispatcher();
+        // Per-worker scratch only when the threaded branch can actually
+        // run — a single ic block always takes the sequential branch, and
+        // its scratch would be pure allocation waste.
+        let mut worker_state: Vec<(Vec<f32>, Vec<f32>, KernelDispatch)> = if threads > 1 && blocks.len() > 1 {
+            (0..threads.min(blocks.len()))
+                .map(|_| (vec![0.0f32; a_cap], vec![0.0f32; mr * nr], kernel.dispatcher()))
+                .collect()
         } else {
             Vec::new()
         };
+        let c_raw = RawMat::of(c);
+        let workers_used = worker_state.len().max(1);
         // Loop L1: columns of C / B.
         let mut jc = 0;
         while jc < n {
             let nc_eff = nc.min(n - jc);
-            // Loop L2: the k dimension.
+            // Loop L2: the k dimension. beta belongs to the first k-block
+            // only; later blocks accumulate.
             let mut pc = 0;
             while pc < k {
                 let kc_eff = kc.min(k - pc);
+                let first_k = pc == 0;
                 let b_len = nc_eff.div_ceil(nr) * kc_eff * nr;
-                pack_b_into(&mut b_buf[..b_len], &b.data, n, pc, jc, kc_eff, nc_eff, nr);
+                pack_b_into(&mut b_buf[..b_len], b, pc, jc, kc_eff, nc_eff, nr);
                 let packed_b = &b_buf[..b_len];
 
                 // Loop L3: rows of C / A — the threaded loop.
                 if threads <= 1 || blocks.len() <= 1 {
                     for &(ic, mc_eff) in &blocks {
-                        let c_rows = &mut c.data[ic * n..(ic + mc_eff) * n];
-                        run_ic_block(
-                            kernel,
-                            &a.data,
-                            k,
-                            ic,
-                            pc,
-                            mc_eff,
-                            kc_eff,
-                            packed_b,
-                            nc_eff,
-                            jc,
-                            n,
-                            a_buf,
-                            &mut c_tile,
-                            c_rows,
-                        )?;
+                        // SAFETY: sequential — this is the only live user
+                        // of the C pointer, and all indices are in bounds.
+                        unsafe {
+                            run_ic_block(
+                                &mut dispatch,
+                                a,
+                                ic,
+                                pc,
+                                mc_eff,
+                                kc_eff,
+                                packed_b,
+                                nc_eff,
+                                jc,
+                                c_raw,
+                                alpha,
+                                beta,
+                                first_k,
+                                a_buf,
+                                &mut c_tile,
+                            )?;
+                        }
                     }
                 } else {
-                    // Split C into per-block row chunks (the blocks tile
-                    // the rows contiguously), deal them out to up to
-                    // `threads` workers.
-                    let mut chunks: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(blocks.len());
-                    let mut rest: &mut [f32] = &mut c.data;
-                    for &(ic, mc_eff) in &blocks {
-                        let (rows, tail) = rest.split_at_mut(mc_eff * n);
-                        chunks.push((ic, mc_eff, rows));
-                        rest = tail;
+                    // Deal the ic blocks round-robin to the workers; each
+                    // block is a disjoint row range of C.
+                    let workers = worker_state.len();
+                    let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); workers];
+                    for (idx, &blk) in blocks.iter().enumerate() {
+                        groups[idx % workers].push(blk);
                     }
-                    let workers = threads.min(chunks.len());
-                    let mut groups: Vec<Vec<(usize, usize, &mut [f32])>> =
-                        (0..workers).map(|_| Vec::new()).collect();
-                    for (idx, chunk) in chunks.into_iter().enumerate() {
-                        groups[idx % workers].push(chunk);
-                    }
-                    let a_data = &a.data;
                     std::thread::scope(|scope| -> Result<(), GemmError> {
                         let handles: Vec<_> = groups
                             .into_iter()
-                            .zip(worker_scratch.iter_mut())
-                            .map(|(group, (a_buf, c_tile))| {
+                            .zip(worker_state.iter_mut())
+                            .map(|(group, (a_buf, c_tile, dispatch))| {
                                 scope.spawn(move || -> Result<(), GemmError> {
-                                    for (ic, mc_eff, c_rows) in group {
-                                        run_ic_block(
-                                            kernel, a_data, k, ic, pc, mc_eff, kc_eff, packed_b, nc_eff, jc,
-                                            n, a_buf, c_tile, c_rows,
-                                        )?;
+                                    for (ic, mc_eff) in group {
+                                        // SAFETY: each worker owns the
+                                        // disjoint row ranges dealt to it;
+                                        // MatMut proved the stride map
+                                        // injective, so their C element
+                                        // sets are disjoint.
+                                        unsafe {
+                                            run_ic_block(
+                                                dispatch, a, ic, pc, mc_eff, kc_eff, packed_b, nc_eff, jc,
+                                                c_raw, alpha, beta, first_k, a_buf, c_tile,
+                                            )?;
+                                        }
                                     }
                                     Ok(())
                                 })
@@ -299,91 +456,114 @@ impl BlisGemm {
             }
             jc += nc_eff;
         }
-        Ok(())
+        Ok(workers_used)
     }
 
     /// The jc-parallel arena path: nc-wide column blocks of `C` are dealt
-    /// out to scoped workers, each with a private packing arena and a
-    /// private dense copy of its column block.
+    /// out to scoped workers, each with a private packing arena, dispatch
+    /// handle, and a private dense copy of its column block. Returns the
+    /// worker count used.
     ///
-    /// `C` is row-major, so a column block is not a contiguous slice; each
+    /// A column block of a strided `C` is not generally contiguous; each
     /// worker therefore stages its block through a dense `m x nc_eff` copy
     /// (copied in before the block's loops, copied back after the join —
     /// O(m·n) traffic total, negligible against the O(m·n·k) compute).
     /// Within a block the pc/ic/jr/ir loops run in exactly the sequential
     /// order, and every `C` element belongs to exactly one block, so the
-    /// result is bit-for-bit identical for any thread count.
+    /// result is bit-for-bit identical for any thread count. `beta` is
+    /// applied inside the block loops (first k-block), so the staged copy
+    /// carries original `C` values — which are never read when
+    /// `beta == 0`.
     #[allow(clippy::too_many_arguments)]
     fn gemm_arena_jc(
         &self,
         kernel: &KernelImpl,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
         ic_blocks: &[(usize, usize)],
         col_blocks: &[(usize, usize)],
+        alpha: f32,
+        beta: f32,
         threads: usize,
-    ) -> Result<(), GemmError> {
-        let (m, n, k) = (a.rows, b.cols, a.cols);
+    ) -> Result<usize, GemmError> {
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let BlockingParams { kc, nc, .. } = self.blocking;
         let (mr, nr) = (kernel.mr, kernel.nr);
         let tile_blocking = BlockingParams { mr, nr, ..self.blocking };
 
-        // Stage every column block into a dense private copy up front.
+        // Stage every column block into a dense private copy up front
+        // (memcpy per row when C's column stride is unit — the common
+        // row-major case — scalar walk otherwise).
+        let c_ro = c.rb();
         let mut staged: Vec<(usize, usize, Vec<f32>)> = col_blocks
             .iter()
             .map(|&(jc, nc_eff)| {
                 let mut cols = vec![0.0f32; m * nc_eff];
                 for i in 0..m {
-                    cols[i * nc_eff..(i + 1) * nc_eff]
-                        .copy_from_slice(&c.data[i * n + jc..i * n + jc + nc_eff]);
+                    let dst = &mut cols[i * nc_eff..(i + 1) * nc_eff];
+                    if let Some(src) = c_ro.contiguous_row(i, jc, nc_eff) {
+                        dst.copy_from_slice(src);
+                    } else {
+                        for (j, slot) in dst.iter_mut().enumerate() {
+                            *slot = c_ro.get(i, jc + j);
+                        }
+                    }
                 }
                 (jc, nc_eff, cols)
             })
             .collect();
 
         // Deal blocks round-robin to up to `threads` workers; each worker
-        // owns disjoint `&mut` block entries, so the scope needs no unsafe.
+        // owns disjoint `&mut` block entries, so the scope needs no unsafe
+        // sharing of C itself.
         let workers = threads.min(staged.len());
         let mut groups: Vec<Vec<&mut (usize, usize, Vec<f32>)>> = (0..workers).map(|_| Vec::new()).collect();
         for (idx, blk) in staged.iter_mut().enumerate() {
             groups[idx % workers].push(blk);
         }
-        let (a_data, b_data) = (&a.data, &b.data);
         std::thread::scope(|scope| -> Result<(), GemmError> {
             let handles: Vec<_> = groups
                 .into_iter()
                 .map(|group| {
                     scope.spawn(move || -> Result<(), GemmError> {
-                        // Private per-worker arena, sized for one column
-                        // block, allocated once per GEMM.
+                        // Private per-worker arena and dispatch handle,
+                        // sized for one column block, allocated once per
+                        // GEMM.
                         let mut arena = PackArena::for_problem(&tile_blocking, m, nc.min(n), k);
                         let (a_buf, b_buf) = arena.buffers();
                         let mut c_tile = vec![0.0f32; mr * nr];
+                        let mut dispatch = kernel.dispatcher();
                         for (jc, nc_eff, cols) in group {
                             let (jc, nc_eff) = (*jc, *nc_eff);
+                            let cols_raw = RawMat::of_dense(cols, m, nc_eff);
                             let mut pc = 0;
                             while pc < k {
                                 let kc_eff = kc.min(k - pc);
                                 let b_len = nc_eff.div_ceil(nr) * kc_eff * nr;
-                                pack_b_into(&mut b_buf[..b_len], b_data, n, pc, jc, kc_eff, nc_eff, nr);
+                                pack_b_into(&mut b_buf[..b_len], b, pc, jc, kc_eff, nc_eff, nr);
                                 for &(ic, mc_eff) in ic_blocks {
-                                    run_ic_block(
-                                        kernel,
-                                        a_data,
-                                        k,
-                                        ic,
-                                        pc,
-                                        mc_eff,
-                                        kc_eff,
-                                        &b_buf[..b_len],
-                                        nc_eff,
-                                        0,
-                                        nc_eff,
-                                        a_buf,
-                                        &mut c_tile,
-                                        &mut cols[ic * nc_eff..(ic + mc_eff) * nc_eff],
-                                    )?;
+                                    // SAFETY: `cols_raw` points into this
+                                    // worker's private staging buffer.
+                                    unsafe {
+                                        run_ic_block(
+                                            &mut dispatch,
+                                            a,
+                                            ic,
+                                            pc,
+                                            mc_eff,
+                                            kc_eff,
+                                            &b_buf[..b_len],
+                                            nc_eff,
+                                            0,
+                                            cols_raw,
+                                            alpha,
+                                            beta,
+                                            pc == 0,
+                                            a_buf,
+                                            &mut c_tile,
+                                        )?;
+                                    }
                                 }
                                 pc += kc_eff;
                             }
@@ -398,13 +578,21 @@ impl BlisGemm {
             Ok(())
         })?;
 
-        // Scatter the finished column blocks back into C.
+        // Scatter the finished column blocks back into C (memcpy per row
+        // for unit column stride, scalar walk otherwise).
         for (jc, nc_eff, cols) in &staged {
             for i in 0..m {
-                c.data[i * n + jc..i * n + jc + nc_eff].copy_from_slice(&cols[i * nc_eff..(i + 1) * nc_eff]);
+                let src = &cols[i * nc_eff..(i + 1) * nc_eff];
+                if let Some(dst) = c.contiguous_row_mut(i, *jc, *nc_eff) {
+                    dst.copy_from_slice(src);
+                } else {
+                    for (j, &v) in src.iter().enumerate() {
+                        c.set(i, jc + j, v);
+                    }
+                }
             }
         }
-        Ok(())
+        Ok(workers.max(1))
     }
 
     /// The legacy path: fresh packing buffers per block and a fresh scratch
@@ -412,11 +600,13 @@ impl BlisGemm {
     fn gemm_unbuffered(
         &self,
         kernel: &KernelImpl,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
+        alpha: f32,
+        beta: f32,
     ) -> Result<(), GemmError> {
-        let (m, n, k) = (a.rows, b.cols, a.cols);
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let BlockingParams { mc, kc, nc, .. } = self.blocking;
         let (mr, nr) = (kernel.mr, kernel.nr);
 
@@ -426,11 +616,12 @@ impl BlisGemm {
             let mut pc = 0;
             while pc < k {
                 let kc_eff = kc.min(k - pc);
-                let packed_b = pack_b(&b.data, n, pc, jc, kc_eff, nc_eff, nr);
+                let first_k = pc == 0;
+                let packed_b = pack_b(b, pc, jc, kc_eff, nc_eff, nr);
                 let mut ic = 0;
                 while ic < m {
                     let mc_eff = mc.min(m - ic);
-                    let packed_a = pack_a(&a.data, k, ic, pc, mc_eff, kc_eff, mr);
+                    let packed_a = pack_a(a, ic, pc, mc_eff, kc_eff, mr, alpha);
                     let n_panels = nc_eff.div_ceil(nr);
                     let m_panels = mc_eff.div_ceil(mr);
                     for jr in 0..n_panels {
@@ -444,7 +635,7 @@ impl BlisGemm {
                                 for i in 0..rows {
                                     let gi = ic + ir * mr + i;
                                     let gj = jc + jr * nr + j;
-                                    c_tile[j * mr + i] = c.get(gi, gj);
+                                    c_tile[j * mr + i] = staged_c_value(c.get(gi, gj), beta, first_k);
                                 }
                             }
                             kernel.run(kc_eff, ap, bp, &mut c_tile)?;
@@ -464,6 +655,39 @@ impl BlisGemm {
             jc += nc_eff;
         }
         Ok(())
+    }
+}
+
+impl GemmExecutor for BlisGemm {
+    fn gemm(&self, problem: GemmProblem<'_>) -> Result<GemmStats, GemmError> {
+        self.gemm_with(&self.kernel, problem)
+    }
+}
+
+/// `C = beta * C` in place, honoring `beta == 0` as "never read".
+fn scale_c(c: &mut MatMut<'_>, beta: f32) {
+    if beta == 1.0 {
+        return;
+    }
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let v = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// The staged value of one `C` element: `beta` belongs to the first k-block
+/// only, and `beta == 0` means the stored value is never trusted (it may be
+/// NaN garbage) — the tile starts from zero instead.
+#[inline]
+fn staged_c_value(stored: f32, beta: f32, first_k_block: bool) -> f32 {
+    if !first_k_block || beta == 1.0 {
+        stored
+    } else if beta == 0.0 {
+        0.0
+    } else {
+        beta * stored
     }
 }
 
@@ -493,16 +717,22 @@ fn jc_blocks(n: usize, nc: usize) -> Vec<(usize, usize)> {
     blocks_of(n, nc)
 }
 
-/// Loops L4/L5 for one `ic` block: pack the `A` block into `a_buf`, then run
-/// the micro-kernel over every `(jr, ir)` tile, staging each (possibly
-/// fringe) `C` tile through `c_tile`.
+/// Loops L4/L5 for one `ic` block: pack the `op(A)` block (scaled by
+/// `alpha`) into `a_buf`, then run the micro-kernel over every `(jr, ir)`
+/// tile, staging each (possibly fringe) `C` tile through `c_tile` and
+/// applying `beta` on the first k-block's staging load.
 ///
-/// `c_rows` is the row range `ic..ic+mc_eff` of `C` (width `n_total`).
+/// # Safety
+///
+/// `c` must point to live storage covering its declared `rows x cols`
+/// extent, and no other thread may concurrently access any `C` element with
+/// row in `[ic, ic + mc_eff)` — the driver guarantees this by partitioning
+/// ic blocks over workers (or by handing each worker a private staging
+/// buffer).
 #[allow(clippy::too_many_arguments)]
-fn run_ic_block(
-    kernel: &KernelImpl,
-    a_data: &[f32],
-    k_total: usize,
+unsafe fn run_ic_block(
+    dispatch: &mut KernelDispatch,
+    a: MatRef<'_>,
     ic: usize,
     pc: usize,
     mc_eff: usize,
@@ -510,14 +740,16 @@ fn run_ic_block(
     packed_b: &[f32],
     nc_eff: usize,
     jc: usize,
-    n_total: usize,
+    c: RawMat,
+    alpha: f32,
+    beta: f32,
+    first_k_block: bool,
     a_buf: &mut [f32],
     c_tile: &mut [f32],
-    c_rows: &mut [f32],
 ) -> Result<(), GemmError> {
-    let (mr, nr) = (kernel.mr, kernel.nr);
+    let (mr, nr) = (dispatch.kernel().mr, dispatch.kernel().nr);
     let a_len = mc_eff.div_ceil(mr) * kc_eff * mr;
-    pack_a_into(&mut a_buf[..a_len], a_data, k_total, ic, pc, mc_eff, kc_eff, mr);
+    pack_a_into(&mut a_buf[..a_len], a, ic, pc, mc_eff, kc_eff, mr, alpha);
     let packed_a = &a_buf[..a_len];
 
     let n_panels = nc_eff.div_ceil(nr);
@@ -530,20 +762,28 @@ fn run_ic_block(
             let cols = nr.min(nc_eff - jr * nr);
             // Stage the C tile. Fringe padding positions receive only
             // zero-padded products from the kernel and are never copied
-            // back, so the reused scratch needs no re-zeroing.
-            for j in 0..cols {
-                let col0 = jc + jr * nr + j;
-                let tile_col = &mut c_tile[j * mr..j * mr + rows];
-                for (i, t) in tile_col.iter_mut().enumerate() {
-                    *t = c_rows[(ir * mr + i) * n_total + col0];
+            // back, so the reused scratch needs no re-zeroing. On the first
+            // k-block the staged values carry beta (and beta == 0 loads
+            // nothing at all — C may hold NaN garbage).
+            if first_k_block && beta == 0.0 {
+                for j in 0..cols {
+                    c_tile[j * mr..j * mr + rows].fill(0.0);
+                }
+            } else {
+                for j in 0..cols {
+                    let col0 = jc + jr * nr + j;
+                    let tile_col = &mut c_tile[j * mr..j * mr + rows];
+                    for (i, t) in tile_col.iter_mut().enumerate() {
+                        *t = staged_c_value(c.load(ic + ir * mr + i, col0), beta, first_k_block);
+                    }
                 }
             }
-            kernel.run(kc_eff, ap, bp, c_tile)?;
+            dispatch.run(kc_eff, ap, bp, c_tile)?;
             for j in 0..cols {
                 let col0 = jc + jr * nr + j;
                 let tile_col = &c_tile[j * mr..j * mr + rows];
                 for (i, t) in tile_col.iter().enumerate() {
-                    c_rows[(ir * mr + i) * n_total + col0] = *t;
+                    c.store(ic + ir * mr + i, col0, *t);
                 }
             }
         }
@@ -555,6 +795,7 @@ fn run_ic_block(
 mod tests {
     use super::*;
     use crate::baselines::{blis_assembly_kernel, exo_kernel, neon_intrinsics_kernel, reference_kernel};
+    use crate::problem::NaiveGemm;
     use exo_isa::neon_f32;
     use std::sync::Arc;
     use ukernel_gen::MicroKernelGenerator;
@@ -568,7 +809,10 @@ mod tests {
         // Use small blocking values so every loop level is exercised even on
         // small problems.
         let blocking = BlockingParams { mc: 24, kc: 16, nc: 36, mr: kernel.mr, nr: kernel.nr };
-        BlisGemm::new(blocking).gemm(kernel, &a, &b, &mut c).unwrap();
+        let stats = BlisGemm::new(blocking)
+            .gemm_with(kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+            .unwrap();
+        assert_eq!((stats.m, stats.n, stats.k), (m, n, k));
         naive_gemm(&a, &b, &mut c_ref);
         for idx in 0..c.data.len() {
             assert!(
@@ -583,10 +827,16 @@ mod tests {
         // arena path bit-for-bit: same packing, same op order, disjoint
         // per-thread row blocks.
         let mut c_legacy = c_start.clone();
-        BlisGemm::new(blocking).without_arena().gemm(kernel, &a, &b, &mut c_legacy).unwrap();
+        BlisGemm::new(blocking)
+            .without_arena()
+            .gemm_with(kernel, GemmProblem::new(a.view(), b.view(), c_legacy.view_mut()))
+            .unwrap();
         assert_eq!(c.data, c_legacy.data, "{}: arena vs legacy", kernel.name);
         let mut c_threaded = c_start;
-        BlisGemm::new(blocking).with_threads(4).gemm(kernel, &a, &b, &mut c_threaded).unwrap();
+        BlisGemm::new(blocking)
+            .with_threads(4)
+            .gemm_with(kernel, GemmProblem::new(a.view(), b.view(), c_threaded.view_mut()))
+            .unwrap();
         assert_eq!(c.data, c_threaded.data, "{}: threads=4 vs threads=1", kernel.name);
     }
 
@@ -611,13 +861,91 @@ mod tests {
     }
 
     #[test]
+    fn executor_entry_point_uses_the_stored_kernel() {
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let kernel = exo_kernel(Arc::new(generator.generate(8, 8).unwrap()));
+        let driver = BlisGemm::for_kernel(&kernel, &carmel_sim::CacheHierarchy::carmel());
+        let a = Matrix::from_fn(20, 12, |i, j| (i * 3 + j) as f32 * 0.125 - 1.0);
+        let b = Matrix::from_fn(12, 9, |i, j| (i + j * 2) as f32 * 0.25 - 0.5);
+        let mut c = Matrix::zeros(20, 9);
+        let mut c_ref = Matrix::zeros(20, 9);
+        let stats = driver.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut())).unwrap();
+        assert_eq!(stats.kernel, "EXO 8x8");
+        naive_gemm(&a, &b, &mut c_ref);
+        for idx in 0..c.data.len() {
+            assert!((c.data[idx] - c_ref.data[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transposes_alpha_and_beta_match_the_strided_reference() {
+        // C = alpha * A^T * B^T + beta * C, through the blocked driver vs
+        // the naive strided reference.
+        let (m, n, k) = (23usize, 17usize, 11usize);
+        let at = Matrix::from_fn(k, m, |i, j| ((i * 5 + j * 7 + 3) % 11) as f32 * 0.25 - 1.0);
+        let bt = Matrix::from_fn(n, k, |i, j| ((i * 3 + j * 13 + 1) % 7) as f32 * 0.5 - 1.5);
+        let c0 = Matrix::from_fn(m, n, |i, j| ((i * 2 + j) % 5) as f32 * 0.5 - 1.0);
+        let kernel = neon_intrinsics_kernel();
+        let blocking = BlockingParams { mc: 8, kc: 4, nc: 12, mr: kernel.mr, nr: kernel.nr };
+        fn build<'x>(at: &'x Matrix, bt: &'x Matrix, c: MatMut<'x>) -> GemmProblem<'x> {
+            GemmProblem::new(at.view(), bt.view(), c).transpose_a().transpose_b().alpha(-0.5).beta(0.75)
+        }
+        let mut c_blis = c0.clone();
+        BlisGemm::new(blocking).gemm_with(&kernel, build(&at, &bt, c_blis.view_mut())).unwrap();
+        let mut c_ref = c0.clone();
+        NaiveGemm.gemm(build(&at, &bt, c_ref.view_mut())).unwrap();
+        for idx in 0..c_blis.data.len() {
+            assert!(
+                (c_blis.data[idx] - c_ref.data[idx]).abs() < 1e-3,
+                "mismatch at {idx}: {} vs {}",
+                c_blis.data[idx],
+                c_ref.data[idx]
+            );
+        }
+        // And the unbuffered legacy path agrees bit-for-bit with the arena.
+        let mut c_legacy = c0.clone();
+        BlisGemm::new(blocking)
+            .without_arena()
+            .gemm_with(&kernel, build(&at, &bt, c_legacy.view_mut()))
+            .unwrap();
+        assert_eq!(c_blis.data, c_legacy.data);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_garbage() {
+        let a = Matrix::from_fn(10, 6, |i, j| (i + j) as f32 * 0.25);
+        let b = Matrix::from_fn(6, 7, |i, j| (i * 2 + j) as f32 * 0.125);
+        let mut c = Matrix::from_fn(10, 7, |_, _| f32::NAN);
+        let kernel = neon_intrinsics_kernel();
+        let blocking = BlockingParams { mc: 4, kc: 4, nc: 4, mr: kernel.mr, nr: kernel.nr };
+        BlisGemm::new(blocking)
+            .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()).beta(0.0))
+            .unwrap();
+        assert!(c.data.iter().all(|v| v.is_finite()), "beta = 0 must never read C");
+    }
+
+    #[test]
+    fn degenerate_k_and_alpha_zero_scale_c_only() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        gemm.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut()).beta(2.0)).unwrap();
+        assert_eq!(c.get(2, 3), 22.0, "k = 0 still applies beta");
+        let a = Matrix::from_fn(3, 5, |_, _| f32::NAN);
+        let b = Matrix::from_fn(5, 4, |_, _| f32::NAN);
+        gemm.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(0.0).beta(0.5)).unwrap();
+        assert_eq!(c.get(2, 3), 11.0, "alpha = 0 must not read A or B");
+    }
+
+    #[test]
     fn dimension_mismatches_are_rejected() {
         let a = Matrix::zeros(4, 4);
         let b = Matrix::zeros(5, 4);
         let mut c = Matrix::zeros(4, 4);
         let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
         assert!(matches!(
-            gemm.gemm(&neon_intrinsics_kernel(), &a, &b, &mut c),
+            gemm.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut())),
             Err(GemmError::ShapeMismatch { .. })
         ));
     }
@@ -628,7 +956,7 @@ mod tests {
         let b = Matrix::zeros(0, 0);
         let mut c = Matrix::zeros(0, 0);
         let gemm = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
-        gemm.gemm(&neon_intrinsics_kernel(), &a, &b, &mut c).unwrap();
+        gemm.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut())).unwrap();
     }
 
     #[test]
@@ -642,7 +970,10 @@ mod tests {
         let b = Matrix::from_fn(9, 13, |i, j| (i + j * 3) as f32 * 0.125);
         let mut c = Matrix::zeros(13, 13);
         let mut c_ref = Matrix::zeros(13, 13);
-        BlisGemm::new(blocking).with_threads(3).gemm(&kernel, &a, &b, &mut c).unwrap();
+        BlisGemm::new(blocking)
+            .with_threads(3)
+            .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+            .unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for idx in 0..c.data.len() {
             assert!((c.data[idx] - c_ref.data[idx]).abs() < 1e-3);
@@ -660,10 +991,15 @@ mod tests {
         let b = Matrix::from_fn(33, 200, |i, j| ((i * 3 + j * 13 + 2) % 17) as f32 * 0.125 - 1.0);
         let c0 = Matrix::from_fn(8, 200, |i, j| ((i + j) % 5) as f32 * 0.5);
         let mut c_seq = c0.clone();
-        BlisGemm::new(blocking).gemm(&kernel, &a, &b, &mut c_seq).unwrap();
+        BlisGemm::new(blocking)
+            .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c_seq.view_mut()))
+            .unwrap();
         for threads in [2usize, 3, 8] {
             let mut c_par = c0.clone();
-            BlisGemm::new(blocking).with_threads(threads).gemm(&kernel, &a, &b, &mut c_par).unwrap();
+            BlisGemm::new(blocking)
+                .with_threads(threads)
+                .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c_par.view_mut()))
+                .unwrap();
             assert_eq!(c_seq.data, c_par.data, "jc split with {threads} threads");
         }
         // And it is actually correct, not just self-consistent.
@@ -682,10 +1018,23 @@ mod tests {
         let mut c = Matrix::zeros(40, 24);
         let mut c_ref = Matrix::zeros(40, 24);
         let blocking = BlockingParams { mc: 8, kc: 8, nc: 24, mr: kernel.mr, nr: kernel.nr };
-        BlisGemm::new(blocking).with_threads(0).gemm(&kernel, &a, &b, &mut c).unwrap();
+        BlisGemm::new(blocking)
+            .with_threads(0)
+            .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+            .unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for idx in 0..c.data.len() {
             assert!((c.data[idx] - c_ref.data[idx]).abs() < 1e-3);
         }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "column index")]
+    fn matrix_accessors_check_both_axes_in_debug_builds() {
+        // 3 x 4: (0, 5) used to alias silently into row 1 (index 5 of the
+        // flat storage); the per-axis assert must catch it.
+        let m = Matrix::zeros(3, 4);
+        let _ = m.get(0, 5);
     }
 }

@@ -6,9 +6,19 @@
 //! intrinsics, `BLIS` assembly with prefetch), and the glue that plugs in
 //! generated Exo micro-kernels.
 //!
+//! The public GEMM front door is the BLAS-grade triple of
+//!
+//! * [`MatRef`]/[`MatMut`] — borrowed strided views over caller-owned
+//!   memory (row-major, column-major, transposed, sub-matrix — all stride
+//!   choices, all zero-copy),
+//! * [`GemmProblem`] — the problem descriptor
+//!   `C = alpha * op(A) * op(B) + beta * C`,
+//! * [`GemmExecutor`] — the trait every driver implements
+//!   ([`NaiveGemm`], [`BlisGemm`], and `exo_tune::TunedGemm`).
+//!
 //! Two execution paths are provided:
 //!
-//! * [`algorithm::BlisGemm`] — functional: computes `C += A * B` on real
+//! * [`algorithm::BlisGemm`] — functional: solves [`GemmProblem`]s on real
 //!   `f32` data through packing + micro-kernel calls, used by the
 //!   correctness tests and the examples;
 //! * [`model::GemmSimulator`] — performance: predicts GFLOPS on the modelled
@@ -23,15 +33,19 @@ pub mod baselines;
 pub mod blocking;
 pub mod model;
 pub mod packing;
+pub mod problem;
+pub mod views;
 
 pub use algorithm::{naive_gemm, BlisGemm, Matrix};
 pub use baselines::{
     blis_assembly_kernel, exo_kernel, exo_kernel_interp, exo_kernel_tape, neon_intrinsics_kernel,
-    reference_kernel, ExecBackend, KernelImpl, KernelKind,
+    reference_kernel, ExecBackend, KernelDispatch, KernelImpl, KernelKind,
 };
 pub use blocking::BlockingParams;
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
+pub use problem::{GemmExecutor, GemmProblem, GemmStats, NaiveGemm, Op};
+pub use views::{MatMut, MatRef};
 
 use std::fmt;
 
@@ -50,6 +64,14 @@ pub enum GemmError {
         /// Failure description.
         message: String,
     },
+    /// A GEMM backend (autotuner, kernel generator, ...) failed before
+    /// dispatch.
+    Backend {
+        /// Backend name.
+        backend: String,
+        /// Failure description.
+        message: String,
+    },
 }
 
 impl fmt::Display for GemmError {
@@ -57,6 +79,9 @@ impl fmt::Display for GemmError {
         match self {
             GemmError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
             GemmError::Kernel { kernel, message } => write!(f, "micro-kernel `{kernel}` failed: {message}"),
+            GemmError::Backend { backend, message } => {
+                write!(f, "gemm backend `{backend}` failed: {message}")
+            }
         }
     }
 }

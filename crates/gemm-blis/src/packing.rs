@@ -1,127 +1,175 @@
-//! The BLIS packing routines.
+//! The BLIS packing routines, over strided views.
 //!
-//! `Ac := A(ic:ic+mc, pc:pc+kc)` is packed into micro-panels of `mr` rows so
-//! that the micro-kernel reads it with unit stride as `Ac[k][mr]`;
-//! `Bc := B(pc:pc+kc, jc:jc+nc)` is packed into micro-panels of `nr` columns
-//! read as `Bc[k][nr]`. Fringe panels are zero-padded to the full register
-//! tile, which is how the monolithic library kernels handle edge cases.
+//! `Ac := op(A)(ic:ic+mc, pc:pc+kc)` is packed into micro-panels of `mr`
+//! rows so that the micro-kernel reads it with unit stride as `Ac[k][mr]`
+//! (scaled by `alpha` on the way in — folding the BLAS scale into the one
+//! pass that already touches every element); `Bc := op(B)(pc:pc+kc,
+//! jc:jc+nc)` is packed into micro-panels of `nr` columns read as
+//! `Bc[k][nr]`. Fringe panels are zero-padded to the full register tile,
+//! which is how the monolithic library kernels handle edge cases.
 //!
-//! Two layers are provided:
+//! The source is a [`MatRef`] — an arbitrary strided view — so transposes
+//! and sub-matrices are *stride walks*, not copies: `op(X) = T` reaches the
+//! packers as a view whose strides are swapped. Every pack funnels through
+//! one region packer with three code paths, chosen by the region's strides:
 //!
-//! * [`pack_a`] / [`pack_b`] — allocate a fresh buffer per call (the
-//!   original behaviour, kept for the legacy driver path and tests);
-//! * [`pack_a_into`] / [`pack_b_into`] + [`PackArena`] — pack into a
-//!   caller-owned buffer sized once per GEMM at the blocking-derived
-//!   maximum, so the five-loop driver performs zero allocations in its
-//!   block loops.
+//! * unit stride along the packed row → `copy_from_slice` (the dense `B`
+//!   hot path, and the dense-`A`-transposed path);
+//! * unit stride *across* packed rows → a blocked transpose in small square
+//!   tiles, so the strided gather reads each source cache line once (the
+//!   dense `A` hot path, and the dense-`B`-transposed path);
+//! * anything else → a scalar stride walk.
 //!
-//! Both layers share the same split: all *full* panels are packed by a
-//! branch-free hot loop, and only the single trailing fringe panel (if the
-//! block size is not a tile multiple) runs the padded edge loop.
+//! Two layers are provided, as before: [`pack_a`]/[`pack_b`] allocate per
+//! call (legacy driver, tests); [`pack_a_into`]/[`pack_b_into`] +
+//! [`PackArena`] write into caller-owned buffers sized once per GEMM.
 
 use crate::blocking::BlockingParams;
+use crate::views::MatRef;
 
-/// Packs a block of `A` (row-major `m x k`, selecting rows `ic..ic+mc_eff`
-/// and columns `pc..pc+kc_eff`) into `mr`-row micro-panels, zero-padding the
-/// last panel.
+/// Tile edge of the blocked-transpose gather: big enough that a packed tile
+/// spans a cache line of the destination, small enough that `T` source rows
+/// stay resident while the tile transposes.
+const XPOSE_TILE: usize = 8;
+
+/// Packs the `R x C` `region` into `out` as `R` rows of `tile_w` contiguous
+/// elements (`C <= tile_w`; columns `C..tile_w` are zero-padded), scaling
+/// every element by `alpha`.
+///
+/// This is the shared engine of [`pack_a_into`] and [`pack_b_into`]; the
+/// region view's strides decide the code path (see the module docs).
+fn pack_region(out: &mut [f32], region: MatRef<'_>, tile_w: usize, alpha: f32) {
+    let (rows, cols) = (region.rows(), region.cols());
+    debug_assert!(cols <= tile_w && out.len() >= rows * tile_w);
+    let (rs, cs) = (region.row_stride(), region.col_stride());
+    let data = region.data();
+    if cs == 1 && rows > 0 && cols > 0 {
+        // Packed rows are contiguous in the source.
+        for (r, dst) in out.chunks_exact_mut(tile_w).take(rows).enumerate() {
+            let src = &data[r * rs..r * rs + cols];
+            if alpha == 1.0 {
+                dst[..cols].copy_from_slice(src);
+            } else {
+                for (d, &s) in dst[..cols].iter_mut().zip(src) {
+                    *d = alpha * s;
+                }
+            }
+        }
+    } else if rs == 1 && rows > 0 && cols > 0 {
+        // The source is contiguous *across* packed rows: gather in square
+        // tiles so each source run of XPOSE_TILE elements is read once,
+        // instead of one element per strided pass.
+        let mut c0 = 0;
+        while c0 < cols {
+            let tc = XPOSE_TILE.min(cols - c0);
+            let mut r0 = 0;
+            while r0 < rows {
+                let tr = XPOSE_TILE.min(rows - r0);
+                for c in 0..tc {
+                    let src = &data[(c0 + c) * cs + r0..(c0 + c) * cs + r0 + tr];
+                    for (r, &s) in src.iter().enumerate() {
+                        out[(r0 + r) * tile_w + c0 + c] = alpha * s;
+                    }
+                }
+                r0 += tr;
+            }
+            c0 += tc;
+        }
+    } else {
+        // General strided walk (also covers empty regions).
+        for r in 0..rows {
+            let dst = &mut out[r * tile_w..r * tile_w + cols];
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = alpha * region.get(r, c);
+            }
+        }
+    }
+    // Zero-pad the fringe columns of every row (values beyond `rows * tile_w`
+    // are the caller's responsibility — pack_*_into never leaves them stale).
+    if cols < tile_w {
+        for dst in out.chunks_exact_mut(tile_w).take(rows) {
+            dst[cols..].fill(0.0);
+        }
+    }
+}
+
+/// Packs a block of `op(A)` (selecting rows `ic..ic+mc_eff` and columns
+/// `pc..pc+kc_eff` of the *effective*, op-applied view) into `mr`-row
+/// micro-panels scaled by `alpha`, zero-padding the last panel.
 ///
 /// The returned buffer holds `ceil(mc_eff / mr)` panels, each laid out as
 /// `kc_eff` rows of `mr` contiguous elements.
 pub fn pack_a(
-    a: &[f32],
-    k_total: usize,
+    a: MatRef<'_>,
     ic: usize,
     pc: usize,
     mc_eff: usize,
     kc_eff: usize,
     mr: usize,
+    alpha: f32,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; mc_eff.div_ceil(mr) * kc_eff * mr];
-    pack_a_into(&mut out, a, k_total, ic, pc, mc_eff, kc_eff, mr);
+    pack_a_into(&mut out, a, ic, pc, mc_eff, kc_eff, mr, alpha);
     out
 }
 
-/// Packs a block of `A` into `out` (see [`pack_a`]), which must hold at
+/// Packs a block of `op(A)` into `out` (see [`pack_a`]), which must hold at
 /// least `ceil(mc_eff / mr) * kc_eff * mr` elements. Every element of that
 /// prefix is written (values or explicit zero padding), so a reused arena
 /// buffer never leaks stale data.
 ///
 /// # Panics
 ///
-/// Panics if `out` is shorter than the packed block.
+/// Panics if `out` is shorter than the packed block or the block exceeds
+/// the view.
 #[allow(clippy::too_many_arguments)]
 pub fn pack_a_into(
     out: &mut [f32],
-    a: &[f32],
-    k_total: usize,
+    a: MatRef<'_>,
     ic: usize,
     pc: usize,
     mc_eff: usize,
     kc_eff: usize,
     mr: usize,
+    alpha: f32,
 ) {
     let panels = mc_eff.div_ceil(mr);
-    let full = mc_eff / mr;
     let panel_len = kc_eff * mr;
     assert!(out.len() >= panels * panel_len, "pack_a_into: arena too small");
-    // Full panels: no per-element bounds decision, every row exists.
-    for p in 0..full {
-        let row0 = ic + p * mr;
-        let panel = &mut out[p * panel_len..(p + 1) * panel_len];
-        for (kk, dst) in panel.chunks_exact_mut(mr).enumerate() {
-            let col = pc + kk;
-            for (i, d) in dst.iter_mut().enumerate() {
-                *d = a[(row0 + i) * k_total + col];
-            }
-        }
-    }
-    // At most one fringe panel: real rows then explicit zero padding.
-    if full < panels {
-        let rows = mc_eff - full * mr;
-        let row0 = ic + full * mr;
-        let panel = &mut out[full * panel_len..(full + 1) * panel_len];
-        for (kk, dst) in panel.chunks_exact_mut(mr).enumerate() {
-            let col = pc + kk;
-            for (i, d) in dst.iter_mut().take(rows).enumerate() {
-                *d = a[(row0 + i) * k_total + col];
-            }
-            dst[rows..].fill(0.0);
-        }
+    for p in 0..panels {
+        let prows = mr.min(mc_eff - p * mr);
+        // The packed panel is the (kc_eff x prows) *transpose* of the
+        // A-block rows, so the region view is the sub-block transposed:
+        // dense row-major A lands on the blocked-transpose gather, and
+        // op(A) = T (stride-swapped view) lands on the contiguous copy.
+        let region = a.submatrix(ic + p * mr, pc, prows, kc_eff).t();
+        pack_region(&mut out[p * panel_len..(p + 1) * panel_len], region, mr, alpha);
     }
 }
 
-/// Packs a block of `B` (row-major `k x n`, selecting rows `pc..pc+kc_eff`
-/// and columns `jc..jc+nc_eff`) into `nr`-column micro-panels, zero-padding
-/// the last panel.
+/// Packs a block of `op(B)` (selecting rows `pc..pc+kc_eff` and columns
+/// `jc..jc+nc_eff` of the effective, op-applied view) into `nr`-column
+/// micro-panels, zero-padding the last panel.
 ///
 /// The returned buffer holds `ceil(nc_eff / nr)` panels, each laid out as
 /// `kc_eff` rows of `nr` contiguous elements.
-pub fn pack_b(
-    b: &[f32],
-    n_total: usize,
-    pc: usize,
-    jc: usize,
-    kc_eff: usize,
-    nc_eff: usize,
-    nr: usize,
-) -> Vec<f32> {
+pub fn pack_b(b: MatRef<'_>, pc: usize, jc: usize, kc_eff: usize, nc_eff: usize, nr: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; nc_eff.div_ceil(nr) * kc_eff * nr];
-    pack_b_into(&mut out, b, n_total, pc, jc, kc_eff, nc_eff, nr);
+    pack_b_into(&mut out, b, pc, jc, kc_eff, nc_eff, nr);
     out
 }
 
-/// Packs a block of `B` into `out` (see [`pack_b`]), which must hold at
+/// Packs a block of `op(B)` into `out` (see [`pack_b`]), which must hold at
 /// least `ceil(nc_eff / nr) * kc_eff * nr` elements. Every element of that
 /// prefix is written, so a reused arena buffer never leaks stale data.
 ///
 /// # Panics
 ///
-/// Panics if `out` is shorter than the packed block.
-#[allow(clippy::too_many_arguments)]
+/// Panics if `out` is shorter than the packed block or the block exceeds
+/// the view.
 pub fn pack_b_into(
     out: &mut [f32],
-    b: &[f32],
-    n_total: usize,
+    b: MatRef<'_>,
     pc: usize,
     jc: usize,
     kc_eff: usize,
@@ -129,28 +177,15 @@ pub fn pack_b_into(
     nr: usize,
 ) {
     let panels = nc_eff.div_ceil(nr);
-    let full = nc_eff / nr;
     let panel_len = kc_eff * nr;
     assert!(out.len() >= panels * panel_len, "pack_b_into: arena too small");
-    // Full panels: each packed row is a contiguous run of the source row.
-    for p in 0..full {
-        let col0 = jc + p * nr;
-        let panel = &mut out[p * panel_len..(p + 1) * panel_len];
-        for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
-            let src = (pc + kk) * n_total + col0;
-            dst.copy_from_slice(&b[src..src + nr]);
-        }
-    }
-    // At most one fringe panel: real columns then explicit zero padding.
-    if full < panels {
-        let cols = nc_eff - full * nr;
-        let col0 = jc + full * nr;
-        let panel = &mut out[full * panel_len..(full + 1) * panel_len];
-        for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
-            let src = (pc + kk) * n_total + col0;
-            dst[..cols].copy_from_slice(&b[src..src + cols]);
-            dst[cols..].fill(0.0);
-        }
+    for p in 0..panels {
+        let pcols = nr.min(nc_eff - p * nr);
+        // The packed panel is the (kc_eff x pcols) sub-block as-is: dense
+        // row-major B lands on the contiguous copy, op(B) = T on the
+        // blocked-transpose gather.
+        let region = b.submatrix(pc, jc + p * nr, kc_eff, pcols);
+        pack_region(&mut out[p * panel_len..(p + 1) * panel_len], region, nr, 1.0);
     }
 }
 
@@ -207,31 +242,30 @@ impl PackArena {
         self.b.len()
     }
 
-    /// Packs an `A` block into the arena (see [`pack_a`]) and returns the
-    /// packed prefix.
+    /// Packs an `op(A)` block into the arena (see [`pack_a`]) and returns
+    /// the packed prefix.
     #[allow(clippy::too_many_arguments)]
     pub fn pack_a<'s>(
         &'s mut self,
-        a: &[f32],
-        k_total: usize,
+        a: MatRef<'_>,
         ic: usize,
         pc: usize,
         mc_eff: usize,
         kc_eff: usize,
         mr: usize,
+        alpha: f32,
     ) -> &'s [f32] {
         let len = mc_eff.div_ceil(mr) * kc_eff * mr;
-        pack_a_into(&mut self.a[..len], a, k_total, ic, pc, mc_eff, kc_eff, mr);
+        pack_a_into(&mut self.a[..len], a, ic, pc, mc_eff, kc_eff, mr, alpha);
         &self.a[..len]
     }
 
-    /// Packs a `B` block into the arena (see [`pack_b`]) and returns the
-    /// packed prefix.
+    /// Packs an `op(B)` block into the arena (see [`pack_b`]) and returns
+    /// the packed prefix.
     #[allow(clippy::too_many_arguments)]
     pub fn pack_b<'s>(
         &'s mut self,
-        b: &[f32],
-        n_total: usize,
+        b: MatRef<'_>,
         pc: usize,
         jc: usize,
         kc_eff: usize,
@@ -239,7 +273,7 @@ impl PackArena {
         nr: usize,
     ) -> &'s [f32] {
         let len = nc_eff.div_ceil(nr) * kc_eff * nr;
-        pack_b_into(&mut self.b[..len], b, n_total, pc, jc, kc_eff, nc_eff, nr);
+        pack_b_into(&mut self.b[..len], b, pc, jc, kc_eff, nc_eff, nr);
         &self.b[..len]
     }
 }
@@ -253,7 +287,7 @@ mod tests {
         // A is 6 x 4 with A[i][j] = 10 i + j.
         let (m, k) = (6usize, 4usize);
         let a: Vec<f32> = (0..m * k).map(|x| (10 * (x / k) + x % k) as f32).collect();
-        let packed = pack_a(&a, k, 0, 0, m, k, 4);
+        let packed = pack_a(MatRef::from_slice(&a, m, k), 0, 0, m, k, 4, 1.0);
         // Two panels of 4 rows (second padded by 2 rows of zeros).
         assert_eq!(packed.len(), 2 * k * 4);
         // Panel 0, k = 1 holds rows 0..4 column 1: 1, 11, 21, 31.
@@ -269,7 +303,7 @@ mod tests {
         // B is 3 x 7 with B[k][j] = 100 k + j.
         let (k, n) = (3usize, 7usize);
         let b: Vec<f32> = (0..k * n).map(|x| (100 * (x / n) + x % n) as f32).collect();
-        let packed = pack_b(&b, n, 0, 0, k, n, 4);
+        let packed = pack_b(MatRef::from_slice(&b, k, n), 0, 0, k, n, 4);
         assert_eq!(packed.len(), 2 * k * 4);
         let p0 = b_panel(&packed, 0, k, 4);
         assert_eq!(&p0[0..4], &[0.0, 1.0, 2.0, 3.0]);
@@ -283,7 +317,7 @@ mod tests {
     fn packing_a_sub_block_offsets_correctly() {
         let (m, k) = (8usize, 8usize);
         let a: Vec<f32> = (0..m * k).map(|x| x as f32).collect();
-        let packed = pack_a(&a, k, 4, 2, 4, 3, 4);
+        let packed = pack_a(MatRef::from_slice(&a, m, k), 4, 2, 4, 3, 4, 1.0);
         // Single panel: rows 4..8, columns 2..5.
         let p = a_panel(&packed, 0, 3, 4);
         assert_eq!(p[0], a[4 * k + 2]);
@@ -292,21 +326,74 @@ mod tests {
     }
 
     #[test]
+    fn transposed_and_strided_sources_pack_identically_to_materialised_ones() {
+        // op(A) = T over a row-major k x m buffer must pack exactly what a
+        // materialised m x k transpose packs — the stride walk is the
+        // transpose.
+        let (m, k) = (11usize, 7usize);
+        let at: Vec<f32> = (0..k * m).map(|x| (x as f32) * 0.25 - 3.0).collect();
+        let a_dense: Vec<f32> = {
+            let mut d = vec![0.0f32; m * k];
+            for i in 0..m {
+                for j in 0..k {
+                    d[i * k + j] = at[j * m + i];
+                }
+            }
+            d
+        };
+        for mr in [4usize, 8] {
+            let via_view = pack_a(MatRef::from_slice(&at, k, m).t(), 0, 0, m, k, mr, 1.0);
+            let via_dense = pack_a(MatRef::from_slice(&a_dense, m, k), 0, 0, m, k, mr, 1.0);
+            assert_eq!(via_view, via_dense, "mr = {mr}");
+        }
+        // Same for B: a transposed view and a column-major view of the same
+        // logical matrix pack identically to the dense row-major layout.
+        let (kk, n) = (6usize, 10usize);
+        let b_dense: Vec<f32> = (0..kk * n).map(|x| (x as f32) * 0.5 - 7.0).collect();
+        let b_cm: Vec<f32> = {
+            let mut d = vec![0.0f32; kk * n];
+            for i in 0..kk {
+                for j in 0..n {
+                    d[j * kk + i] = b_dense[i * n + j];
+                }
+            }
+            d
+        };
+        let via_dense = pack_b(MatRef::from_slice(&b_dense, kk, n), 1, 2, 4, 7, 4);
+        let via_cm = pack_b(MatRef::col_major(&b_cm, kk, n), 1, 2, 4, 7, 4);
+        let via_t = pack_b(MatRef::from_slice(&b_cm, n, kk).t(), 1, 2, 4, 7, 4);
+        assert_eq!(via_dense, via_cm);
+        assert_eq!(via_dense, via_t);
+    }
+
+    #[test]
+    fn alpha_scales_packed_a_elements() {
+        let a: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let plain = pack_a(MatRef::from_slice(&a, 3, 4), 0, 0, 3, 4, 4, 1.0);
+        let scaled = pack_a(MatRef::from_slice(&a, 3, 4), 0, 0, 3, 4, 4, -0.5);
+        for (p, s) in plain.iter().zip(&scaled) {
+            assert_eq!(*s, -0.5 * *p);
+        }
+    }
+
+    #[test]
     fn arena_packing_matches_the_allocating_routines_after_reuse() {
         let blocking = BlockingParams { mc: 8, kc: 6, nc: 12, mr: 4, nr: 4 };
         let (m, n, k) = (7usize, 11usize, 6usize);
         let a: Vec<f32> = (0..m * k).map(|x| (x as f32) * 0.5 - 3.0).collect();
         let b: Vec<f32> = (0..k * n).map(|x| (x as f32) * 0.25 - 1.0).collect();
+        let a_view = MatRef::from_slice(&a, m, k);
+        let b_view = MatRef::from_slice(&b, k, n);
         let mut arena = PackArena::for_problem(&blocking, m, n, k);
         // Dirty the arena with a large block first, then pack a smaller
         // fringe block: the reused buffer must not leak stale values.
-        arena.pack_a(&a, k, 0, 0, 7, 6, 4);
-        arena.pack_b(&b, n, 0, 0, 6, 11, 4);
-        let got_a = arena.pack_a(&a, k, 4, 1, 3, 5, 4).to_vec();
-        let want_a = pack_a(&a, k, 4, 1, 3, 5, 4);
+        arena.pack_a(a_view, 0, 0, 7, 6, 4, 1.0);
+        arena.pack_b(b_view, 0, 0, 6, 11, 4);
+        let got_a = arena.pack_a(a_view, 4, 1, 3, 5, 4, 1.0).to_vec();
+        let want_a = pack_a(a_view, 4, 1, 3, 5, 4, 1.0);
         assert_eq!(got_a, want_a);
-        let got_b = arena.pack_b(&b, n, 2, 8, 4, 3, 4).to_vec();
-        let want_b = pack_b(&b, n, 2, 8, 4, 3, 4);
+        let got_b = arena.pack_b(b_view, 2, 8, 4, 3, 4).to_vec();
+        let want_b = pack_b(b_view, 2, 8, 4, 3, 4);
         assert_eq!(got_b, want_b);
     }
 

@@ -63,5 +63,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kernel.trace.per_k_count(exo_ir::InstrClass::VecLoad),
         kernel.trace.per_k_count(exo_ir::InstrClass::VecFma)
     );
+
+    // 7. The production entry point: drop the kernel into the five-loop
+    //    BLIS-like driver and solve a full problem through the
+    //    MatRef/GemmProblem/GemmExecutor front door (see
+    //    `examples/blas_api.rs` for the strided/transposed/alpha-beta
+    //    tour).
+    use gemm_blis::{exo_kernel, BlisGemm, GemmExecutor, GemmProblem, Matrix};
+    let driver =
+        BlisGemm::for_kernel(&exo_kernel(std::sync::Arc::new(kernel)), &carmel_sim::CacheHierarchy::carmel());
+    let (m, n, k) = (100usize, 90usize, 70usize);
+    let a = Matrix::from_fn(m, k, |i, j| ((i + 2 * j) % 7) as f32 * 0.25 - 0.5);
+    let b = Matrix::from_fn(k, n, |i, j| ((3 * i + j) % 5) as f32 * 0.5 - 1.0);
+    let mut c_full = Matrix::zeros(m, n);
+    let stats = driver.gemm(GemmProblem::new(a.view(), b.view(), c_full.view_mut()))?;
+    println!(
+        "five-loop driver solved {}x{}x{} with `{}` ({} useful flops)",
+        stats.m,
+        stats.n,
+        stats.k,
+        stats.kernel,
+        stats.flops()
+    );
     Ok(())
 }

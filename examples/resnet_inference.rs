@@ -1,16 +1,15 @@
 //! DNN inference scenario (Section IV-C): lower the ResNet50 v1.5 and VGG16
 //! convolutions to GEMM with IM2ROW, estimate per-layer and end-to-end
 //! performance for the four implementations on the modelled Carmel core, and
-//! run one layer functionally through the BLIS-like algorithm with a
-//! generated kernel.
+//! run real layers functionally through the `GemmExecutor` front door — a
+//! pointwise convolution fed as a zero-copy strided view, and a rectangular
+//! layer through the autotuned executor.
 //!
 //! Run with: `cargo run --release --example resnet_inference`
 
-use dnn_models::{resnet50_table, vgg16_table};
-use exo_isa::neon_f32;
-use gemm_blis::{exo_kernel, naive_gemm, BlisGemm, BlockingParams, GemmSimulator, Implementation, Matrix};
-use std::sync::Arc;
-use ukernel_gen::MicroKernelGenerator;
+use dnn_models::{conv2d, conv2d_reference, im2row, resnet50_table, vgg16_table, ConvLayer};
+use exo_tune::TunedGemm;
+use gemm_blis::{GemmExecutor, GemmProblem, GemmSimulator, Implementation, MatRef, Matrix, NaiveGemm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = GemmSimulator::new()?;
@@ -39,23 +38,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    // Functionally execute one rectangular layer (ResNet50 layer 12:
-    // 196 x 256 x 2304) through the BLIS-like algorithm with the kernel the
-    // evaluator picks for it.
-    let (m, n, k) = (196usize, 256usize, 2304usize);
-    let chosen = sim.select_kernel(Implementation::AlgExo, m, n, k);
-    println!("functional check on the {m}x{n}x{k} layer using {}", chosen.name);
+    // Functionally execute a miniature pointwise (1x1) layer: its IM2ROW
+    // matrix is a zero-copy strided view of the NHWC input, and beta = 0
+    // means the output buffer needs no initialisation.
+    let layer = ConvLayer {
+        name: "mini_pointwise".into(),
+        layer_number: 0,
+        height: 14,
+        width: 14,
+        in_channels: 32,
+        out_channels: 24,
+        kernel_h: 1,
+        kernel_w: 1,
+        stride: 1,
+        padding: 0,
+    };
+    let shape = im2row(&layer);
+    println!(
+        "pointwise layer {}x{}x{}: IM2ROW A fed as a zero-copy view (m = {}, n = {}, k = {})",
+        layer.height, layer.width, layer.in_channels, shape.m, shape.n, shape.k
+    );
+    let input: Vec<f32> = (0..layer.height * layer.width * layer.in_channels)
+        .map(|i| ((i * 3 + 1) % 11) as f32 * 0.1 - 0.5)
+        .collect();
+    let weights: Vec<f32> = (0..shape.k * shape.n).map(|i| ((i + 5) % 13) as f32 * 0.05).collect();
+    let w = MatRef::from_slice(&weights, shape.k, shape.n);
+    let tuned = TunedGemm::new();
+    let mut out = vec![0.0f32; shape.m * shape.n];
+    let stats = conv2d(&layer, &input, w, &mut out, &tuned)?;
+    println!("dispatched through TunedGemm with kernel `{}`", stats.kernel);
+    let mut out_ref = vec![0.0f32; shape.m * shape.n];
+    conv2d_reference(&layer, &input, w, &mut out_ref);
+    let max_err = out.iter().zip(&out_ref).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+    println!("max |error| vs the direct convolution: {max_err:e}");
+    assert!(max_err < 1e-2);
 
-    let generator = MicroKernelGenerator::new(neon_f32());
-    let kernel = exo_kernel(Arc::new(generator.generate(chosen.mr, chosen.nr)?));
+    // And one rectangular GEMM layer (ResNet50 layer 12: 196 x 256 x 2304)
+    // through the autotuned executor, checked against the strided naive
+    // reference.
+    let (m, n, k) = (196usize, 256usize, 2304usize);
     let a = Matrix::from_fn(m, k, |i, j| ((i * 3 + j) % 11) as f32 * 0.1 - 0.5);
     let b = Matrix::from_fn(k, n, |i, j| ((i + 5 * j) % 13) as f32 * 0.05);
     let mut c = Matrix::zeros(m, n);
     let mut c_ref = Matrix::zeros(m, n);
-
-    let blocking = BlockingParams::analytical(&carmel_sim::CacheHierarchy::carmel(), kernel.mr, kernel.nr, 4);
-    BlisGemm::new(blocking).gemm(&kernel, &a, &b, &mut c)?;
-    naive_gemm(&a, &b, &mut c_ref);
+    let stats = tuned.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut()))?;
+    println!("\nfunctional check on the {m}x{n}x{k} layer using {}", stats.kernel);
+    NaiveGemm.gemm(GemmProblem::new(a.view(), b.view(), c_ref.view_mut()))?;
     let max_err = c.data.iter().zip(&c_ref.data).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
     println!("max |error| vs naive GEMM: {max_err:e}");
     assert!(max_err < 1e-2);

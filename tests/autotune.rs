@@ -14,7 +14,7 @@ mod common;
 use common::Cases;
 use dnn_models::{resnet50_table, vgg16_table};
 use exo_tune::{KernelRegistry, TunedGemm, Tuner};
-use gemm_blis::{naive_gemm, Implementation, Matrix, SimOptions};
+use gemm_blis::{naive_gemm, GemmExecutor, GemmProblem, Implementation, Matrix, SimOptions};
 use ukernel_gen::MicroKernelGenerator;
 
 fn temp_registry_path(tag: &str) -> std::path::PathBuf {
@@ -160,13 +160,13 @@ fn tuned_gemm_front_end_is_correct_and_memoises() {
         let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let mut c = Matrix::zeros(m, n);
         let mut c_ref = Matrix::zeros(m, n);
-        let run = tuned.gemm(&a, &b, &mut c).unwrap();
+        let stats = tuned.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut())).unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
             assert!(
                 (x - y).abs() <= 2e-3 * y.abs().max(1.0),
                 "{m}x{n}x{k} ({}) mismatch at {idx}: {x} vs {y}",
-                run.kernel
+                stats.kernel
             );
         }
     }
@@ -177,7 +177,7 @@ fn tuned_gemm_front_end_is_correct_and_memoises() {
     let a = Matrix::zeros(64, 64);
     let b = Matrix::zeros(64, 64);
     let mut c = Matrix::zeros(64, 64);
-    tuned.gemm(&a, &b, &mut c).unwrap();
+    tuned.gemm(GemmProblem::new(a.view(), b.view(), c.view_mut())).unwrap();
     assert_eq!(tuned.registry().generator_invocations(), invocations);
     assert_eq!(tuned.registry().len(), 3);
 }

@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use exo_isa::{avx512_f32, neon_f16, neon_f32};
 use gemm_blis::{
-    blis_assembly_kernel, exo_kernel, naive_gemm, neon_intrinsics_kernel, BlisGemm, BlockingParams, Matrix,
+    blis_assembly_kernel, exo_kernel, naive_gemm, neon_intrinsics_kernel, BlisGemm, BlockingParams,
+    GemmProblem, Matrix,
 };
 use ukernel_gen::{KernelSet, MicroKernelGenerator, Strategy};
 
@@ -17,7 +18,9 @@ fn check_full_gemm(kernel: &gemm_blis::KernelImpl, m: usize, n: usize, k: usize)
     let mut c_ref = c.clone();
 
     let blocking = BlockingParams { mc: 32, kc: 24, nc: 48, mr: kernel.mr, nr: kernel.nr };
-    BlisGemm::new(blocking).gemm(kernel, &a, &b, &mut c).expect("gemm runs");
+    BlisGemm::new(blocking)
+        .gemm_with(kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+        .expect("gemm runs");
     naive_gemm(&a, &b, &mut c_ref);
     for (idx, (x, y)) in c.data.iter().zip(&c_ref.data).enumerate() {
         assert!((x - y).abs() < 1e-3, "{} mismatch at {idx}: {x} vs {y} for {m}x{n}x{k}", kernel.name);

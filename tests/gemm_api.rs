@@ -1,0 +1,300 @@
+//! Differential suite for the BLAS-grade GEMM front door: every
+//! [`GemmExecutor`] implementation (`NaiveGemm`, `BlisGemm`, `TunedGemm`)
+//! must solve `C = alpha * op(A) * op(B) + beta * C` identically to an
+//! inline strided reference, across:
+//!
+//! * random operand layouts — dense, padded leading dimensions, column
+//!   major, and sub-matrix windows of larger buffers,
+//! * random transposes (`op(A)`, `op(B)`),
+//! * random `alpha`/`beta`, including `beta = 0` over NaN-poisoned
+//!   (uninitialised-looking) `C` and `alpha = 0` over NaN-poisoned `A`/`B`,
+//! * 1–7 worker threads (which must be bit-identical to sequential runs).
+
+mod common;
+
+use std::sync::Arc;
+
+use common::Cases;
+use exo_gemm::exo_isa::neon_f32;
+use exo_gemm::exo_tune::TunedGemm;
+use exo_gemm::gemm_blis::{
+    exo_kernel, reference_kernel, BlisGemm, BlockingParams, GemmExecutor, GemmProblem, KernelImpl, MatMut,
+    MatRef, NaiveGemm, Op,
+};
+use exo_gemm::ukernel_gen::MicroKernelGenerator;
+
+/// One operand held in a randomly chosen strided layout. The view covers a
+/// `rows x cols` logical matrix; the backing buffer may be larger (padding,
+/// enclosing matrix), and the padding holds garbage on purpose.
+struct Stored {
+    data: Vec<f32>,
+    offset: usize,
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl Stored {
+    /// Generates a layout: 0 = dense row-major, 1 = padded row-major,
+    /// 2 = column-major, 3 = padded column-major, 4 = window of a larger
+    /// dense matrix.
+    fn random(rows: usize, cols: usize, cases: &mut Cases, mut fill: impl FnMut() -> f32) -> Stored {
+        let layout = cases.usize_in(0, 5);
+        let pad = cases.usize_in(1, 9);
+        let (len, offset, row_stride, col_stride) = match layout {
+            0 => (rows * cols, 0, cols, 1),
+            1 => (rows * (cols + pad), 0, cols + pad, 1),
+            2 => (rows * cols, 0, 1, rows),
+            3 => (cols * (rows + pad), 0, 1, rows + pad),
+            _ => {
+                // A window at (r0, c0) of a (rows + dr) x (cols + dc) matrix.
+                let (dr, dc) = (cases.usize_in(1, 6), cases.usize_in(1, 6));
+                let (r0, c0) = (cases.usize_in(0, dr), cases.usize_in(0, dc));
+                let big_cols = cols + dc;
+                ((rows + dr) * big_cols, r0 * big_cols + c0, big_cols, 1)
+            }
+        };
+        let data: Vec<f32> = (0..len).map(|_| fill()).collect();
+        Stored { data, offset, rows, cols, row_stride, col_stride }
+    }
+
+    fn view(&self) -> MatRef<'_> {
+        MatRef::with_strides(
+            &self.data[self.offset..],
+            self.rows,
+            self.cols,
+            self.row_stride,
+            self.col_stride,
+        )
+    }
+
+    fn view_mut(&mut self) -> MatMut<'_> {
+        MatMut::with_strides(
+            &mut self.data[self.offset..],
+            self.rows,
+            self.cols,
+            self.row_stride,
+            self.col_stride,
+        )
+    }
+
+    fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[self.offset + i * self.row_stride + j * self.col_stride]
+    }
+}
+
+/// The inline strided reference: the BLAS contract, spelled out directly
+/// over the stored layouts (no view machinery), one accumulator per output
+/// element, `k` ascending.
+#[allow(clippy::too_many_arguments)]
+fn reference(
+    a: &Stored,
+    b: &Stored,
+    c0: &Stored,
+    op_a: Op,
+    op_b: Op,
+    alpha: f32,
+    beta: f32,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Vec<f32> {
+    let a_at = |i: usize, p: usize| if op_a == Op::Transpose { a.get(p, i) } else { a.get(i, p) };
+    let b_at = |p: usize, j: usize| if op_b == Op::Transpose { b.get(j, p) } else { b.get(p, j) };
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let base = if beta == 0.0 { 0.0 } else { beta * c0.get(i, j) };
+            let update = if alpha == 0.0 {
+                0.0
+            } else {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a_at(i, p) * b_at(p, j);
+                }
+                alpha * acc
+            };
+            out[i * n + j] = base + update;
+        }
+    }
+    out
+}
+
+/// A deterministic element source that yields NaN when the operand must
+/// never be read (the executors have to prove it by not tripping on it).
+fn poison_filler(seed: u64, poison: bool) -> impl FnMut() -> f32 {
+    let mut cases = Cases::new(seed);
+    move || {
+        if poison {
+            f32::NAN
+        } else {
+            cases.f32_unit()
+        }
+    }
+}
+
+fn kernels() -> Vec<KernelImpl> {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    vec![
+        exo_kernel(Arc::new(generator.generate(8, 12).unwrap())),
+        exo_kernel(Arc::new(generator.generate(4, 4).unwrap())),
+        exo_kernel(Arc::new(generator.generate(1, 8).unwrap())),
+        reference_kernel(3, 5),
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_problem<'a>(
+    a: &'a Stored,
+    b: &'a Stored,
+    c: &'a mut Stored,
+    op_a: Op,
+    op_b: Op,
+    alpha: f32,
+    beta: f32,
+) -> GemmProblem<'a> {
+    GemmProblem::new(a.view(), b.view(), c.view_mut()).op_a(op_a).op_b(op_b).alpha(alpha).beta(beta)
+}
+
+/// The main property: across random layouts, transposes, scalars, and
+/// thread counts, all three executors agree with the inline strided
+/// reference (`NaiveGemm` exactly; the blocked drivers to accumulation
+/// tolerance), and thread count never changes the blocked result bit-wise.
+#[test]
+fn executors_match_the_strided_reference_across_random_problems() {
+    let mut cases = Cases::new(0xB1A5_0001);
+    let kernels = kernels();
+    let tuned = TunedGemm::new();
+    let alphas = [1.0f32, 1.0, -0.5, 2.0, 0.0];
+    let betas = [1.0f32, 1.0, 0.0, 0.5, -1.0];
+    for case in 0..40 {
+        // Mostly small sizes; occasionally wide-and-short so the jc-split
+        // path runs too.
+        let (m, n, k) = if case % 8 == 7 {
+            (cases.usize_in(1, 8), cases.usize_in(60, 140), cases.usize_in(1, 24))
+        } else {
+            (cases.usize_in(1, 40), cases.usize_in(1, 40), cases.usize_in(1, 32))
+        };
+        let op_a = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let op_b = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let alpha = *cases.pick(&alphas);
+        let beta = *cases.pick(&betas);
+        let (a_rows, a_cols) = if op_a == Op::Transpose { (k, m) } else { (m, k) };
+        let (b_rows, b_cols) = if op_b == Op::Transpose { (n, k) } else { (k, n) };
+        // alpha = 0 must never read A/B, beta = 0 must never read C:
+        // poison the never-read operand with NaN and let the executors
+        // prove it.
+        let (seed_a, seed_b, seed_c) = (cases.next_u64() | 1, cases.next_u64() | 1, cases.next_u64() | 1);
+        let a = Stored::random(a_rows, a_cols, &mut cases, poison_filler(seed_a, alpha == 0.0));
+        let b = Stored::random(b_rows, b_cols, &mut cases, poison_filler(seed_b, alpha == 0.0));
+        let c0 = Stored::random(m, n, &mut cases, poison_filler(seed_c, beta == 0.0));
+        let want = reference(&a, &b, &c0, op_a, op_b, alpha, beta, m, n, k);
+        let label = format!(
+            "case {case}: {m}x{n}x{k} op_a={op_a:?} op_b={op_b:?} alpha={alpha} beta={beta} \
+             a=({},{}) b=({},{}) c=({},{})",
+            a.row_stride, a.col_stride, b.row_stride, b.col_stride, c0.row_stride, c0.col_stride
+        );
+
+        // NaiveGemm: same op order as the reference — exact equality.
+        let mut c_naive = Stored { data: c0.data.clone(), ..c0 };
+        NaiveGemm.gemm(build_problem(&a, &b, &mut c_naive, op_a, op_b, alpha, beta)).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(c_naive.get(i, j), want[i * n + j], "{label} (naive at {i},{j})");
+            }
+        }
+
+        // BlisGemm with a random kernel and random thread count.
+        let kernel = cases.pick(&kernels).clone();
+        let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr: kernel.mr, nr: kernel.nr };
+        let driver = BlisGemm::new(blocking).with_kernel(kernel);
+        let mut c_blis = Stored { data: c0.data.clone(), ..c0 };
+        driver.gemm(build_problem(&a, &b, &mut c_blis, op_a, op_b, alpha, beta)).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let (x, y) = (c_blis.get(i, j), want[i * n + j]);
+                assert!((x - y).abs() <= 2e-3 * y.abs().max(1.0), "{label} (blis at {i},{j}): {x} vs {y}");
+            }
+        }
+        // Threaded runs are bit-identical to the sequential blocked run.
+        for threads in [2usize, 7] {
+            let mut c_par = Stored { data: c0.data.clone(), ..c0 };
+            driver
+                .clone()
+                .with_threads(threads)
+                .gemm(build_problem(&a, &b, &mut c_par, op_a, op_b, alpha, beta))
+                .unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    // NaN never survives (beta = 0 overwrites; otherwise the
+                    // inputs were finite), so bit equality via f32 compare
+                    // is sound here.
+                    assert_eq!(c_par.get(i, j), c_blis.get(i, j), "{label} ({threads} threads at {i},{j})");
+                }
+            }
+        }
+
+        // TunedGemm on a subset (each new shape pays one analytical search).
+        if case % 4 == 0 {
+            let mut c_tuned = Stored { data: c0.data.clone(), ..c0 };
+            tuned.gemm(build_problem(&a, &b, &mut c_tuned, op_a, op_b, alpha, beta)).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let (x, y) = (c_tuned.get(i, j), want[i * n + j]);
+                    assert!(
+                        (x - y).abs() <= 2e-3 * y.abs().max(1.0),
+                        "{label} (tuned at {i},{j}): {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sub-matrix windows compose with transposes: running GEMM on windows of
+/// larger matrices equals running it on materialised copies of the windows.
+#[test]
+fn submatrix_views_compose_with_transposes() {
+    let mut cases = Cases::new(0xB1A5_0002);
+    let big_a: Vec<f32> = (0..30 * 20).map(|_| cases.f32_unit()).collect();
+    let big_b: Vec<f32> = (0..25 * 18).map(|_| cases.f32_unit()).collect();
+    let (m, n, k) = (9usize, 11usize, 7usize);
+    // A window is taken transposed (k x m at offset (3, 4) of big_a).
+    let a_win = MatRef::from_slice(&big_a, 30, 20).submatrix(3, 4, k, m).t();
+    let b_win = MatRef::from_slice(&big_b, 25, 18).submatrix(2, 5, k, n);
+    // Materialise both windows densely.
+    let a_dense = materialise(a_win);
+    let b_dense = materialise(b_win);
+    let mut c_view = vec![0.25f32; m * n];
+    let mut c_dense = c_view.clone();
+    let kernel = kernels().remove(0);
+    let blocking = BlockingParams { mc: 8, kc: 4, nc: 12, mr: kernel.mr, nr: kernel.nr };
+    let driver = BlisGemm::new(blocking).with_kernel(kernel);
+    driver
+        .gemm(GemmProblem::new(a_win, b_win, MatMut::from_slice(&mut c_view, m, n)).alpha(1.5).beta(0.5))
+        .unwrap();
+    driver
+        .gemm(
+            GemmProblem::new(
+                MatRef::from_slice(&a_dense, m, k),
+                MatRef::from_slice(&b_dense, k, n),
+                MatMut::from_slice(&mut c_dense, m, n),
+            )
+            .alpha(1.5)
+            .beta(0.5),
+        )
+        .unwrap();
+    assert_eq!(c_view, c_dense, "window views must equal materialised copies bit-for-bit");
+}
+
+/// Densely materialises any view (row-major).
+fn materialise(v: MatRef<'_>) -> Vec<f32> {
+    let mut out = Vec::with_capacity(v.rows() * v.cols());
+    for i in 0..v.rows() {
+        for j in 0..v.cols() {
+            out.push(v.get(i, j));
+        }
+    }
+    out
+}

@@ -22,7 +22,7 @@ use common::Cases;
 use exo_ir::interp::{run_proc, ArgValue, TensorData};
 use exo_ir::{ScalarType, Sym};
 use exo_isa::{neon_f32, ukernel_ref_simple};
-use gemm_blis::{exo_kernel, naive_gemm, BlisGemm, BlockingParams, Matrix};
+use gemm_blis::{exo_kernel, naive_gemm, BlisGemm, BlockingParams, GemmProblem, MatRef, Matrix};
 use ukernel_gen::MicroKernelGenerator;
 
 const TILE_SHAPES: [(usize, usize); 9] =
@@ -72,7 +72,9 @@ fn blis_driver_matches_naive() {
         let mut c = Matrix::zeros(m, n);
         let mut c_ref = Matrix::zeros(m, n);
         let blocking = BlockingParams { mc: 16, kc: 12, nc: 24, mr: 8, nr: 8 };
-        BlisGemm::new(blocking).gemm(&kernel, &a, &b, &mut c).unwrap();
+        BlisGemm::new(blocking)
+            .gemm_with(&kernel, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+            .unwrap();
         naive_gemm(&a, &b, &mut c_ref);
         for (x, y) in c.data.iter().zip(&c_ref.data) {
             assert!((x - y).abs() <= 2e-3 * y.abs().max(1.0), "{m}x{n}x{k}: {x} vs {y}");
@@ -121,7 +123,7 @@ fn packing_round_trips() {
         let k = cases.usize_in(1, 20);
         let mr = *cases.pick(&[4usize, 8]);
         let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
-        let packed = gemm_blis::pack_a(&a, k, 0, 0, m, k, mr);
+        let packed = gemm_blis::pack_a(MatRef::from_slice(&a, m, k), 0, 0, m, k, mr, 1.0);
         let panels = m.div_ceil(mr);
         assert_eq!(packed.len(), panels * k * mr);
         for p in 0..panels {
