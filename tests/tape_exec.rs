@@ -12,7 +12,7 @@ use std::sync::Arc;
 use common::Cases;
 use exo_gemm::exo_isa::neon_f32;
 use exo_gemm::gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_tape, naive_gemm, BlisGemm, BlockingParams, Matrix,
+    exo_kernel, exo_kernel_interp, exo_kernel_tape, naive_gemm, BlisGemm, BlockingParams, GemmProblem, Matrix,
 };
 use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
@@ -72,15 +72,28 @@ fn superword_driver_matches_naive_on_fringe_heavy_problems() {
             let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr, nr };
 
             let mut c_sw = c0.clone();
-            BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_sw).unwrap();
+            BlisGemm::new(blocking)
+                .gemm_with(
+                    &exo_kernel(Arc::clone(&kernel)),
+                    GemmProblem::new(a.view(), b.view(), c_sw.view_mut()),
+                )
+                .unwrap();
 
             let mut c_tape = c0.clone();
-            BlisGemm::new(blocking).gemm(&exo_kernel_tape(Arc::clone(&kernel)), &a, &b, &mut c_tape).unwrap();
+            BlisGemm::new(blocking)
+                .gemm_with(
+                    &exo_kernel_tape(Arc::clone(&kernel)),
+                    GemmProblem::new(a.view(), b.view(), c_tape.view_mut()),
+                )
+                .unwrap();
             assert_eq!(c_sw.data, c_tape.data, "{mr}x{nr} on {m}x{n}x{k}: superword driver vs tape driver");
 
             let mut c_interp = c0.clone();
             BlisGemm::new(blocking)
-                .gemm(&exo_kernel_interp(Arc::clone(&kernel)), &a, &b, &mut c_interp)
+                .gemm_with(
+                    &exo_kernel_interp(Arc::clone(&kernel)),
+                    GemmProblem::new(a.view(), b.view(), c_interp.view_mut()),
+                )
                 .unwrap();
             assert_eq!(
                 c_tape.data, c_interp.data,
@@ -114,11 +127,19 @@ fn arena_driver_is_bit_identical_to_the_legacy_driver() {
         let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
         let blocking = BlockingParams { mc: 24, kc: 16, nc: 32, mr: 8, nr: 8 };
         let mut c_arena = c0.clone();
-        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_arena).unwrap();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel(Arc::clone(&kernel)),
+                GemmProblem::new(a.view(), b.view(), c_arena.view_mut()),
+            )
+            .unwrap();
         let mut c_legacy = c0.clone();
         BlisGemm::new(blocking)
             .without_arena()
-            .gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_legacy)
+            .gemm_with(
+                &exo_kernel(Arc::clone(&kernel)),
+                GemmProblem::new(a.view(), b.view(), c_legacy.view_mut()),
+            )
             .unwrap();
         assert_eq!(c_arena.data, c_legacy.data, "{m}x{n}x{k}");
     }
@@ -138,12 +159,17 @@ fn thread_count_never_changes_the_result() {
         let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
         let mut c1 = c0.clone();
-        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c1).unwrap();
+        BlisGemm::new(blocking)
+            .gemm_with(&exo_kernel(Arc::clone(&kernel)), GemmProblem::new(a.view(), b.view(), c1.view_mut()))
+            .unwrap();
         for threads in [2usize, 4, 7] {
             let mut cn = c0.clone();
             BlisGemm::new(blocking)
                 .with_threads(threads)
-                .gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut cn)
+                .gemm_with(
+                    &exo_kernel(Arc::clone(&kernel)),
+                    GemmProblem::new(a.view(), b.view(), cn.view_mut()),
+                )
                 .unwrap();
             assert_eq!(c1.data, cn.data, "{m}x{n}x{k} with {threads} threads");
         }
@@ -166,14 +192,22 @@ fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
         let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
         let mut c_seq = c0.clone();
-        BlisGemm::new(blocking).gemm(&exo_kernel(Arc::clone(&kernel)), &a, &b, &mut c_seq).unwrap();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel(Arc::clone(&kernel)),
+                GemmProblem::new(a.view(), b.view(), c_seq.view_mut()),
+            )
+            .unwrap();
         for threads in [2usize, 4, 7] {
             for (label, kimpl) in [
                 ("superword", exo_kernel(Arc::clone(&kernel))),
                 ("tape", exo_kernel_tape(Arc::clone(&kernel))),
             ] {
                 let mut c_par = c0.clone();
-                BlisGemm::new(blocking).with_threads(threads).gemm(&kimpl, &a, &b, &mut c_par).unwrap();
+                BlisGemm::new(blocking)
+                    .with_threads(threads)
+                    .gemm_with(&kimpl, GemmProblem::new(a.view(), b.view(), c_par.view_mut()))
+                    .unwrap();
                 assert_eq!(
                     c_seq.data, c_par.data,
                     "{m}x{n}x{k} jc split, {threads} threads, {label} backend"
