@@ -9,14 +9,19 @@
 //! * `superword`                — superword whole-vector kernel, legacy
 //!   driver (isolates the backend win from the driver win),
 //! * `superword+arena`          — superword kernel plus the arenas: the
-//!   default production path,
+//!   portable production path,
 //! * `superword+arena+threads`  — arenas plus the threaded block loop
 //!   (all cores),
-//! * `superword+arena+strided`  — the production path over *strided*
+//! * `superword+arena+strided`  — the portable path over *strided*
 //!   operand views (padded leading dimensions on `A`, `B`, and `C`),
-//! * `superword+arena+transB`   — the production path with `op(B) = T`
+//! * `superword+arena+transB`   — the portable path with `op(B) = T`
 //!   (`B` stored `n x k`, transposed through the view, folded into
-//!   packing's stride walk).
+//!   packing's stride walk),
+//! * `simd`                     — the native AVX2/FMA closure chain,
+//!   legacy driver (isolates the intrinsic win from the driver win),
+//! * `simd+arena+threads`       — the chain plus arenas plus the threaded
+//!   block loop: the default production path on x86_64,
+//! * `simd+arena+strided`       — the production path over strided views.
 //!
 //! Unlike the figure harnesses (which report *modelled* Carmel GFLOPS),
 //! these are real measured numbers on the host — the perf trajectory data
@@ -26,9 +31,12 @@
 //!
 //! Exit status encodes the CI perf gates:
 //!
-//! * the backend ordering must hold at every size — `superword >= tape >=
-//!   interp` (a faster tier measuring slower than its fallback means the
-//!   fast path regressed below the slow one);
+//! * the backend ordering must hold at every size — `simd >= superword >=
+//!   tape >= interp` (a faster tier measuring slower than its fallback
+//!   means the fast path regressed below the slow one); the `simd >=
+//!   superword` leg only applies when the host actually runs the chain
+//!   (`simd_available()`), since elsewhere the two series are the same
+//!   code and differ only by noise;
 //! * with `--check BASELINE`, each backend's geomean GFLOPS over the sizes
 //!   shared with the committed baseline must not drop more than 25% below
 //!   the baseline's geomean over those same sizes.
@@ -37,8 +45,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_tape, BlisGemm, BlockingParams, GemmProblem, KernelImpl,
-    MatMut, MatRef,
+    exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, simd_available, BlisGemm,
+    BlockingParams, GemmProblem, KernelImpl, MatMut, MatRef,
 };
 use ukernel_gen::MicroKernelGenerator;
 
@@ -293,33 +301,51 @@ fn main() {
         },
         Variant {
             name: "superword",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_superword(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
             mode: Mode::Dense,
         },
         Variant {
             name: "superword+arena",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_superword(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
             mode: Mode::Dense,
         },
         Variant {
             name: "superword+arena+threads",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_superword(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).with_threads(0),
             mode: Mode::Dense,
         },
         Variant {
             name: "superword+arena+strided",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_superword(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
             mode: Mode::Strided,
         },
         Variant {
             name: "superword+arena+transB",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_superword(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
             mode: Mode::TransposedB,
+        },
+        Variant {
+            name: "simd",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).without_arena(),
+            mode: Mode::Dense,
+        },
+        Variant {
+            name: "simd+arena+threads",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).with_threads(0),
+            mode: Mode::Dense,
+        },
+        Variant {
+            name: "simd+arena+strided",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking),
+            mode: Mode::Strided,
         },
     ];
     let names: Vec<&str> = variants.iter().map(|v| v.name).collect();
@@ -350,15 +376,21 @@ fn main() {
     let series_of = |name: &str| -> usize {
         names.iter().position(|n| *n == name).unwrap_or_else(|| panic!("no `{name}` series"))
     };
-    let (interp_i, tape_i, sw_i) = (series_of("interp"), series_of("tape"), series_of("superword"));
+    let (interp_i, tape_i, sw_i, simd_i) =
+        (series_of("interp"), series_of("tape"), series_of("superword"), series_of("simd"));
     let speedup_series = |num: usize, den: usize| -> (f64, f64) {
         let per_size: Vec<f64> = (0..sizes.len()).map(|i| gflops[num][i] / gflops[den][i]).collect();
         (per_size.iter().cloned().fold(f64::INFINITY, f64::min), geomean(&per_size))
     };
     let (tape_min, tape_geo) = speedup_series(tape_i, interp_i);
     let (sw_min, sw_geo) = speedup_series(sw_i, tape_i);
+    let (simd_min, simd_geo) = speedup_series(simd_i, sw_i);
     println!("\ntape over interp:     min {tape_min:.1}x, geomean {tape_geo:.1}x");
     println!("superword over tape:  min {sw_min:.1}x, geomean {sw_geo:.1}x");
+    println!(
+        "simd over superword:  min {simd_min:.1}x, geomean {simd_geo:.1}x{}",
+        if simd_available() { "" } else { "  (no AVX2/FMA: simd ran the superword fallback)" }
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -389,16 +421,25 @@ fn main() {
         json_f64(tape_geo)
     ));
     json.push_str(&format!(
-        "  \"speedup_superword_over_tape\": {{ \"min\": {}, \"geomean\": {} }}\n",
+        "  \"speedup_superword_over_tape\": {{ \"min\": {}, \"geomean\": {} }},\n",
         json_f64(sw_min),
         json_f64(sw_geo)
     ));
+    json.push_str(&format!(
+        "  \"speedup_simd_over_superword\": {{ \"min\": {}, \"geomean\": {} }},\n",
+        json_f64(simd_min),
+        json_f64(simd_geo)
+    ));
+    json.push_str(&format!("  \"simd_available\": {}\n", simd_available()));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_gemm.json");
     println!("wrote {out_path}");
 
     // CI gate 1: the backend ordering must hold at every size — a faster
     // tier measuring slower than its own fallback is a hard regression.
+    // The simd leg only applies where the chain actually runs: without
+    // AVX2/FMA the simd series *is* the superword code and the two differ
+    // only by measurement noise.
     let mut failed = false;
     for (i, &size) in sizes.iter().enumerate() {
         if gflops[tape_i][i] < gflops[interp_i][i] {
@@ -407,6 +448,10 @@ fn main() {
         }
         if gflops[sw_i][i] < gflops[tape_i][i] {
             eprintln!("FAIL: superword slower than the scalar tape at {size}");
+            failed = true;
+        }
+        if simd_available() && gflops[simd_i][i] < gflops[sw_i][i] {
+            eprintln!("FAIL: simd slower than the superword fallback at {size}");
             failed = true;
         }
     }

@@ -17,7 +17,11 @@
 //! * [`superword`] — the superword lowering of the tape: whole-vector ops
 //!   (`VLoad`, `VStore`, `VFmaLane`, `VFmaBcast`) that execute one vector
 //!   register per dispatch over a validated, bounds-free register file —
-//!   the fastest backend, and the one the GEMM hot path dispatches through.
+//!   the fastest *portable* backend, and every other tier's fallback,
+//! * [`simd`] — the native tier: the validated superword ops compiled once
+//!   per kernel into a chain of monomorphic closures over AVX2/FMA
+//!   intrinsics, selected at run time by feature detection — the fastest
+//!   backend, and the one the GEMM hot path dispatches through on x86_64.
 
 #![warn(missing_docs)]
 
@@ -25,6 +29,7 @@ pub mod asm;
 pub mod c;
 pub mod error;
 pub mod exec;
+pub mod simd;
 pub mod superword;
 pub mod tape;
 pub mod trace;
@@ -33,6 +38,7 @@ pub use asm::{count_mnemonics, emit_asm};
 pub use c::emit_c;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};
+pub use simd::{fma_contraction_tol, simd_available, SimdDispatch, SimdKernel};
 pub use superword::{SuperwordDispatch, SuperwordKernel};
 pub use tape::{TapeKernel, TensorView};
 pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

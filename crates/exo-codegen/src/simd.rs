@@ -1,0 +1,1128 @@
+//! Native SIMD execution: the superword tape lowered to AVX2/FMA
+//! intrinsics through a pre-compiled chain of monomorphic closures.
+//!
+//! The superword backend of [`crate::superword`] already dispatches one
+//! whole vector register per op, but each op still runs through a `match`
+//! interpreter whose lane loops the compiler must re-vectorise from
+//! scratch on every dispatch — and in practice does not: `VFmaLane` spends
+//! its time in scalar multiply-then-add lane arithmetic. This module is
+//! the "last mile" the Exo paper delegates to a native compiler backend:
+//! the validated superword ops (`VLoad` / `VStore` / `VFmaLane` /
+//! `VFmaBcast`, lanes aligned to `LANE_ALIGN = 8` so one packed op is one
+//! `__m256`) are compiled **once per kernel** into a chain of monomorphic
+//! closures over `core::arch::x86_64` intrinsics
+//! (`_mm256_loadu_ps` / `_mm256_fmadd_ps` / `_mm256_set1_ps`):
+//!
+//! * every closure carries its operands pre-resolved (register offsets,
+//!   the pre-compiled specialised address shapes of the superword tier) —
+//!   no per-op decode survives to run time;
+//! * runs of isomorphic `VFmaLane` ops over one staged operand (the
+//!   accumulator tile of a laneq kernel) fuse into a single closure that
+//!   hoists the operand load across the whole tile;
+//! * dynamic loops become native Rust loops over the closure chain — the
+//!   tape's `LoopBegin`/`LoopEnd` jump dispatch disappears entirely;
+//! * non-8-lane fringe runs lower to `__m128` quarters and
+//!   `f32::mul_add` scalar tails, in ascending lane order.
+//!
+//! **Selection and safety.** [`SimdKernel::compile`] only succeeds when
+//! `is_x86_feature_detected!("avx2")` and `("fma")` both hold (and the
+//! target is `x86_64`); everywhere else the caller keeps the portable
+//! superword tier, which computes the same result bit-for-bit with the
+//! scalar tape. The closure chain runs bounds-free: it relies on exactly
+//! the proofs the superword backend already established — the
+//! construction-time register/loop-structure validation and the run-time
+//! affine-interval proof over the tensor addresses. [`SimdDispatch`]
+//! reuses the memoised proof of its inner [`SuperwordDispatch`], so
+//! steady-state micro-tile dispatch re-proves nothing; when the proof
+//! declines, execution falls back to the superword checked loop with
+//! identical error semantics.
+//!
+//! **Bit compatibility.** The FMA intrinsics *contract* the
+//! multiply-then-add of the tape's `Fma` semantics into a single rounding,
+//! so this tier is **not** bit-identical to the superword / tape / interp
+//! tiers (it is at least as accurate: one rounding instead of two per
+//! multiply-add). The differential suites therefore compare the SIMD tier
+//! against the references within an accumulation-scaled ULP bound —
+//! `|simd − superword| ≤ 2·ε·(KC + 4)²·scale` — and demand exact equality
+//! only on the portable fallback path (`EXO_BACKEND=superword`), which
+//! runs the unchanged superword loop. Lane order inside every packed op is
+//! preserved, so the tier stays deterministic: the same inputs produce the
+//! same bits on every run and every thread count.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::superword::{ExecScratch, SAddr, SuperwordDispatch, SuperwordKernel};
+use crate::tape::TensorView;
+
+/// Whether the running host can execute the SIMD tier (x86_64 with AVX2
+/// and FMA, detected at run time). When `false`,
+/// [`SimdKernel::compile`] returns `None` and every consumer stays on the
+/// portable superword tier.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The accumulation-scaled tolerance of the SIMD tier's FMA-contraction
+/// contract — the single definition every differential suite in the
+/// workspace holds `|simd − superword|` to, relative to the element
+/// magnitude (floor 1.0): the chain contracts each multiply-add into one
+/// rounding, so a `k`-deep accumulation over unit-magnitude data differs
+/// from the mul-then-add tiers by at most `2·ε·(k + 4)²`. On hosts
+/// without AVX2/FMA the simd backend runs the superword tier and the
+/// distance is exactly zero.
+pub fn fma_contraction_tol(k: usize) -> f32 {
+    2.0 * f32::EPSILON * ((k + 4) as f32).powi(2)
+}
+
+/// One pre-compiled closure: operands resolved at compile time, intrinsics
+/// selected for the lane shape. Receives the register file, the tensor
+/// base-pointer table, and the loop/scalar tables of the current run.
+type StepFn = Box<dyn Fn(*mut f32, &[*mut f32], &[i64], &[i64]) + Send + Sync>;
+
+/// A node of the compiled program: a straight-line step or a native loop
+/// over a nested chain.
+enum Node {
+    /// One pre-compiled op.
+    Step(StepFn),
+    /// A dynamic loop: evaluate bounds, run the body chain per iteration
+    /// with the counter written into its slot.
+    Loop { slot: usize, lo: SAddr, hi: SAddr, body: Vec<Node> },
+    /// A dynamic loop whose whole body fused into one closure (the laneq
+    /// micro-kernel's `KC` loop): the counter drives the step directly,
+    /// no per-iteration chain walk.
+    LoopStep { slot: usize, lo: SAddr, hi: SAddr, step: StepFn },
+}
+
+/// A kernel compiled to a chain of AVX2/FMA closures.
+///
+/// Obtained from [`SimdKernel::compile`] over a validated
+/// [`SuperwordKernel`] (`None` off x86_64 or when the host lacks
+/// AVX2/FMA). The fastest execution tier; results are within a documented
+/// ULP bound of the superword tier (FMA contraction), never bit-different
+/// across runs or thread counts.
+pub struct SimdKernel {
+    source: Arc<SuperwordKernel>,
+    program: Vec<Node>,
+    n_steps: usize,
+    n_fused_tiles: usize,
+}
+
+impl std::fmt::Debug for SimdKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimdKernel")
+            .field("name", &self.source.name)
+            .field("steps", &self.n_steps)
+            .field("fused_tiles", &self.n_fused_tiles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimdKernel {
+    /// Compiles a superword kernel into the AVX2/FMA closure chain.
+    ///
+    /// Returns `None` when the host cannot run the chain (non-x86_64, or
+    /// AVX2/FMA not detected) — callers keep the superword tier — or in
+    /// the (never observed for generated kernels) case of a tape construct
+    /// the chain compiler declines.
+    pub fn compile(source: Arc<SuperwordKernel>) -> Option<SimdKernel> {
+        if !simd_available() {
+            return None;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut stats = x86::BuildStats::default();
+            let program = x86::build_nodes(&source.ops, &mut stats)?;
+            Some(SimdKernel { source, program, n_steps: stats.steps, n_fused_tiles: stats.fused_tiles })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            None
+        }
+    }
+
+    /// The superword kernel this chain was compiled from (also the
+    /// portable fallback and the owner of the shared proofs).
+    pub fn source(&self) -> &Arc<SuperwordKernel> {
+        &self.source
+    }
+
+    /// Name of the source procedure.
+    pub fn name(&self) -> &str {
+        &self.source.name
+    }
+
+    /// Number of pre-compiled closures in the chain (loop nodes count
+    /// their bodies, not themselves).
+    pub fn step_count(&self) -> usize {
+        self.n_steps
+    }
+
+    /// How many fused accumulator-tile closures the chain compiler formed
+    /// (each replaces a whole run of `VFmaLane` ops and hoists the shared
+    /// operand load).
+    pub fn fused_tile_count(&self) -> usize {
+        self.n_fused_tiles
+    }
+
+    /// Runs the chain over borrowed tensor views, proving bounds for this
+    /// exact input first (one-shot entry point; the GEMM hot path uses
+    /// [`SimdDispatch`] instead, which memoises the proof).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SuperwordKernel::run_views`]'s:
+    /// [`crate::CodegenError::BadArguments`] on an argument mismatch, and
+    /// [`crate::CodegenError::OutOfBounds`] from the checked fallback when
+    /// the interval proof declines and an access indeed leaves its buffer.
+    pub fn run_views(&self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        self.source.validate_views(scalars, tensors)?;
+        let lens: Vec<usize> = tensors.iter().map(|t| t.as_slice().len()).collect();
+        let mut scratch = ExecScratch::for_kernel(&self.source);
+        if self.source.bounds_provable(scalars, &lens) {
+            // SAFETY: the source kernel's construction proof covers every
+            // register operand and the loop structure; `bounds_provable`
+            // just certified every tensor access for these scalars and
+            // buffer lengths; `validate_views` guaranteed written tensors
+            // are `Rw`.
+            unsafe { self.exec_unchecked(scalars, tensors, &mut scratch) };
+            Ok(())
+        } else {
+            self.source.exec_checked(scalars, tensors, &mut scratch)
+        }
+    }
+
+    /// Runs the packed micro-kernel signature `(KC, Ac, Bc, C)`:
+    /// `c[nr][mr] += ac[kc][mr] * bc[kc][nr]` through the closure chain.
+    ///
+    /// # Errors
+    ///
+    /// As [`SuperwordKernel::run_packed`].
+    pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.source.check_packed_signature()?;
+        self.run_views(&[kc as i64], &mut [TensorView::Ro(ac), TensorView::Ro(bc), TensorView::Rw(c)])
+    }
+
+    /// A prove-once dispatch handle over this chain (see [`SimdDispatch`]).
+    pub fn dispatcher(self: &Arc<Self>) -> SimdDispatch {
+        SimdDispatch::new(Arc::clone(self))
+    }
+
+    /// Runs the pre-compiled chain with no checks.
+    ///
+    /// # Safety
+    ///
+    /// Callers must have established the same three preconditions as
+    /// [`SuperwordKernel`]'s unsafe loop for the *source* kernel: the
+    /// construction-time register/loop proof (always true), the interval
+    /// proof for these exact scalars and tensor lengths, and `Rw` views
+    /// for every written tensor. `scratch` must be sized for the source
+    /// kernel.
+    unsafe fn exec_unchecked(
+        &self,
+        scalars: &[i64],
+        tensors: &mut [TensorView<'_>],
+        scratch: &mut ExecScratch,
+    ) {
+        scratch.regs.fill(0.0);
+        let regs = scratch.regs.as_mut_ptr();
+        // Raw base pointers, exactly as the superword loop takes them: the
+        // `*mut` view of a read-only tensor is never written through.
+        let mut tens_stack = [std::ptr::null_mut::<f32>(); 4];
+        let mut tens_heap: Vec<*mut f32> = Vec::new();
+        let raw = |t: &mut TensorView<'_>| match t {
+            TensorView::Ro(s) => s.as_ptr().cast_mut(),
+            TensorView::Rw(s) => s.as_mut_ptr(),
+        };
+        let tens: &[*mut f32] = if tensors.len() <= tens_stack.len() {
+            for (slot, t) in tens_stack.iter_mut().zip(tensors.iter_mut()) {
+                *slot = raw(t);
+            }
+            &tens_stack[..tensors.len()]
+        } else {
+            tens_heap.extend(tensors.iter_mut().map(raw));
+            &tens_heap
+        };
+        run_nodes(&self.program, regs, tens, &mut scratch.loops, scalars);
+    }
+}
+
+/// Runs a compiled chain: steps call straight through their closure, loops
+/// drive native counters over their body chain.
+///
+/// # Safety
+///
+/// As [`SimdKernel::exec_unchecked`] — every closure assumes the proofs
+/// hold for the pointers and tables it receives.
+unsafe fn run_nodes(nodes: &[Node], regs: *mut f32, tens: &[*mut f32], loops: &mut [i64], scalars: &[i64]) {
+    for node in nodes {
+        match node {
+            Node::Step(f) => f(regs, tens, loops, scalars),
+            Node::Loop { slot, lo, hi, body } => {
+                let l = lo.eval(loops, scalars);
+                let h = hi.eval(loops, scalars);
+                let mut v = l;
+                while v < h {
+                    *loops.get_unchecked_mut(*slot) = v;
+                    run_nodes(body, regs, tens, loops, scalars);
+                    v += 1;
+                }
+            }
+            Node::LoopStep { slot, lo, hi, step } => {
+                let l = lo.eval(loops, scalars);
+                let h = hi.eval(loops, scalars);
+                let mut v = l;
+                while v < h {
+                    *loops.get_unchecked_mut(*slot) = v;
+                    step(regs, tens, loops, scalars);
+                    v += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A prove-once dispatch handle for the SIMD tier: the per-worker reusable
+/// state of a [`SimdKernel`].
+///
+/// Wraps a [`SuperwordDispatch`] over the source kernel and reuses its
+/// memoised affine-interval proof — one verdict per distinct
+/// `(scalars, buffer lengths)` tuple gates both the intrinsic chain and,
+/// when it declines, the superword checked fallback (identical error
+/// semantics). The handle owns its register file and loop tables, so
+/// steady-state dispatch allocates nothing; create one per worker thread
+/// (it is `Send`) and reuse it for every micro-tile.
+#[derive(Debug, Clone)]
+pub struct SimdDispatch {
+    kernel: Arc<SimdKernel>,
+    fallback: SuperwordDispatch,
+    scratch: ExecScratch,
+}
+
+impl SimdDispatch {
+    /// Creates a dispatch handle, allocating the register file and loop
+    /// tables up front.
+    pub fn new(kernel: Arc<SimdKernel>) -> Self {
+        let fallback = SuperwordDispatch::new(Arc::clone(kernel.source()));
+        let scratch = ExecScratch::for_kernel(kernel.source());
+        SimdDispatch { kernel, fallback, scratch }
+    }
+
+    /// The compiled chain this handle dispatches.
+    pub fn kernel(&self) -> &SimdKernel {
+        &self.kernel
+    }
+
+    /// How many distinct `(scalars, buffer lengths)` proof inputs have
+    /// been memoised so far (shared with the superword fallback).
+    pub fn memoised_proofs(&self) -> usize {
+        self.fallback.memoised_proofs()
+    }
+
+    /// Runs the chain over borrowed tensor views, reusing the memoised
+    /// proof and this handle's register file.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimdKernel::run_views`].
+    pub fn run_views(&mut self, scalars: &[i64], tensors: &mut [TensorView<'_>]) -> Result<()> {
+        self.kernel.source().validate_views(scalars, tensors)?;
+        let mut lens_stack = [0usize; 4];
+        if tensors.len() > lens_stack.len() {
+            let lens: Vec<usize> = tensors.iter().map(|t| t.as_slice().len()).collect();
+            return self.run_proved(scalars, tensors, &lens);
+        }
+        for (slot, t) in lens_stack.iter_mut().zip(tensors.iter()) {
+            *slot = t.as_slice().len();
+        }
+        let n = tensors.len();
+        let lens = lens_stack;
+        self.run_proved(scalars, tensors, &lens[..n])
+    }
+
+    fn run_proved(&mut self, scalars: &[i64], tensors: &mut [TensorView<'_>], lens: &[usize]) -> Result<()> {
+        // Disjoint field borrows: the kernel is read-only while the
+        // fallback's proof memo and this handle's scratch are mutated — no
+        // per-dispatch Arc traffic on the hot path.
+        let SimdDispatch { kernel, fallback, scratch } = self;
+        if fallback.provable(scalars, lens) {
+            // SAFETY: construction proof of the source kernel, the (memoised)
+            // interval proof for these exact inputs, and the `Rw` check in
+            // `validate_views` — the same three obligations as the superword
+            // unsafe loop.
+            unsafe { kernel.exec_unchecked(scalars, tensors, scratch) };
+            Ok(())
+        } else {
+            // Declined proof: the superword checked loop, which reports
+            // exactly what the scalar tape would (and memoised the declined
+            // verdict, so retries go straight here).
+            fallback.run_views(scalars, tensors)
+        }
+    }
+
+    /// Runs the packed `(KC, Ac, Bc, C)` micro-kernel signature through
+    /// the chain, reusing the memoised proof and register file.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimdKernel::run_packed`].
+    pub fn run_packed(&mut self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.kernel.source().check_packed_signature()?;
+        self.run_views(&[kc as i64], &mut [TensorView::Ro(ac), TensorView::Ro(bc), TensorView::Rw(c)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CodegenError;
+    use crate::exec::compile;
+    use exo_ir::builder::*;
+    use exo_ir::{Expr, MemSpace, ScalarType};
+
+    fn assert_close(x: &[f32], y: &[f32], kc: usize, what: &str) {
+        let tol = fma_contraction_tol(kc);
+        for (i, (a, b)) in x.iter().zip(y).enumerate() {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            assert!((a - b).abs() <= tol * scale, "{what} at {i}: {a} vs {b} (tol {tol})");
+        }
+    }
+
+    /// The laneq-shaped staged 8x4 kernel of the superword tests: the tape
+    /// scalarises its staged tiles into exactly the lane runs the chain
+    /// compiler fuses.
+    fn staged_kernels() -> (Arc<SuperwordKernel>, SimdKernel) {
+        let (mr, nr) = (8i64, 4i64);
+        let p = proc("ukr_8x4_staged")
+            .size_arg("KC")
+            .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(mr)], MemSpace::Dram)
+            .tensor_arg("Bc", ScalarType::F32, vec![var("KC"), int(nr)], MemSpace::Dram)
+            .tensor_arg("C", ScalarType::F32, vec![int(nr * mr)], MemSpace::Dram)
+            .body(vec![
+                alloc("Ct", ScalarType::F32, vec![int(nr), int(mr)], MemSpace::Neon),
+                alloc("Ra", ScalarType::F32, vec![int(mr)], MemSpace::Neon),
+                alloc("Rb", ScalarType::F32, vec![int(nr)], MemSpace::Neon),
+                for_(
+                    "j",
+                    0,
+                    nr,
+                    vec![for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign(
+                            "Ct",
+                            vec![var("j"), var("i")],
+                            read("C", vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))]),
+                        )],
+                    )],
+                ),
+                for_(
+                    "k",
+                    0,
+                    var("KC"),
+                    vec![
+                        for_(
+                            "i",
+                            0,
+                            mr,
+                            vec![assign("Ra", vec![var("i")], read("Ac", vec![var("k"), var("i")]))],
+                        ),
+                        for_(
+                            "j",
+                            0,
+                            nr,
+                            vec![assign("Rb", vec![var("j")], read("Bc", vec![var("k"), var("j")]))],
+                        ),
+                        for_(
+                            "j",
+                            0,
+                            nr,
+                            vec![for_(
+                                "i",
+                                0,
+                                mr,
+                                vec![reduce(
+                                    "Ct",
+                                    vec![var("j"), var("i")],
+                                    Expr::mul(read("Ra", vec![var("i")]), read("Rb", vec![var("j")])),
+                                )],
+                            )],
+                        ),
+                    ],
+                ),
+                for_(
+                    "j",
+                    0,
+                    nr,
+                    vec![for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign(
+                            "C",
+                            vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))],
+                            read("Ct", vec![var("j"), var("i")]),
+                        )],
+                    )],
+                ),
+            ])
+            .build();
+        let sw = Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let simd = SimdKernel::compile(Arc::clone(&sw)).expect("host must support AVX2+FMA in CI");
+        (sw, simd)
+    }
+
+    #[test]
+    fn simd_matches_superword_within_the_fma_bound_and_fuses_tiles() {
+        if !simd_available() {
+            return;
+        }
+        let (sw, simd) = staged_kernels();
+        assert!(simd.fused_tile_count() > 0, "the staged kernel's FMA runs must fuse: {simd:?}");
+        assert!(simd.step_count() > 0);
+        let (mr, nr) = (8usize, 4usize);
+        for kc in [0usize, 1, 2, 17, 64] {
+            let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 7 + 3) % 13) as f32 * 0.5 - 2.0).collect();
+            let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 5 + 1) % 11) as f32 * 0.25 - 1.0).collect();
+            let c0: Vec<f32> = (0..nr * mr).map(|i| (i % 5) as f32 * 0.5).collect();
+            let mut c_sw = c0.clone();
+            sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+            let mut c_simd = c0.clone();
+            simd.run_packed(kc, &a, &b, &mut c_simd).unwrap();
+            assert_close(&c_simd, &c_sw, kc, &format!("kc={kc}"));
+            if kc == 0 {
+                assert_eq!(c_simd, c0, "kc = 0 stages C through registers and writes it back unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_and_scalar_passthrough_kernels_lower_and_match() {
+        if !simd_available() {
+            return;
+        }
+        // Unscheduled reference kernel: C stays in memory, nothing packs —
+        // the chain degenerates to scalar closures and must still agree.
+        let p = exo_isa::ukernel_ref_simple(ScalarType::F32);
+        let p = exo_sched::partial_eval(&p, &[4, 4]).unwrap();
+        let sw = Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let simd = SimdKernel::compile(Arc::clone(&sw)).unwrap();
+        let kc = 13usize;
+        let a: Vec<f32> = (0..kc * 4).map(|i| (i % 7) as f32 * 0.25 - 0.5).collect();
+        let b: Vec<f32> = (0..kc * 4).map(|i| (i % 5) as f32 * 0.5 - 1.0).collect();
+        let c0: Vec<f32> = (0..16).map(|i| i as f32 * 0.125).collect();
+        let mut c_sw = c0.clone();
+        sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+        let mut c_simd = c0.clone();
+        simd.run_packed(kc, &a, &b, &mut c_simd).unwrap();
+        assert_close(&c_simd, &c_sw, kc, "scalar passthrough");
+
+        // A broadcast-from-memory FMA (VFmaBcast) shape.
+        let p = proc("bcast")
+            .tensor_arg("x", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+            .tensor_arg("s", ScalarType::F32, vec![int(1)], MemSpace::Dram)
+            .tensor_arg("y", ScalarType::F32, vec![int(4)], MemSpace::Dram)
+            .body(vec![
+                alloc("acc", ScalarType::F32, vec![int(4)], MemSpace::Neon),
+                alloc("r", ScalarType::F32, vec![int(4)], MemSpace::Neon),
+                for_("i", 0, 4, vec![assign("r", vec![var("i")], read("x", vec![var("i")]))]),
+                for_(
+                    "i",
+                    0,
+                    4,
+                    vec![reduce(
+                        "acc",
+                        vec![var("i")],
+                        Expr::mul(read("r", vec![var("i")]), read("s", vec![int(0)])),
+                    )],
+                ),
+                for_("i", 0, 4, vec![assign("y", vec![var("i")], read("acc", vec![var("i")]))]),
+            ])
+            .build();
+        let sw = Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let simd = SimdKernel::compile(Arc::clone(&sw)).unwrap();
+        let mut x = vec![1.5f32, -2.0, 0.25, 3.0];
+        let mut s = vec![0.5f32];
+        let mut y = vec![0.0f32; 4];
+        simd.run_views(&[], &mut [TensorView::Rw(&mut x), TensorView::Rw(&mut s), TensorView::Rw(&mut y)])
+            .unwrap();
+        assert_eq!(y, vec![0.75, -1.0, 0.125, 1.5], "one product per lane: exact even under FMA");
+    }
+
+    #[test]
+    fn nested_dynamic_loops_compile_and_run() {
+        if !simd_available() {
+            return;
+        }
+        // Two nested dynamic loops: the inner LoopBegin's absolute `end`
+        // jump target must be rebased when the chain compiler recurses
+        // into the outer body, or compilation silently declines.
+        let p = proc("nested")
+            .size_arg("N")
+            .size_arg("M")
+            // Constant column extent keeps the addresses affine (the tape
+            // rejects `i * M`); both loop bounds stay dynamic.
+            .tensor_arg("x", ScalarType::F32, vec![var("N"), int(8)], MemSpace::Dram)
+            .body(vec![for_(
+                "i",
+                0,
+                var("N"),
+                vec![for_(
+                    "j",
+                    0,
+                    var("M"),
+                    vec![assign(
+                        "x",
+                        vec![var("i"), var("j")],
+                        Expr::add(Expr::mul(var("i"), int(10)), var("j")),
+                    )],
+                )],
+            )])
+            .build();
+        let sw = Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let simd = SimdKernel::compile(Arc::clone(&sw))
+            .expect("nested dynamic loops must not decline chain compilation");
+        let (n, m) = (3usize, 5usize);
+        let mut x = vec![-1.0f32; n * 8];
+        simd.run_views(&[n as i64, m as i64], &mut [TensorView::Rw(&mut x)]).unwrap();
+        let mut want = vec![-1.0f32; n * 8];
+        sw.run_views(&[n as i64, m as i64], &mut [TensorView::Rw(&mut want)]).unwrap();
+        assert_eq!(x, want, "integer-valued writes: exact across tiers");
+        assert_eq!(x[8 + 4], 14.0, "x[1][4] = 1*10 + 4");
+        assert_eq!(x[8 + 5], -1.0, "columns past M stay untouched");
+    }
+
+    #[test]
+    fn out_of_bounds_falls_back_to_the_checked_loop_with_identical_errors() {
+        if !simd_available() {
+            return;
+        }
+        let p = proc("oob")
+            .size_arg("N")
+            .tensor_arg("x", ScalarType::F32, vec![var("N")], MemSpace::Dram)
+            .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(1.0))])])
+            .build();
+        let sw = Arc::new(compile(&p).unwrap().to_superword().unwrap());
+        let simd = Arc::new(SimdKernel::compile(Arc::clone(&sw)).unwrap());
+        // Claim N = 7 over a 2-element buffer: the interval proof declines
+        // and the superword checked loop reports exactly what the scalar
+        // tape would — including the partial stores before the error.
+        let mut x = vec![0.0f32; 2];
+        assert!(matches!(
+            simd.run_views(&[7], &mut [TensorView::Rw(&mut x)]),
+            Err(CodegenError::OutOfBounds { .. })
+        ));
+        assert_eq!(x, vec![1.0, 1.0]);
+        // Same through the dispatch handle, which memoises the declined
+        // verdict too.
+        let mut dispatch = simd.dispatcher();
+        let mut x = vec![0.0f32; 2];
+        assert!(matches!(
+            dispatch.run_views(&[7], &mut [TensorView::Rw(&mut x)]),
+            Err(CodegenError::OutOfBounds { .. })
+        ));
+        assert_eq!(x, vec![1.0, 1.0]);
+        assert_eq!(dispatch.memoised_proofs(), 1);
+        let mut y = vec![0.0f32; 8];
+        dispatch.run_views(&[7], &mut [TensorView::Rw(&mut y)]).unwrap();
+        assert_eq!(&y[..7], &[1.0; 7]);
+        assert_eq!(dispatch.memoised_proofs(), 2);
+    }
+
+    #[test]
+    fn dispatch_handle_matches_one_shot_runs_and_memoises_proofs() {
+        if !simd_available() {
+            return;
+        }
+        let (_, simd) = staged_kernels();
+        let simd = Arc::new(simd);
+        let mut dispatch = simd.dispatcher();
+        let (mr, nr) = (8usize, 4usize);
+        for rep in 0..6 {
+            for &kc in &[17usize, 5] {
+                let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 7 + rep) % 13) as f32 * 0.5 - 2.0).collect();
+                let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 5 + rep) % 11) as f32 * 0.25 - 1.0).collect();
+                let c0: Vec<f32> = (0..nr * mr).map(|i| ((i + rep) % 5) as f32 * 0.5).collect();
+                let mut c_dispatch = c0.clone();
+                dispatch.run_packed(kc, &a, &b, &mut c_dispatch).unwrap();
+                let mut c_one_shot = c0.clone();
+                simd.run_packed(kc, &a, &b, &mut c_one_shot).unwrap();
+                assert_eq!(c_dispatch, c_one_shot, "kc={kc} rep={rep}: the chain is deterministic");
+            }
+        }
+        assert_eq!(dispatch.memoised_proofs(), 2, "one proof per distinct (KC, lens) input");
+    }
+}
+
+/// The x86_64 chain compiler: one monomorphic closure per superword op,
+/// fused tiles for `VFmaLane` runs, AVX2/FMA intrinsics per lane shape.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps, _mm_fmadd_ps, _mm_loadu_ps,
+        _mm_set1_ps, _mm_storeu_ps,
+    };
+
+    use super::{Node, StepFn};
+    use crate::superword::{SAddr, VOp};
+    use crate::tape::{Addr, TOp};
+
+    #[derive(Default)]
+    pub(super) struct BuildStats {
+        pub(super) steps: usize,
+        pub(super) fused_tiles: usize,
+    }
+
+    /// `lanes` FMAs `reg[dst+i] = reg[a+i] * bval + reg[dst+i]`, ascending:
+    /// whole `__m256`s, then a `__m128` quarter, then `mul_add` scalar
+    /// tails. Inside this `target_feature` context the scalar `mul_add`
+    /// also lowers to a single `vfmadd` — the whole tier contracts.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and both register runs in bounds (the superword
+    /// construction proof).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn fma_run(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+        let mut i = 0;
+        if lanes >= 8 {
+            let vb = _mm256_set1_ps(bval);
+            while i + 8 <= lanes {
+                let d = regs.add(dst + i);
+                let va = _mm256_loadu_ps(regs.add(a + i));
+                _mm256_storeu_ps(d, _mm256_fmadd_ps(va, vb, _mm256_loadu_ps(d)));
+                i += 8;
+            }
+        }
+        if i + 4 <= lanes {
+            let d = regs.add(dst + i);
+            let va = _mm_loadu_ps(regs.add(a + i));
+            _mm_storeu_ps(d, _mm_fmadd_ps(va, _mm_set1_ps(bval), _mm_loadu_ps(d)));
+            i += 4;
+        }
+        while i < lanes {
+            let d = regs.add(dst + i);
+            *d = (*regs.add(a + i)).mul_add(bval, *d);
+            i += 1;
+        }
+    }
+
+    /// The strict ascending-lane form, taken when the operand run overlaps
+    /// the accumulator run (whole-register loads would read stale lanes).
+    ///
+    /// # Safety
+    ///
+    /// Requires FMA and both register runs in bounds.
+    #[target_feature(enable = "fma")]
+    unsafe fn fma_run_scalar(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+        for i in 0..lanes {
+            let d = regs.add(dst + i);
+            *d = (*regs.add(a + i)).mul_add(bval, *d);
+        }
+    }
+
+    /// A fused accumulator tile: `count` consecutive `VFmaLane` ops over
+    /// one operand run, `reg[dst0 + g·lanes + i] += reg[a+i] * reg[b0+g]`.
+    /// The operand run is loaded once and held across the whole tile —
+    /// the inner-loop body of a laneq micro-kernel in three instructions
+    /// per accumulator row.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, all register runs in bounds, and the operand run
+    /// disjoint from the accumulator span (checked at fuse time).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn fma_tile(regs: *mut f32, dst0: usize, a: usize, b0: usize, lanes: usize, count: usize) {
+        if lanes == 8 {
+            let va = _mm256_loadu_ps(regs.add(a));
+            for g in 0..count {
+                let d = regs.add(dst0 + g * 8);
+                let vb = _mm256_set1_ps(*regs.add(b0 + g));
+                _mm256_storeu_ps(d, _mm256_fmadd_ps(va, vb, _mm256_loadu_ps(d)));
+            }
+        } else {
+            debug_assert_eq!(lanes, 4);
+            let va = _mm_loadu_ps(regs.add(a));
+            for g in 0..count {
+                let d = regs.add(dst0 + g * 4);
+                let vb = _mm_set1_ps(*regs.add(b0 + g));
+                _mm_storeu_ps(d, _mm_fmadd_ps(va, vb, _mm_loadu_ps(d)));
+            }
+        }
+    }
+
+    /// Whether `[a, a + len)` and `[b, b + blen)` intersect.
+    fn overlaps(a: usize, len: usize, b: usize, blen: usize) -> bool {
+        a < b + blen && b < a + len
+    }
+
+    /// A register-file copy closure (`VLoad`/`VStore` are memcpys between
+    /// a tensor and a lane-aligned register run; `copy_nonoverlapping`
+    /// lowers to vector moves). `LOAD` selects the direction.
+    fn copy_step<const LOAD: bool>(reg: usize, buf: usize, lanes: usize, addr: &SAddr) -> StepFn {
+        // Specialise the hot single-loop-term address so the chain never
+        // touches the general evaluator on the packed-operand walk.
+        if let SAddr::Loop { base, slot, coeff } = *addr {
+            let slot = slot as usize;
+            Box::new(move |regs, tens, loops, _scalars| unsafe {
+                let idx = (base + coeff * *loops.get_unchecked(slot)) as usize;
+                let t = (*tens.get_unchecked(buf)).add(idx);
+                if LOAD {
+                    std::ptr::copy_nonoverlapping(t as *const f32, regs.add(reg), lanes);
+                } else {
+                    std::ptr::copy_nonoverlapping(regs.add(reg) as *const f32, t, lanes);
+                }
+            })
+        } else {
+            let addr = addr.clone();
+            Box::new(move |regs, tens, loops, scalars| unsafe {
+                let idx = addr.eval(loops, scalars) as usize;
+                let t = (*tens.get_unchecked(buf)).add(idx);
+                if LOAD {
+                    std::ptr::copy_nonoverlapping(t as *const f32, regs.add(reg), lanes);
+                } else {
+                    std::ptr::copy_nonoverlapping(regs.add(reg) as *const f32, t, lanes);
+                }
+            })
+        }
+    }
+
+    /// One `VFmaLane` op as a closure, vector form when the runs permit.
+    fn fma_lane_step(dst: usize, a: usize, b: usize, lanes: usize) -> StepFn {
+        if a != dst && overlaps(a, lanes, dst, lanes) {
+            // Partial overlap: ascending lane order is semantic — keep it.
+            Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+                fma_run_scalar(regs, dst, a, *regs.add(b), lanes);
+            })
+        } else {
+            Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+                fma_run(regs, dst, a, *regs.add(b), lanes);
+            })
+        }
+    }
+
+    /// One `VFmaBcast` op: broadcast one tensor element, write the scratch
+    /// register (the scalar sequence leaves it written), FMA the run.
+    fn fma_bcast_step(
+        dst: usize,
+        a: usize,
+        buf: usize,
+        addr: &SAddr,
+        scratch: usize,
+        lanes: usize,
+    ) -> StepFn {
+        let addr = addr.clone();
+        let plain_order = a == dst || !overlaps(a, lanes, dst, lanes);
+        Box::new(move |regs, tens, loops, scalars| unsafe {
+            let idx = addr.eval(loops, scalars) as usize;
+            let bval = *(*tens.get_unchecked(buf)).add(idx);
+            *regs.add(scratch) = bval;
+            if plain_order {
+                fma_run(regs, dst, a, bval, lanes);
+            } else {
+                fma_run_scalar(regs, dst, a, bval, lanes);
+            }
+        })
+    }
+
+    /// A scalar tape op as a closure. Scalar `Fma` contracts (`mul_add`)
+    /// like the rest of the tier.
+    fn scalar_step(op: &TOp) -> Option<StepFn> {
+        let addr_eval = |addr: &Addr| {
+            let addr = SAddr::from_addr(addr);
+            move |loops: &[i64], scalars: &[i64]| addr.eval(loops, scalars)
+        };
+        Some(match op {
+            TOp::ConstF { dst, val } => {
+                let (dst, val) = (*dst as usize, *val);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = val })
+            }
+            TOp::LoadT { dst, buf, addr } => {
+                let (dst, buf, at) = (*dst as usize, *buf as usize, addr_eval(addr));
+                Box::new(move |regs, tens, loops, scalars| unsafe {
+                    let idx = at(loops, scalars) as usize;
+                    *regs.add(dst) = *(*tens.get_unchecked(buf)).add(idx);
+                })
+            }
+            TOp::StoreT { src, buf, addr } => {
+                let (src, buf, at) = (*src as usize, *buf as usize, addr_eval(addr));
+                Box::new(move |regs, tens, loops, scalars| unsafe {
+                    let idx = at(loops, scalars) as usize;
+                    *(*tens.get_unchecked(buf)).add(idx) = *regs.add(src);
+                })
+            }
+            TOp::Mov { dst, src } => {
+                let (dst, src) = (*dst as usize, *src as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(src) })
+            }
+            TOp::Add { dst, a, b } => {
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) + *regs.add(b) })
+            }
+            TOp::Sub { dst, a, b } => {
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) - *regs.add(b) })
+            }
+            TOp::Mul { dst, a, b } => {
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) * *regs.add(b) })
+            }
+            TOp::Div { dst, a, b } => {
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) / *regs.add(b) })
+            }
+            TOp::Neg { dst, src } => {
+                let (dst, src) = (*dst as usize, *src as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = -*regs.add(src) })
+            }
+            TOp::Fma { dst, a, b } => {
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe {
+                    fma_run_scalar(regs, dst, a, *regs.add(b), 1);
+                })
+            }
+            TOp::AddAssign { dst, src } => {
+                let (dst, src) = (*dst as usize, *src as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) += *regs.add(src) })
+            }
+            TOp::CastI { dst, value } => {
+                let (dst, at) = (*dst as usize, addr_eval(value));
+                Box::new(move |regs, _tens, loops, scalars| unsafe {
+                    *regs.add(dst) = at(loops, scalars) as f32;
+                })
+            }
+            TOp::Round { reg } => {
+                let reg = *reg as usize;
+                Box::new(move |regs, _t, _l, _s| unsafe {
+                    let r = regs.add(reg);
+                    *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
+                })
+            }
+            TOp::Zero { base, len } => {
+                let (base, len) = (*base as usize, *len as usize);
+                Box::new(move |regs, _t, _l, _s| unsafe {
+                    std::ptr::write_bytes(regs.add(base), 0, len);
+                })
+            }
+            // Loop markers are lifted to VOp level by the superword pass;
+            // one surviving here means the source was not validated.
+            TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => return None,
+        })
+    }
+
+    /// Pre-resolved parameters of a fused accumulator tile.
+    #[derive(Clone, Copy)]
+    struct Tile {
+        dst: usize,
+        a: usize,
+        b: usize,
+        lanes: usize,
+        count: usize,
+    }
+
+    /// Recognises a run of `VFmaLane` ops starting at `ops[i]` that forms
+    /// one tile: identical lane count (8 or 4), one shared operand run,
+    /// broadcast registers ascending by one, accumulators ascending by
+    /// `lanes`. Returns the tile and how many ops it spans.
+    fn match_tile(ops: &[VOp], i: usize) -> Option<(Tile, usize)> {
+        let &VOp::VFmaLane { dst, a, b, lanes } = ops.get(i)? else { return None };
+        if lanes != 8 && lanes != 4 {
+            return None;
+        }
+        let mut count = 1usize;
+        while let Some(VOp::VFmaLane { dst: d2, a: a2, b: b2, lanes: l2 }) = ops.get(i + count) {
+            if *l2 == lanes && *a2 == a && *b2 == b + count as u32 && *d2 == dst + count as u32 * lanes {
+                count += 1;
+            } else {
+                break;
+            }
+        }
+        let tile = Tile { dst: dst as usize, a: a as usize, b: b as usize, lanes: lanes as usize, count };
+        // Hoisting the operand load across the tile requires the operand
+        // run (and it alone — broadcast registers are re-read per row) to
+        // stay disjoint from every accumulator row written before it is
+        // read again.
+        if count < 2 || overlaps(tile.a, tile.lanes, tile.dst, count * tile.lanes) {
+            return None;
+        }
+        Some((tile, count))
+    }
+
+    /// One pre-resolved operand-stage `VLoad` of a fused micro-iteration:
+    /// the address is the hot single-loop-term shape, fully unpacked.
+    #[derive(Clone, Copy)]
+    struct StageLoad {
+        reg: usize,
+        buf: usize,
+        lanes: usize,
+        base: i64,
+        slot: usize,
+        coeff: i64,
+    }
+
+    /// The monomorphic fused micro-iteration: `N` stage loads then the
+    /// tile, one indirect call per `k` iteration, everything unrolled.
+    fn fused_iteration<const N: usize>(loads: [StageLoad; N], tile: Tile) -> StepFn {
+        Box::new(move |regs, tens, loops, _scalars| unsafe {
+            for ld in &loads {
+                let idx = (ld.base + ld.coeff * *loops.get_unchecked(ld.slot)) as usize;
+                let src = (*tens.get_unchecked(ld.buf)).add(idx);
+                std::ptr::copy_nonoverlapping(src as *const f32, regs.add(ld.reg), ld.lanes);
+            }
+            fma_tile(regs, tile.dst, tile.a, tile.b, tile.lanes, tile.count);
+        })
+    }
+
+    /// Fuses the dominant inner-loop body of a laneq micro-kernel —
+    /// operand stage loads followed by one accumulator tile — into a
+    /// single closure, so one `k` iteration costs one indirect call
+    /// instead of one per op. Op order inside the closure is exactly the
+    /// tape's: every load in sequence, then the tile rows ascending.
+    /// Returns the closure and how many ops it consumed.
+    fn try_fuse_iteration(ops: &[VOp], i: usize) -> Option<(StepFn, usize)> {
+        let mut loads = Vec::new();
+        let mut j = i;
+        while let Some(VOp::VLoad { dst, buf, addr, lanes }) = ops.get(j) {
+            // Only the hot loop-term address shape fuses; anything else
+            // keeps its own specialised closure.
+            let SAddr::Loop { base, slot, coeff } = *addr else { return None };
+            loads.push(StageLoad {
+                reg: *dst as usize,
+                buf: *buf as usize,
+                lanes: *lanes as usize,
+                base,
+                slot: slot as usize,
+                coeff,
+            });
+            j += 1;
+        }
+        let (tile, tile_ops) = match_tile(ops, j)?;
+        let used = (j - i) + tile_ops;
+        let step = match *loads.as_slice() {
+            [] => return None,
+            [l0] => fused_iteration([l0], tile),
+            [l0, l1] => fused_iteration([l0, l1], tile),
+            [l0, l1, l2] => fused_iteration([l0, l1, l2], tile),
+            _ => return None,
+        };
+        Some((step, used))
+    }
+
+    /// A lone tile (no leading loads) as its own closure.
+    fn try_fuse_tile(ops: &[VOp], i: usize) -> Option<(StepFn, usize)> {
+        let (tile, used) = match_tile(ops, i)?;
+        let step: StepFn = Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+            fma_tile(regs, tile.dst, tile.a, tile.b, tile.lanes, tile.count);
+        });
+        Some((step, used))
+    }
+
+    /// Compiles a superword op slice into a node chain, recursing into
+    /// loop bodies. Returns `None` only for structurally invalid input
+    /// (which `to_superword` never produces).
+    pub(super) fn build_nodes(ops: &[VOp], stats: &mut BuildStats) -> Option<Vec<Node>> {
+        build_nodes_at(ops, 0, stats)
+    }
+
+    /// The recursion worker: `base` is the index of `ops[0]` in the
+    /// original op vec, because every `LoopBegin`'s `end` jump target is
+    /// absolute in that vec and must be rebased before indexing the
+    /// subslice (nested dynamic loops would otherwise miss their
+    /// `LoopEnd` by the accumulated offset and decline compilation).
+    fn build_nodes_at(ops: &[VOp], base: usize, stats: &mut BuildStats) -> Option<Vec<Node>> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < ops.len() {
+            match &ops[i] {
+                VOp::LoopBegin { slot, lo, hi, end } => {
+                    let end = (*end as usize).checked_sub(base)?;
+                    // Body spans (i + 1)..(end - 1); ops[end - 1] is the
+                    // matching LoopEnd.
+                    if end < 2 || end > ops.len() || !matches!(ops[end - 1], VOp::LoopEnd { .. }) {
+                        return None;
+                    }
+                    let mut body = build_nodes_at(&ops[i + 1..end - 1], base + i + 1, stats)?;
+                    let (slot, lo, hi) = (*slot as usize, lo.clone(), hi.clone());
+                    if body.len() == 1 && matches!(body[0], Node::Step(_)) {
+                        let Some(Node::Step(step)) = body.pop() else { unreachable!() };
+                        out.push(Node::LoopStep { slot, lo, hi, step });
+                    } else {
+                        out.push(Node::Loop { slot, lo, hi, body });
+                    }
+                    i = end;
+                }
+                VOp::LoopEnd { .. } => return None,
+                VOp::VFmaLane { dst, a, b, lanes } => {
+                    if let Some((step, used)) = try_fuse_tile(ops, i) {
+                        stats.fused_tiles += 1;
+                        stats.steps += 1;
+                        out.push(Node::Step(step));
+                        i += used;
+                    } else {
+                        stats.steps += 1;
+                        out.push(Node::Step(fma_lane_step(
+                            *dst as usize,
+                            *a as usize,
+                            *b as usize,
+                            *lanes as usize,
+                        )));
+                        i += 1;
+                    }
+                }
+                VOp::VLoad { dst, buf, addr, lanes } => {
+                    if let Some((step, used)) = try_fuse_iteration(ops, i) {
+                        stats.fused_tiles += 1;
+                        stats.steps += 1;
+                        out.push(Node::Step(step));
+                        i += used;
+                    } else {
+                        stats.steps += 1;
+                        out.push(Node::Step(copy_step::<true>(
+                            *dst as usize,
+                            *buf as usize,
+                            *lanes as usize,
+                            addr,
+                        )));
+                        i += 1;
+                    }
+                }
+                VOp::VStore { src, buf, addr, lanes } => {
+                    stats.steps += 1;
+                    out.push(Node::Step(copy_step::<false>(
+                        *src as usize,
+                        *buf as usize,
+                        *lanes as usize,
+                        addr,
+                    )));
+                    i += 1;
+                }
+                VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
+                    stats.steps += 1;
+                    out.push(Node::Step(fma_bcast_step(
+                        *dst as usize,
+                        *a as usize,
+                        *buf as usize,
+                        addr,
+                        *scratch as usize,
+                        *lanes as usize,
+                    )));
+                    i += 1;
+                }
+                VOp::Scalar(op) => {
+                    stats.steps += 1;
+                    out.push(Node::Step(scalar_step(op)?));
+                    i += 1;
+                }
+            }
+        }
+        Some(out)
+    }
+}

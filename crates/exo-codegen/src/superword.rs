@@ -44,16 +44,105 @@ use crate::error::{CodegenError, Result};
 use crate::exec::{CompiledKernel, ParamKind, RunArg};
 use crate::tape::{Addr, TOp, TapeKernel, TensorView, Term};
 
+/// A pre-compiled affine address: the general [`Addr`] (a heap-allocated
+/// term list walked per evaluation) specialised, at superword construction
+/// time, into the handful of monomorphic shapes a micro-kernel tape
+/// actually produces. The packed ops of the dispatch loops evaluate these
+/// without pointer-chasing a term slice or matching per term — the address
+/// arithmetic is hoisted into this table once per kernel.
+#[derive(Debug, Clone)]
+pub(crate) enum SAddr {
+    /// A compile-time constant address.
+    Const(i64),
+    /// `base + coeff * loop[slot]` — the hot shape of every packed operand
+    /// access inside the dynamic `KC` loop.
+    Loop {
+        /// Constant offset.
+        base: i64,
+        /// Dynamic-loop slot supplying the counter.
+        slot: u16,
+        /// Stride applied to the counter.
+        coeff: i64,
+    },
+    /// `base + coeff * scalar[slot]` — loop bounds (`0..KC`).
+    Scalar {
+        /// Constant offset.
+        base: i64,
+        /// Scalar-parameter slot.
+        slot: u16,
+        /// Stride applied to the scalar.
+        coeff: i64,
+    },
+    /// Anything with two or more terms: kept in the general affine form.
+    General(Addr),
+}
+
+impl SAddr {
+    pub(crate) fn from_addr(a: &Addr) -> SAddr {
+        match a.terms.as_ref() {
+            [] => SAddr::Const(a.base),
+            &[(Term::Loop(slot), coeff)] => SAddr::Loop { base: a.base, slot, coeff },
+            &[(Term::Scalar(slot), coeff)] => SAddr::Scalar { base: a.base, slot, coeff },
+            _ => SAddr::General(a.clone()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn eval(&self, loops: &[i64], scalars: &[i64]) -> i64 {
+        match self {
+            SAddr::Const(v) => *v,
+            SAddr::Loop { base, slot, coeff } => base + coeff * loops[*slot as usize],
+            SAddr::Scalar { base, slot, coeff } => base + coeff * scalars[*slot as usize],
+            SAddr::General(a) => a.eval(loops, scalars),
+        }
+    }
+
+    /// Exact interval over the current loop-counter intervals (saturating,
+    /// so overflow only ever widens the range and fails toward the checked
+    /// path).
+    fn interval(&self, iv: &[(i64, i64)], scalars: &[i64]) -> (i64, i64) {
+        match self {
+            SAddr::Const(v) => (*v, *v),
+            SAddr::Scalar { base, slot, coeff } => {
+                let v = base.saturating_add(coeff.saturating_mul(scalars[*slot as usize]));
+                (v, v)
+            }
+            SAddr::Loop { base, slot, coeff } => {
+                let (tmin, tmax) = iv[*slot as usize];
+                let (p, q) = if *coeff >= 0 { (tmin, tmax) } else { (tmax, tmin) };
+                (base.saturating_add(coeff.saturating_mul(p)), base.saturating_add(coeff.saturating_mul(q)))
+            }
+            SAddr::General(a) => addr_interval(a, iv, scalars),
+        }
+    }
+
+    /// Runs `f` over every term, mirroring the construction-time validation
+    /// walk of the general affine form.
+    fn validate_terms(&self, mut f: impl FnMut(Term) -> Result<()>) -> Result<()> {
+        match self {
+            SAddr::Const(_) => Ok(()),
+            SAddr::Loop { slot, .. } => f(Term::Loop(*slot)),
+            SAddr::Scalar { slot, .. } => f(Term::Scalar(*slot)),
+            SAddr::General(a) => {
+                for &(t, _) in a.terms.iter() {
+                    f(t)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// One superword tape operation. Packed ops carry their lane count; scalar
 /// leftovers ride along unchanged.
 #[derive(Debug, Clone)]
-enum VOp {
+pub(crate) enum VOp {
     /// A scalar tape op that did not pack (never a loop marker).
     Scalar(TOp),
     /// `reg[dst..dst+lanes] = tensor[buf][addr..addr+lanes]`
-    VLoad { dst: u32, buf: u16, addr: Addr, lanes: u32 },
+    VLoad { dst: u32, buf: u16, addr: SAddr, lanes: u32 },
     /// `tensor[buf][addr..addr+lanes] = reg[src..src+lanes]`
-    VStore { src: u32, buf: u16, addr: Addr, lanes: u32 },
+    VStore { src: u32, buf: u16, addr: SAddr, lanes: u32 },
     /// `reg[dst+i] += reg[a+i] * reg[b]` for `i in 0..lanes` (`b` is one
     /// lane of a vector register, held fixed across the run).
     VFmaLane { dst: u32, a: u32, b: u32, lanes: u32 },
@@ -61,9 +150,9 @@ enum VOp {
     /// reg[scratch]` for `i in 0..lanes` — the broadcast-from-memory FMA.
     /// `scratch` is written so the register file finishes in exactly the
     /// state the scalar sequence leaves it in.
-    VFmaBcast { dst: u32, a: u32, buf: u16, addr: Addr, scratch: u32, lanes: u32 },
+    VFmaBcast { dst: u32, a: u32, buf: u16, addr: SAddr, scratch: u32, lanes: u32 },
     /// Enter a dynamic loop: evaluate bounds, jump to `end` if empty.
-    LoopBegin { slot: u16, lo: Addr, hi: Addr, end: u32 },
+    LoopBegin { slot: u16, lo: SAddr, hi: SAddr, end: u32 },
     /// Bottom of a dynamic loop: bump the counter, jump back while it holds.
     LoopEnd { slot: u16, begin: u32 },
 }
@@ -78,10 +167,10 @@ enum VOp {
 pub struct SuperwordKernel {
     /// Name of the source procedure.
     pub name: String,
-    params: Vec<(String, ParamKind)>,
-    ops: Vec<VOp>,
-    n_regs: usize,
-    n_dyn_loops: usize,
+    pub(crate) params: Vec<(String, ParamKind)>,
+    pub(crate) ops: Vec<VOp>,
+    pub(crate) n_regs: usize,
+    pub(crate) n_dyn_loops: usize,
     tensor_written: Vec<bool>,
     n_vector_ops: usize,
     n_scalar_ops: usize,
@@ -109,7 +198,8 @@ fn try_vload(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
             break;
         }
     }
-    (lanes >= 2).then(|| (VOp::VLoad { dst: *dst, buf: *buf, addr: addr.clone(), lanes }, lanes as usize))
+    (lanes >= 2)
+        .then(|| (VOp::VLoad { dst: *dst, buf: *buf, addr: SAddr::from_addr(addr), lanes }, lanes as usize))
 }
 
 /// Maximal `VStore` run starting at `ops[i]`.
@@ -123,7 +213,8 @@ fn try_vstore(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
             break;
         }
     }
-    (lanes >= 2).then(|| (VOp::VStore { src: *src, buf: *buf, addr: addr.clone(), lanes }, lanes as usize))
+    (lanes >= 2)
+        .then(|| (VOp::VStore { src: *src, buf: *buf, addr: SAddr::from_addr(addr), lanes }, lanes as usize))
 }
 
 /// Maximal `VFmaLane` run starting at `ops[i]`: consecutive accumulators,
@@ -196,7 +287,7 @@ fn try_vfma_bcast(ops: &[TOp], i: usize) -> Option<(VOp, usize)> {
         return None;
     }
     Some((
-        VOp::VFmaBcast { dst: *dst, a: *a, buf: *buf, addr: addr.clone(), scratch: *t, lanes },
+        VOp::VFmaBcast { dst: *dst, a: *a, buf: *buf, addr: SAddr::from_addr(addr), scratch: *t, lanes },
         2 * lanes as usize,
     ))
 }
@@ -211,7 +302,12 @@ fn pack(ops: &[TOp]) -> Result<Vec<VOp>> {
         match &ops[i] {
             TOp::LoopBegin { slot, lo, hi, .. } => {
                 begin_stack.push(out.len());
-                out.push(VOp::LoopBegin { slot: *slot, lo: lo.clone(), hi: hi.clone(), end: 0 });
+                out.push(VOp::LoopBegin {
+                    slot: *slot,
+                    lo: SAddr::from_addr(lo),
+                    hi: SAddr::from_addr(hi),
+                    end: 0,
+                });
                 i += 1;
             }
             TOp::LoopEnd { slot, .. } => {
@@ -287,16 +383,20 @@ fn validate_construction(
         Ok(())
     };
     let mut active = vec![false; n_dyn];
+    let term = |t: Term, active: &[bool]| -> Result<()> {
+        match t {
+            Term::Scalar(s) if (s as usize) < n_scalars => Ok(()),
+            Term::Loop(l) if (l as usize) < n_dyn && active[l as usize] => Ok(()),
+            _ => Err(unsupported("affine term outside its table or loop")),
+        }
+    };
     let addr = |a: &Addr, active: &[bool]| -> Result<()> {
         for &(t, _) in a.terms.iter() {
-            match t {
-                Term::Scalar(s) if (s as usize) < n_scalars => {}
-                Term::Loop(l) if (l as usize) < n_dyn && active[l as usize] => {}
-                _ => return Err(unsupported("affine term outside its table or loop")),
-            }
+            term(t, active)?;
         }
         Ok(())
     };
+    let saddr = |a: &SAddr, active: &[bool]| -> Result<()> { a.validate_terms(|t| term(t, active)) };
     let mut stack: Vec<(usize, u16)> = Vec::new();
     for (idx, op) in ops.iter().enumerate() {
         match op {
@@ -338,12 +438,12 @@ fn validate_construction(
             VOp::VLoad { dst, buf: b, addr: a, lanes } => {
                 reg(*dst, *lanes)?;
                 buf(*b)?;
-                addr(a, &active)?;
+                saddr(a, &active)?;
             }
             VOp::VStore { src, buf: b, addr: a, lanes } => {
                 reg(*src, *lanes)?;
                 buf(*b)?;
-                addr(a, &active)?;
+                saddr(a, &active)?;
             }
             VOp::VFmaLane { dst, a, b, lanes } => {
                 reg(*dst, *lanes)?;
@@ -358,7 +458,7 @@ fn validate_construction(
                 reg(*a, *lanes)?;
                 reg(*scratch, 1)?;
                 buf(*b)?;
-                addr(ad, &active)?;
+                saddr(ad, &active)?;
                 if *scratch >= *dst && *scratch < dst + lanes {
                     return Err(unsupported("broadcast scratch aliases its accumulator run"));
                 }
@@ -367,8 +467,8 @@ fn validate_construction(
                 if (*slot as usize) >= n_dyn || active[*slot as usize] {
                     return Err(unsupported("bad loop slot"));
                 }
-                addr(lo, &active)?;
-                addr(hi, &active)?;
+                saddr(lo, &active)?;
+                saddr(hi, &active)?;
                 stack.push((idx, *slot));
                 active[*slot as usize] = true;
             }
@@ -547,9 +647,10 @@ impl SuperwordKernel {
         self.exec(scalars, tensors)
     }
 
-    /// The argument validation shared by the one-shot entry points and the
-    /// prove-once [`SuperwordDispatch`] handle.
-    fn validate_views(&self, scalars: &[i64], tensors: &[TensorView<'_>]) -> Result<()> {
+    /// The argument validation shared by the one-shot entry points, the
+    /// prove-once [`SuperwordDispatch`] handle, and the SIMD tier built on
+    /// top of this kernel ([`crate::simd`]).
+    pub(crate) fn validate_views(&self, scalars: &[i64], tensors: &[TensorView<'_>]) -> Result<()> {
         let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
         let n_tensors = self.params.len() - n_scalars;
         if scalars.len() != n_scalars || tensors.len() != n_tensors {
@@ -577,7 +678,7 @@ impl SuperwordKernel {
 
     /// Whether the kernel has the packed `(KC, Ac, Bc, C)` micro-kernel
     /// signature (one scalar, three tensors).
-    fn check_packed_signature(&self) -> Result<()> {
+    pub(crate) fn check_packed_signature(&self) -> Result<()> {
         let n_scalars = self.params.iter().filter(|(_, k)| *k == ParamKind::Scalar).count();
         if n_scalars != 1 || self.params.len() != 4 {
             return Err(CodegenError::BadArguments {
@@ -627,20 +728,28 @@ impl SuperwordKernel {
     /// loop bound itself depends on an outer loop (where it degrades to a
     /// safe over-approximation and execution falls back to the checked
     /// loop).
-    fn bounds_provable(&self, scalars: &[i64], lens: &[usize]) -> bool {
+    pub(crate) fn bounds_provable(&self, scalars: &[i64], lens: &[usize]) -> bool {
         let mut iv: Vec<(i64, i64)> = vec![(0, 0); self.n_dyn_loops];
-        let check = |a: &Addr, span: u32, iv: &[(i64, i64)], buf: u16| -> bool {
-            let (lo, hi) = addr_interval(a, iv, scalars);
+        let in_bounds = |lo: i64, hi: i64, span: u32, buf: u16| -> bool {
             lo >= 0 && hi.saturating_add(i64::from(span) - 1) < lens[buf as usize] as i64
+        };
+        let check = |a: &SAddr, span: u32, iv: &[(i64, i64)], buf: u16| -> bool {
+            let (lo, hi) = a.interval(iv, scalars);
+            in_bounds(lo, hi, span, buf)
+        };
+        let check_addr = |a: &Addr, iv: &[(i64, i64)], buf: u16| -> bool {
+            let (lo, hi) = addr_interval(a, iv, scalars);
+            in_bounds(lo, hi, 1, buf)
         };
         let mut pc = 0usize;
         while pc < self.ops.len() {
             match &self.ops[pc] {
-                VOp::Scalar(TOp::LoadT { buf, addr, .. })
-                | VOp::Scalar(TOp::StoreT { buf, addr, .. })
-                | VOp::VFmaBcast { buf, addr, .. }
-                    if !check(addr, 1, &iv, *buf) =>
+                VOp::Scalar(TOp::LoadT { buf, addr, .. }) | VOp::Scalar(TOp::StoreT { buf, addr, .. })
+                    if !check_addr(addr, &iv, *buf) =>
                 {
+                    return false;
+                }
+                VOp::VFmaBcast { buf, addr, .. } if !check(addr, 1, &iv, *buf) => {
                     return false;
                 }
                 VOp::VLoad { buf, addr, lanes, .. } | VOp::VStore { buf, addr, lanes, .. }
@@ -649,8 +758,8 @@ impl SuperwordKernel {
                     return false;
                 }
                 VOp::LoopBegin { slot, lo, hi, end } => {
-                    let (lo_min, _) = addr_interval(lo, &iv, scalars);
-                    let (_, hi_max) = addr_interval(hi, &iv, scalars);
+                    let (lo_min, _) = lo.interval(&iv, scalars);
+                    let (_, hi_max) = hi.interval(&iv, scalars);
                     if hi_max.saturating_sub(1) < lo_min {
                         // The loop never executes for any outer assignment:
                         // skip its body entirely.
@@ -818,8 +927,9 @@ impl SuperwordKernel {
 
     /// The fully checked fallback, taken when the interval proof declines:
     /// identical semantics (op order, rounding, and errors) to the scalar
-    /// tape, one lane at a time inside the packed ops.
-    fn exec_checked(
+    /// tape, one lane at a time inside the packed ops. Shared with the SIMD
+    /// tier, whose declined-proof path must report the same errors.
+    pub(crate) fn exec_checked(
         &self,
         scalars: &[i64],
         tensors: &mut [TensorView<'_>],
@@ -957,16 +1067,16 @@ impl SuperwordKernel {
 
 /// Reusable execution state: the flat register file and the loop
 /// counter/bound tables, allocated once and shared by every run of one
-/// [`SuperwordDispatch`].
+/// [`SuperwordDispatch`] (or of the SIMD dispatch handle built on it).
 #[derive(Debug, Clone)]
-struct ExecScratch {
-    regs: Vec<f32>,
-    loops: Vec<i64>,
-    bounds: Vec<i64>,
+pub(crate) struct ExecScratch {
+    pub(crate) regs: Vec<f32>,
+    pub(crate) loops: Vec<i64>,
+    pub(crate) bounds: Vec<i64>,
 }
 
 impl ExecScratch {
-    fn for_kernel(kernel: &SuperwordKernel) -> Self {
+    pub(crate) fn for_kernel(kernel: &SuperwordKernel) -> Self {
         ExecScratch {
             regs: vec![0.0; kernel.n_regs],
             loops: vec![0; kernel.n_dyn_loops],
@@ -1027,8 +1137,9 @@ impl SuperwordDispatch {
     }
 
     /// Looks up (or runs and memoises) the interval proof for one input
-    /// tuple.
-    fn provable(&mut self, scalars: &[i64], lens: &[usize]) -> bool {
+    /// tuple. The SIMD dispatch handle shares this memo: the same verdict
+    /// gates both the intrinsic chain and the superword unsafe loop.
+    pub(crate) fn provable(&mut self, scalars: &[i64], lens: &[usize]) -> bool {
         if let Some(entry) = self.proofs.iter().find(|p| p.scalars == scalars && p.lens == lens) {
             return entry.provable;
         }

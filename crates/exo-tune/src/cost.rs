@@ -10,11 +10,12 @@
 //! * [`FunctionalCost`] — executes the candidate micro-kernel functionally
 //!   and extrapolates the measured wall-clock to the full problem.
 //!   Host-dependent; used to validate that a modelled ranking is not an
-//!   artefact of the model. Candidates dispatch through the superword
-//!   backend (`exo_codegen::superword`, whole-vector ops over a validated
-//!   bounds-free register file), so a functional tuning sweep costs a
-//!   small multiple of an analytical one rather than orders of magnitude
-//!   more.
+//!   artefact of the model. Candidates time through the same prove-once
+//!   [`gemm_blis::KernelDispatch`] the production driver uses — the native
+//!   SIMD chain (`exo_codegen::simd`, AVX2/FMA intrinsics) on hosts that
+//!   have it, the portable superword backend elsewhere, and whatever tier
+//!   an `EXO_BACKEND` override forces — so the measured cost is the cost
+//!   of the tier that will actually serve the problem.
 //!
 //! Costs are comparable only *within* one evaluator.
 

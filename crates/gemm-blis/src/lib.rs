@@ -38,10 +38,12 @@ pub mod views;
 
 pub use algorithm::{naive_gemm, BlisGemm, Matrix};
 pub use baselines::{
-    blis_assembly_kernel, exo_kernel, exo_kernel_interp, exo_kernel_tape, neon_intrinsics_kernel,
-    reference_kernel, ExecBackend, KernelDispatch, KernelImpl, KernelKind,
+    blis_assembly_kernel, env_backend_override, exo_kernel, exo_kernel_interp, exo_kernel_superword,
+    exo_kernel_tape, neon_intrinsics_kernel, reference_kernel, ExecBackend, KernelDispatch, KernelImpl,
+    KernelKind,
 };
 pub use blocking::BlockingParams;
+pub use exo_codegen::simd_available;
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
 pub use problem::{GemmExecutor, GemmProblem, GemmStats, NaiveGemm, Op};

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use exo_codegen::{
-    compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, SuperwordKernel,
-    TapeKernel,
+    compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, SimdKernel,
+    SuperwordKernel, TapeKernel,
 };
 use exo_ir::{Proc, ScalarType};
 use exo_isa::VectorIsa;
@@ -99,19 +99,27 @@ pub struct GeneratedKernel {
     /// interpreter.
     pub tape: Option<Arc<TapeKernel>>,
     /// Superword lowering of [`Self::tape`]: whole-vector ops, one vector
-    /// register per dispatch — the fastest backend and the default for
-    /// [`Self::run_packed`]. `None` exactly when `tape` is `None`.
+    /// register per dispatch — the fastest *portable* backend and every
+    /// other tier's fallback. `None` exactly when `tape` is `None`.
     pub superword: Option<Arc<SuperwordKernel>>,
+    /// Native AVX2/FMA closure chain compiled from [`Self::superword`] —
+    /// the fastest backend and the default for [`Self::run_packed`].
+    /// `None` when `superword` is `None` or the host lacks AVX2/FMA
+    /// (`exo_codegen::simd_available()`), in which case runs stay on the
+    /// bit-exact superword tier. Results are within the documented
+    /// FMA-contraction ULP bound of the other tiers.
+    pub simd: Option<Arc<SimdKernel>>,
 }
 
 impl GeneratedKernel {
     /// Runs the kernel on packed operands: `c[nr][mr] += ac[kc][mr] *
     /// bc[kc][nr]` (row-major, exactly the layouts of the paper's Fig. 5).
     ///
-    /// Dispatches through the superword backend when one was compiled (the
-    /// fast path: whole-vector ops, no operand copies), then the scalar
-    /// tape, then the interpreter. All backends compute bit-for-bit
-    /// identical results.
+    /// Dispatches through the native SIMD chain when one compiled (AVX2/FMA
+    /// intrinsics, results within the FMA-contraction ULP bound of the
+    /// other tiers), then the superword backend, then the scalar tape, then
+    /// the interpreter — the last three compute bit-for-bit identical
+    /// results.
     ///
     /// # Errors
     ///
@@ -119,6 +127,29 @@ impl GeneratedKernel {
     /// shape.
     pub fn run_packed(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
         self.check_packed_shape(kc, ac, bc, c)?;
+        match &self.simd {
+            Some(simd) => simd.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+            None => self.run_packed_superword_unchecked(kc, ac, bc, c),
+        }
+    }
+
+    /// Runs the kernel through the superword backend regardless of whether
+    /// a SIMD chain exists — the portable tier, bit-for-bit identical to
+    /// the scalar tape and the interpreter, kept callable so differential
+    /// tests, the forced `EXO_BACKEND=superword` fallback, and the
+    /// `gemm_throughput` bench can compare tiers. Falls back to the scalar
+    /// tape, then the interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Codegen`] if the buffers do not match the kernel's
+    /// shape.
+    pub fn run_packed_superword(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.check_packed_shape(kc, ac, bc, c)?;
+        self.run_packed_superword_unchecked(kc, ac, bc, c)
+    }
+
+    fn run_packed_superword_unchecked(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
         match (&self.superword, &self.tape) {
             (Some(sw), _) => sw.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
             (None, Some(tape)) => tape.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
@@ -276,9 +307,11 @@ impl MicroKernelGenerator {
         // Tape compilation can legitimately decline (e.g. a shape the
         // scheduler left with data-dependent structure); the interpreter
         // remains the fallback, so a missing tape is not an error. The
-        // superword lowering always succeeds on a valid tape.
+        // superword lowering always succeeds on a valid tape, and the SIMD
+        // chain compiles from it whenever the host has AVX2/FMA.
         let tape = compiled.to_tape().ok().map(Arc::new);
         let superword = tape.as_ref().and_then(|t| t.to_superword().ok()).map(Arc::new);
+        let simd = superword.as_ref().and_then(|sw| SimdKernel::compile(Arc::clone(sw))).map(Arc::new);
         Ok(GeneratedKernel {
             mr: opts.mr,
             nr: opts.nr,
@@ -294,6 +327,7 @@ impl MicroKernelGenerator {
             compiled,
             tape,
             superword,
+            simd,
         })
     }
 }
@@ -419,15 +453,29 @@ mod tests {
             // Scheduled kernels stage the C tile (and vector operands) in
             // locals, which the tape register-allocates.
             assert!(tape.register_count() >= mr * nr, "{mr}x{nr} C tile must live in registers");
+            if exo_codegen::simd_available() {
+                assert!(kernel.simd.is_some(), "{mr}x{nr} must compile the SIMD chain on AVX2 hosts");
+            }
             let kc = 23;
             let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect();
             let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 7 + 11) % 19) as f32 * 0.125 - 1.0).collect();
             let c0: Vec<f32> = (0..nr * mr).map(|i| (i % 7) as f32 * 0.5).collect();
-            let mut c_tape = c0.clone();
-            kernel.run_packed(kc, &a, &b, &mut c_tape).unwrap();
+            // The portable tiers are bit-identical.
+            let mut c_sw = c0.clone();
+            kernel.run_packed_superword(kc, &a, &b, &mut c_sw).unwrap();
             let mut c_interp = c0.clone();
             kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
-            assert_eq!(c_tape, c_interp, "{mr}x{nr} tape diverges from the interpreter");
+            assert_eq!(c_sw, c_interp, "{mr}x{nr} superword diverges from the interpreter");
+            // The SIMD default stays within the FMA-contraction bound of
+            // the portable tiers (and is bit-identical to them when no
+            // chain compiled).
+            let mut c_simd = c0.clone();
+            kernel.run_packed(kc, &a, &b, &mut c_simd).unwrap();
+            let tol = exo_codegen::fma_contraction_tol(kc);
+            for (idx, (x, y)) in c_simd.iter().zip(&c_sw).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!((x - y).abs() <= tol * scale, "{mr}x{nr} simd vs superword at {idx}: {x} vs {y}");
+            }
         }
     }
 

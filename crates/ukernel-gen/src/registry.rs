@@ -98,6 +98,25 @@ impl KernelCache {
         Ok(self.get_or_generate(generator, mr, nr)?.superword.clone())
     }
 
+    /// The cached native SIMD chain for `(generator ISA, mr, nr)`,
+    /// generating the kernel on the first request. Chains are compiled
+    /// once per kernel and cached alongside it; `None` means the shape did
+    /// not tape-compile **or** the host lacks AVX2/FMA
+    /// (`exo_codegen::simd_available()`), in which case dispatch stays on
+    /// the superword tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::GenError`] if the shape cannot be generated.
+    pub fn get_or_generate_simd(
+        &self,
+        generator: &MicroKernelGenerator,
+        mr: usize,
+        nr: usize,
+    ) -> Result<Option<Arc<exo_codegen::SimdKernel>>> {
+        Ok(self.get_or_generate(generator, mr, nr)?.simd.clone())
+    }
+
     /// Inserts an externally generated kernel (e.g. one built with custom
     /// [`crate::KernelOptions`]) without counting a generator invocation.
     pub fn insert(&self, kernel: Arc<GeneratedKernel>) {
@@ -191,6 +210,22 @@ mod tests {
         let again = cache.get_or_generate_superword(&generator, 8, 12).unwrap().unwrap();
         assert_eq!(cache.generator_invocations(), 1);
         assert!(Arc::ptr_eq(&sw.unwrap(), &again));
+    }
+
+    #[test]
+    fn simd_chains_are_cached_alongside_kernels() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let simd = cache.get_or_generate_simd(&generator, 8, 12).unwrap();
+        assert_eq!(cache.generator_invocations(), 1);
+        if exo_codegen::simd_available() {
+            let simd = simd.expect("AVX2 hosts must compile the 8x12 chain");
+            let again = cache.get_or_generate_simd(&generator, 8, 12).unwrap().unwrap();
+            assert_eq!(cache.generator_invocations(), 1);
+            assert!(Arc::ptr_eq(&simd, &again));
+        } else {
+            assert!(simd.is_none(), "no AVX2/FMA: dispatch must stay on the superword tier");
+        }
     }
 
     #[test]

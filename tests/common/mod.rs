@@ -38,6 +38,24 @@ impl Cases {
     }
 }
 
+/// Asserts the two result buffers are within the SIMD tier's
+/// FMA-contraction bound (`exo_codegen::fma_contraction_tol`, the single
+/// workspace-wide definition) of each other, elementwise, relative to the
+/// element magnitude (floor 1.0). On hosts without AVX2/FMA the simd
+/// backend runs the superword tier and the distance is exactly zero.
+#[allow(dead_code)]
+pub fn assert_fma_close(x: &[f32], y: &[f32], k: usize, label: &str) {
+    assert_eq!(x.len(), y.len(), "{label}: length mismatch");
+    let tol = exo_gemm::exo_codegen::fma_contraction_tol(k);
+    for (i, (a, b)) in x.iter().zip(y).enumerate() {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= tol * scale,
+            "{label} at {i}: {a} vs {b} exceeds the FMA-contraction bound {tol}"
+        );
+    }
+}
+
 #[test]
 fn f32_unit_stays_in_the_unit_interval() {
     let mut cases = Cases::new(0xC0FFEE);

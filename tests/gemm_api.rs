@@ -14,12 +14,12 @@ mod common;
 
 use std::sync::Arc;
 
-use common::Cases;
+use common::{assert_fma_close, Cases};
 use exo_gemm::exo_isa::neon_f32;
 use exo_gemm::exo_tune::TunedGemm;
 use exo_gemm::gemm_blis::{
-    exo_kernel, reference_kernel, BlisGemm, BlockingParams, GemmExecutor, GemmProblem, KernelImpl, MatMut,
-    MatRef, NaiveGemm, Op,
+    exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, reference_kernel, BlisGemm,
+    BlockingParams, GemmExecutor, GemmProblem, KernelImpl, MatMut, MatRef, NaiveGemm, Op,
 };
 use exo_gemm::ukernel_gen::MicroKernelGenerator;
 
@@ -248,6 +248,73 @@ fn executors_match_the_strided_reference_across_random_problems() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Four-way backend differential through the BLAS front door: across
+/// random strided layouts, transposes, and `alpha`/`beta`, the portable
+/// tiers (superword / tape / interp) solve the problem bit-identically,
+/// the SIMD default stays within the FMA-contraction bound of them, and
+/// each tier — including SIMD, whose chain is deterministic — is
+/// bit-identical to itself across 1–7 worker threads.
+#[test]
+fn backend_tiers_agree_across_layouts_scalars_and_threads() {
+    let mut cases = Cases::new(0xB1A5_0003);
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = Arc::new(generator.generate(8, 12).unwrap());
+    let alphas = [1.0f32, -0.5, 2.0];
+    let betas = [1.0f32, 0.0, 0.5];
+    for case in 0..10 {
+        let (m, n, k) = (cases.usize_in(1, 40), cases.usize_in(1, 40), cases.usize_in(1, 32));
+        let op_a = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let op_b = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let alpha = *cases.pick(&alphas);
+        let beta = *cases.pick(&betas);
+        let (a_rows, a_cols) = if op_a == Op::Transpose { (k, m) } else { (m, k) };
+        let (b_rows, b_cols) = if op_b == Op::Transpose { (n, k) } else { (k, n) };
+        let (seed_a, seed_b, seed_c) = (cases.next_u64() | 1, cases.next_u64() | 1, cases.next_u64() | 1);
+        let a = Stored::random(a_rows, a_cols, &mut cases, poison_filler(seed_a, false));
+        let b = Stored::random(b_rows, b_cols, &mut cases, poison_filler(seed_b, false));
+        let c0 = Stored::random(m, n, &mut cases, poison_filler(seed_c, beta == 0.0));
+        let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr: 8, nr: 12 };
+        let label = format!("case {case}: {m}x{n}x{k} op_a={op_a:?} op_b={op_b:?} alpha={alpha} beta={beta}");
+
+        let solve = |kimpl: KernelImpl, threads: usize| {
+            let mut c = Stored { data: c0.data.clone(), ..c0 };
+            BlisGemm::new(blocking)
+                .with_kernel(kimpl)
+                .with_threads(threads)
+                .gemm(build_problem(&a, &b, &mut c, op_a, op_b, alpha, beta))
+                .unwrap();
+            // Only the logical view is defined output — the padding of the
+            // stored layout keeps its (possibly NaN) garbage.
+            let mut out = Vec::with_capacity(m * n);
+            for i in 0..m {
+                for j in 0..n {
+                    out.push(c.get(i, j));
+                }
+            }
+            out
+        };
+        let c_simd = solve(exo_kernel(Arc::clone(&kernel)), 1);
+        let c_sw = solve(exo_kernel_superword(Arc::clone(&kernel)), 1);
+        let c_tape = solve(exo_kernel_tape(Arc::clone(&kernel)), 1);
+        let c_interp = solve(exo_kernel_interp(Arc::clone(&kernel)), 1);
+        assert_eq!(c_sw, c_tape, "{label}: superword vs tape");
+        assert_eq!(c_tape, c_interp, "{label}: tape vs interpreter");
+        assert_fma_close(&c_simd, &c_sw, k, &format!("{label}: simd vs superword"));
+        for threads in [2usize, 7] {
+            assert_eq!(
+                c_simd,
+                solve(exo_kernel(Arc::clone(&kernel)), threads),
+                "{label}: simd with {threads} threads"
+            );
+            assert_eq!(
+                c_sw,
+                solve(exo_kernel_superword(Arc::clone(&kernel)), threads),
+                "{label}: superword with {threads} threads"
+            );
         }
     }
 }

@@ -1,18 +1,25 @@
-//! Differential suite for the tape execution engines: the superword
-//! backend, the scalar tape, the tree-walking interpreter, and the naive
-//! reference must agree — and where the computation is literally the same
-//! sequence of f32 operations (superword vs. tape vs. interpreter, arena
-//! vs. legacy driver, 1 vs. N threads, ic vs. jc split), they must agree
-//! **bit for bit**.
+//! Differential suite for the execution engines, now a **four-way**
+//! comparison: the native SIMD chain, the superword backend, the scalar
+//! tape, the tree-walking interpreter, and the naive reference must agree.
+//! Where the computation is literally the same sequence of f32 operations
+//! (superword vs. tape vs. interpreter, arena vs. legacy driver, 1 vs. N
+//! threads, ic vs. jc split — and the SIMD chain against *itself* across
+//! drivers and thread counts), they must agree **bit for bit**. The SIMD
+//! tier contracts its FMAs, so against the portable tiers it is held to
+//! the accumulation-scaled ULP bound of `common::assert_fma_close`; on
+//! hosts without AVX2/FMA (or under `EXO_BACKEND=superword`, the CI
+//! fallback leg) the simd pin runs the superword tier and the bound
+//! tightens to exact equality automatically.
 
 mod common;
 
 use std::sync::Arc;
 
-use common::Cases;
+use common::{assert_fma_close, Cases};
 use exo_gemm::exo_isa::neon_f32;
 use exo_gemm::gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_tape, naive_gemm, BlisGemm, BlockingParams, GemmProblem, Matrix,
+    exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, naive_gemm, BlisGemm,
+    BlockingParams, ExecBackend, GemmProblem, Matrix,
 };
 use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
@@ -23,11 +30,11 @@ fn packed_operands(mr: usize, nr: usize, kc: usize, cases: &mut Cases) -> (Vec<f
     (a, b, c)
 }
 
-/// `SuperwordKernel` ≡ `TapeKernel` ≡ `CompiledKernel` bit-for-bit on every
-/// registry tile shape, across several KC values including `k = 0` and
-/// `k = 1`.
+/// Four-way differential on every registry tile shape, across several KC
+/// values including `k = 0` and `k = 1`: superword ≡ tape ≡ interpreter
+/// bit-for-bit, and the SIMD chain within the FMA-contraction bound.
 #[test]
-fn superword_equals_tape_equals_interpreter_bit_for_bit_across_registry_shapes() {
+fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
     let cache = KernelCache::new();
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x7a9e);
@@ -36,28 +43,38 @@ fn superword_equals_tape_equals_interpreter_bit_for_bit_across_registry_shapes()
         assert!(kernel.tape.is_some(), "{mr}x{nr} must tape-compile");
         let sw = kernel.superword.as_ref().unwrap_or_else(|| panic!("{mr}x{nr} must superword-compile"));
         assert!(sw.vector_op_count() > 0, "{mr}x{nr} must pack whole-vector ops");
+        if exo_gemm::gemm_blis::simd_available() {
+            assert!(kernel.simd.is_some(), "{mr}x{nr} must compile the SIMD chain on AVX2 hosts");
+        }
         for kc in [0usize, 1, 2, 17, 64] {
             let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
+            let mut c_simd = c0.clone();
+            kernel.run_packed(kc, &a, &b, &mut c_simd).unwrap();
             let mut c_sw = c0.clone();
-            kernel.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+            kernel.run_packed_superword(kc, &a, &b, &mut c_sw).unwrap();
             let mut c_tape = c0.clone();
             kernel.run_packed_tape(kc, &a, &b, &mut c_tape).unwrap();
             let mut c_interp = c0.clone();
             kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
             assert_eq!(c_sw, c_tape, "{mr}x{nr} kc={kc}: superword vs tape");
             assert_eq!(c_tape, c_interp, "{mr}x{nr} kc={kc}: tape vs interpreter");
+            assert_fma_close(&c_simd, &c_sw, kc, &format!("{mr}x{nr} kc={kc}: simd vs superword"));
+            if kc == 0 {
+                assert_eq!(c_simd, c_sw, "{mr}x{nr} kc=0: no FMA executes, all tiers bit-equal");
+            }
         }
     }
-    // The cache compiled each tape and superword lowering exactly once,
-    // alongside its kernel.
+    // The cache compiled each tape, superword, and simd lowering exactly
+    // once, alongside its kernel.
     assert_eq!(cache.generator_invocations(), KernelSet::paper_shapes().len() as u64);
 }
 
-/// The superword path agrees with `naive_gemm` (to accumulation tolerance)
-/// on fringe-heavy problems through the full five-loop driver, and the
-/// superword, scalar-tape, and interpreter driver runs are bit-identical.
+/// All four tiers agree with `naive_gemm` (to accumulation tolerance) on
+/// fringe-heavy problems through the full five-loop driver; the portable
+/// driver runs are bit-identical to each other and the SIMD driver run
+/// stays within the FMA bound of them.
 #[test]
-fn superword_driver_matches_naive_on_fringe_heavy_problems() {
+fn simd_driver_matches_naive_on_fringe_heavy_problems() {
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x51ab);
     // (mr, nr) x (m, n, k) including m < mr, n < nr, and k = 1.
@@ -70,43 +87,34 @@ fn superword_driver_matches_naive_on_fringe_heavy_problems() {
             let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
             let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
             let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr, nr };
+            let run = |kimpl| {
+                let mut c = c0.clone();
+                BlisGemm::new(blocking)
+                    .gemm_with(&kimpl, GemmProblem::new(a.view(), b.view(), c.view_mut()))
+                    .unwrap();
+                c
+            };
 
-            let mut c_sw = c0.clone();
-            BlisGemm::new(blocking)
-                .gemm_with(
-                    &exo_kernel(Arc::clone(&kernel)),
-                    GemmProblem::new(a.view(), b.view(), c_sw.view_mut()),
-                )
-                .unwrap();
-
-            let mut c_tape = c0.clone();
-            BlisGemm::new(blocking)
-                .gemm_with(
-                    &exo_kernel_tape(Arc::clone(&kernel)),
-                    GemmProblem::new(a.view(), b.view(), c_tape.view_mut()),
-                )
-                .unwrap();
-            assert_eq!(c_sw.data, c_tape.data, "{mr}x{nr} on {m}x{n}x{k}: superword driver vs tape driver");
-
-            let mut c_interp = c0.clone();
-            BlisGemm::new(blocking)
-                .gemm_with(
-                    &exo_kernel_interp(Arc::clone(&kernel)),
-                    GemmProblem::new(a.view(), b.view(), c_interp.view_mut()),
-                )
-                .unwrap();
-            assert_eq!(
-                c_tape.data, c_interp.data,
-                "{mr}x{nr} on {m}x{n}x{k}: tape driver vs interpreter driver"
+            let c_simd = run(exo_kernel(Arc::clone(&kernel)));
+            let c_sw = run(exo_kernel_superword(Arc::clone(&kernel)));
+            let c_tape = run(exo_kernel_tape(Arc::clone(&kernel)));
+            let c_interp = run(exo_kernel_interp(Arc::clone(&kernel)));
+            assert_eq!(c_sw.data, c_tape.data, "{mr}x{nr} on {m}x{n}x{k}: superword vs tape driver");
+            assert_eq!(c_tape.data, c_interp.data, "{mr}x{nr} on {m}x{n}x{k}: tape vs interp driver");
+            assert_fma_close(
+                &c_simd.data,
+                &c_sw.data,
+                k,
+                &format!("{mr}x{nr} on {m}x{n}x{k}: simd vs superword driver"),
             );
 
             let mut c_ref = c0.clone();
             naive_gemm(&a, &b, &mut c_ref);
-            for idx in 0..c_sw.data.len() {
+            for idx in 0..c_simd.data.len() {
                 assert!(
-                    (c_sw.data[idx] - c_ref.data[idx]).abs() < 1e-3,
+                    (c_simd.data[idx] - c_ref.data[idx]).abs() < 1e-3,
                     "{mr}x{nr} on {m}x{n}x{k} mismatch at {idx}: {} vs {}",
-                    c_sw.data[idx],
+                    c_simd.data[idx],
                     c_ref.data[idx]
                 );
             }
@@ -114,8 +122,41 @@ fn superword_driver_matches_naive_on_fringe_heavy_problems() {
     }
 }
 
+/// The programmatic backend pin: `with_backend(Superword)` on the simd
+/// default must be bit-identical to the dedicated superword pin through
+/// the full driver — the portable fallback really is the unchanged
+/// superword path, not a third code path.
+#[test]
+fn forced_superword_fallback_is_bit_identical_to_the_superword_pin() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let kernel = Arc::new(generator.generate(8, 12).unwrap());
+    let mut cases = Cases::new(0xfa11);
+    let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr: 8, nr: 12 };
+    for &(m, n, k) in &[(37usize, 29usize, 23usize), (8, 60, 9)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+        let mut c_forced = c0.clone();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel(Arc::clone(&kernel)).with_backend(ExecBackend::Superword),
+                GemmProblem::new(a.view(), b.view(), c_forced.view_mut()),
+            )
+            .unwrap();
+        let mut c_sw = c0.clone();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel_superword(Arc::clone(&kernel)),
+                GemmProblem::new(a.view(), b.view(), c_sw.view_mut()),
+            )
+            .unwrap();
+        assert_eq!(c_forced.data, c_sw.data, "{m}x{n}x{k}");
+    }
+}
+
 /// The arena hot path computes bit-identical results to the legacy
-/// allocate-per-block path.
+/// allocate-per-block path — per tier, including the SIMD chain (same op
+/// order either way).
 #[test]
 fn arena_driver_is_bit_identical_to_the_legacy_driver() {
     let generator = MicroKernelGenerator::new(neon_f32());
@@ -126,27 +167,28 @@ fn arena_driver_is_bit_identical_to_the_legacy_driver() {
         let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
         let blocking = BlockingParams { mc: 24, kc: 16, nc: 32, mr: 8, nr: 8 };
-        let mut c_arena = c0.clone();
-        BlisGemm::new(blocking)
-            .gemm_with(
-                &exo_kernel(Arc::clone(&kernel)),
-                GemmProblem::new(a.view(), b.view(), c_arena.view_mut()),
-            )
-            .unwrap();
-        let mut c_legacy = c0.clone();
-        BlisGemm::new(blocking)
-            .without_arena()
-            .gemm_with(
-                &exo_kernel(Arc::clone(&kernel)),
-                GemmProblem::new(a.view(), b.view(), c_legacy.view_mut()),
-            )
-            .unwrap();
-        assert_eq!(c_arena.data, c_legacy.data, "{m}x{n}x{k}");
+        for (label, kimpl) in [
+            ("simd", exo_kernel(Arc::clone(&kernel))),
+            ("superword", exo_kernel_superword(Arc::clone(&kernel))),
+        ] {
+            let mut c_arena = c0.clone();
+            BlisGemm::new(blocking)
+                .gemm_with(&kimpl, GemmProblem::new(a.view(), b.view(), c_arena.view_mut()))
+                .unwrap();
+            let mut c_legacy = c0.clone();
+            BlisGemm::new(blocking)
+                .without_arena()
+                .gemm_with(&kimpl, GemmProblem::new(a.view(), b.view(), c_legacy.view_mut()))
+                .unwrap();
+            assert_eq!(c_arena.data, c_legacy.data, "{m}x{n}x{k} {label}");
+        }
     }
 }
 
-/// `threads = 1` and `threads = N` produce identical `C`: the `ic` blocks
-/// write disjoint row ranges and each is computed in the same order.
+/// `threads = 1` and `threads = N` produce identical `C` on the SIMD
+/// default: the `ic` blocks write disjoint row ranges, each computed in
+/// the same order — the chain is deterministic, so even the contracted
+/// FMAs agree bit-for-bit across thread counts.
 #[test]
 fn thread_count_never_changes_the_result() {
     let generator = MicroKernelGenerator::new(neon_f32());
@@ -177,8 +219,9 @@ fn thread_count_never_changes_the_result() {
 }
 
 /// Wide-and-short problems take the `jc` column split instead of the `ic`
-/// row split; across fringe-heavy shapes and every backend it must stay
-/// bit-identical to the sequential run and match the naive reference.
+/// row split; across fringe-heavy shapes, every backend tier, and 1–7
+/// threads the split must stay bit-identical to that tier's sequential
+/// run and match the naive reference.
 #[test]
 fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
     let generator = MicroKernelGenerator::new(neon_f32());
@@ -191,18 +234,16 @@ fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
         let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
         let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
         let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
-        let mut c_seq = c0.clone();
-        BlisGemm::new(blocking)
-            .gemm_with(
-                &exo_kernel(Arc::clone(&kernel)),
-                GemmProblem::new(a.view(), b.view(), c_seq.view_mut()),
-            )
-            .unwrap();
-        for threads in [2usize, 4, 7] {
-            for (label, kimpl) in [
-                ("superword", exo_kernel(Arc::clone(&kernel))),
-                ("tape", exo_kernel_tape(Arc::clone(&kernel))),
-            ] {
+        for (label, kimpl) in [
+            ("simd", exo_kernel(Arc::clone(&kernel))),
+            ("superword", exo_kernel_superword(Arc::clone(&kernel))),
+            ("tape", exo_kernel_tape(Arc::clone(&kernel))),
+        ] {
+            let mut c_seq = c0.clone();
+            BlisGemm::new(blocking)
+                .gemm_with(&kimpl, GemmProblem::new(a.view(), b.view(), c_seq.view_mut()))
+                .unwrap();
+            for threads in [2usize, 4, 7] {
                 let mut c_par = c0.clone();
                 BlisGemm::new(blocking)
                     .with_threads(threads)
@@ -213,11 +254,11 @@ fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
                     "{m}x{n}x{k} jc split, {threads} threads, {label} backend"
                 );
             }
-        }
-        let mut c_ref = c0.clone();
-        naive_gemm(&a, &b, &mut c_ref);
-        for idx in 0..c_seq.data.len() {
-            assert!((c_seq.data[idx] - c_ref.data[idx]).abs() < 1e-3, "{m}x{n}x{k} at {idx}");
+            let mut c_ref = c0.clone();
+            naive_gemm(&a, &b, &mut c_ref);
+            for idx in 0..c_seq.data.len() {
+                assert!((c_seq.data[idx] - c_ref.data[idx]).abs() < 1e-3, "{m}x{n}x{k} at {idx} ({label})");
+            }
         }
     }
 }
