@@ -1,0 +1,353 @@
+//! Batched GEMM execution: many `C_i = alpha_i * op(A_i) * op(B_i) +
+//! beta_i * C_i` entries solved through shared, amortised machinery.
+//!
+//! A standalone `gemm` call pays fixed costs that have nothing to do with
+//! the problem's flops: a registry lookup and `KernelImpl` clone, a driver
+//! construction, a packing-arena allocation, and a fresh prove-once
+//! dispatch handle whose backend proof (the superword affine-interval
+//! certificate, or the SIMD closure-chain check) is re-memoised from
+//! scratch. For the small problems of a serving mix those costs dominate.
+//! [`GemmBatchExecutor::gemm_batch`] restructures the work so they are paid
+//! **once per kernel-shape group instead of once per entry**:
+//!
+//! 1. entries are grouped by tuning verdict (kernel tile + blocking) — one
+//!    `KernelCache` lookup and one blocking per group;
+//! 2. each group builds its per-shard [`gemm_blis::GemmRunner`]s — one
+//!    arena reservation and one dispatch-proof memoisation per shard, not
+//!    per entry;
+//! 3. small entries are dealt round-robin across the shared pool
+//!    ([`gemm_blis::ThreadPool::global`]), one shard per worker; large
+//!    entries keep the driver's internal `ic`/`jc` split.
+//!
+//! The result is **bit-identical to a sequential per-entry loop** over the
+//! same executor: kernel and blocking selection are deterministic per
+//! shape, entries never share a `C`, and each entry runs the exact
+//! sequential five-loop op order inside its runner.
+
+use gemm_blis::pool::{PoolJob, ThreadPool};
+use gemm_blis::{BlisGemm, GemmError, GemmExecutor, GemmProblem, GemmStats};
+
+/// Problems whose useful flops reach this threshold keep the driver's
+/// internal block-loop threading (the existing `ic`/`jc` split over the
+/// pool); smaller entries are cheaper to run whole, one per shard.
+const LARGE_FLOP_THRESHOLD: u64 = 32_000_000;
+
+/// An ordered batch of GEMM problems, executed together by a
+/// [`GemmBatchExecutor`].
+///
+/// Entry `i` of the returned stats corresponds to entry `i` pushed here,
+/// and results are bit-identical to running the entries one by one through
+/// the same executor — batching changes *when* fixed costs are paid, never
+/// *what* is computed.
+#[derive(Default)]
+pub struct GemmBatch<'a> {
+    entries: Vec<GemmProblem<'a>>,
+}
+
+impl<'a> GemmBatch<'a> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        GemmBatch { entries: Vec::new() }
+    }
+
+    /// Appends one problem; it keeps its position in the stats vector.
+    pub fn push(&mut self, problem: GemmProblem<'a>) {
+        self.entries.push(problem);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the batch into its problems, in submission order.
+    pub fn into_problems(self) -> Vec<GemmProblem<'a>> {
+        self.entries
+    }
+}
+
+impl<'a> From<Vec<GemmProblem<'a>>> for GemmBatch<'a> {
+    fn from(entries: Vec<GemmProblem<'a>>) -> Self {
+        GemmBatch { entries }
+    }
+}
+
+impl<'a> FromIterator<GemmProblem<'a>> for GemmBatch<'a> {
+    fn from_iter<I: IntoIterator<Item = GemmProblem<'a>>>(iter: I) -> Self {
+        GemmBatch { entries: iter.into_iter().collect() }
+    }
+}
+
+/// An executor that solves a whole [`GemmBatch`] with amortised fixed costs
+/// (see the module docs for the cost model).
+pub trait GemmBatchExecutor {
+    /// Solves every entry and returns per-entry stats in submission order
+    /// (each with [`GemmStats::batched`] set).
+    ///
+    /// An empty batch returns an empty vector. Degenerate entries
+    /// (`m`/`n`/`k` of zero) are executed (their `beta` contract applies)
+    /// and counted with zero flops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing entry. The `C`
+    /// operands of *other* entries may or may not have been updated by
+    /// then — on error the batch outputs are unspecified, exactly like an
+    /// aborted per-entry loop.
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError>;
+}
+
+/// Stamps the batch marker on stats produced through the batch path.
+fn mark_batched(mut stats: GemmStats) -> GemmStats {
+    stats.batched = true;
+    stats
+}
+
+/// Runs one same-kernel/same-blocking group of entries through `driver`,
+/// writing each entry's outcome into its `out` slot.
+///
+/// Large entries (by [`LARGE_FLOP_THRESHOLD`]) run in submission order with
+/// the driver's own block-loop threading; small entries are dealt
+/// round-robin over pool-worker shards, each shard reusing one
+/// [`gemm_blis::GemmRunner`] (arena + dispatch proof) across its entries.
+fn run_group<'a>(
+    driver: &BlisGemm,
+    entries: Vec<(usize, GemmProblem<'a>)>,
+    out: &mut [Option<Result<GemmStats, GemmError>>],
+) {
+    let mut small: Vec<(usize, GemmProblem<'a>)> = Vec::new();
+    let mut large: Vec<(usize, GemmProblem<'a>)> = Vec::new();
+    for (idx, problem) in entries {
+        match problem.dims() {
+            Ok((m, n, k)) if GemmStats::flops_for(m, n, k, problem.alpha) >= LARGE_FLOP_THRESHOLD => {
+                large.push((idx, problem));
+            }
+            Ok(_) => small.push((idx, problem)),
+            Err(e) => out[idx] = Some(Err(e)),
+        }
+    }
+
+    for (idx, problem) in large {
+        out[idx] = Some(driver.gemm(problem).map(mark_batched));
+    }
+
+    if small.is_empty() {
+        return;
+    }
+    let pool = ThreadPool::global();
+    let shard_count = pool.workers().min(small.len());
+    if shard_count <= 1 {
+        let mut runner = driver.runner();
+        for (idx, problem) in small {
+            out[idx] = Some(runner.gemm(problem).map(mark_batched));
+        }
+        return;
+    }
+    let mut shards: Vec<Vec<(usize, GemmProblem<'a>)>> = (0..shard_count).map(|_| Vec::new()).collect();
+    for (pos, entry) in small.into_iter().enumerate() {
+        shards[pos % shard_count].push(entry);
+    }
+    let mut shard_results: Vec<Vec<(usize, Result<GemmStats, GemmError>)>> =
+        (0..shard_count).map(|_| Vec::new()).collect();
+    let jobs: Vec<PoolJob<'_>> = shards
+        .into_iter()
+        .zip(shard_results.iter_mut())
+        .map(|(shard, results)| {
+            Box::new(move || {
+                // One runner per shard: the arena reservation and the
+                // dispatch proof are paid here, once, then reused by every
+                // entry of the shard.
+                let mut runner = driver.runner();
+                for (idx, problem) in shard {
+                    results.push((idx, runner.gemm(problem).map(mark_batched)));
+                }
+            }) as PoolJob<'_>
+        })
+        .collect();
+    pool.scope_run(jobs);
+    for (idx, result) in shard_results.into_iter().flatten() {
+        out[idx] = Some(result);
+    }
+}
+
+/// Collapses per-entry outcomes into the batch result: stats in submission
+/// order, or the error of the lowest-indexed failing entry.
+fn collect_outcomes(out: Vec<Option<Result<GemmStats, GemmError>>>) -> Result<Vec<GemmStats>, GemmError> {
+    let mut stats = Vec::with_capacity(out.len());
+    for slot in out {
+        stats.push(slot.expect("every batch entry produces an outcome")?);
+    }
+    Ok(stats)
+}
+
+impl GemmBatchExecutor for BlisGemm {
+    /// One group: the driver's stored kernel and blocking serve every
+    /// entry, so the whole batch shares one kernel and per-shard arenas.
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError> {
+        let entries = batch.into_problems();
+        let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
+        run_group(self, entries.into_iter().enumerate().collect(), &mut out);
+        collect_outcomes(out)
+    }
+}
+
+impl GemmBatchExecutor for exo_tune::TunedGemm {
+    /// Entries are grouped by tuning verdict — kernel register tile plus
+    /// blocking, the complete dispatch identity (the kernel cache is keyed
+    /// by `(mr, nr)`) — so each distinct shape family pays one registry
+    /// lookup, one kernel clone, and one driver construction for the whole
+    /// batch. Degenerate entries form their own group on the default
+    /// blocking, exactly as `TunedGemm::execute` treats them.
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError> {
+        let entries = batch.into_problems();
+        let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
+
+        // Group key: the verdict's blocking + tile. Insertion-ordered Vec
+        // lookup — a serving mix has a handful of groups, not thousands.
+        type Key = (usize, usize, usize, usize, usize);
+        type Group<'a> = (Key, BlisGemm, Vec<(usize, GemmProblem<'a>)>);
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        let mut degenerate: Vec<(usize, GemmProblem<'_>)> = Vec::new();
+        for (idx, problem) in entries.into_iter().enumerate() {
+            let (m, n, k) = match problem.dims() {
+                Ok(d) => d,
+                Err(e) => {
+                    out[idx] = Some(Err(e));
+                    continue;
+                }
+            };
+            if m == 0 || n == 0 || k == 0 {
+                degenerate.push((idx, problem));
+                continue;
+            }
+            let verdict = match self.plan(m, n, k) {
+                Ok(v) => v,
+                Err(e) => {
+                    out[idx] =
+                        Some(Err(GemmError::Backend { backend: "exo-tune".into(), message: e.to_string() }));
+                    continue;
+                }
+            };
+            let key: Key = (verdict.mr, verdict.nr, verdict.mc, verdict.kc, verdict.nc);
+            match groups.iter_mut().find(|(k0, _, _)| *k0 == key) {
+                Some((_, _, group)) => group.push((idx, problem)),
+                None => {
+                    let kernel = match self.tuner().kernel_impl_for(&verdict) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            out[idx] = Some(Err(GemmError::Backend {
+                                backend: "exo-tune".into(),
+                                message: e.to_string(),
+                            }));
+                            continue;
+                        }
+                    };
+                    let driver =
+                        BlisGemm::new(verdict.blocking()).with_threads(self.threads()).with_kernel(kernel);
+                    groups.push((key, driver, vec![(idx, problem)]));
+                }
+            }
+        }
+
+        if !degenerate.is_empty() {
+            // Same driver TunedGemm::execute uses for untunable shapes.
+            let driver =
+                BlisGemm::new(gemm_blis::BlockingParams::carmel_defaults(8, 12)).with_threads(self.threads());
+            for (idx, problem) in degenerate {
+                out[idx] = Some(driver.gemm(problem).map(mark_batched));
+            }
+        }
+        for (_, driver, group) in groups {
+            run_group(&driver, group, &mut out);
+        }
+        collect_outcomes(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_blis::{BlockingParams, GemmExecutor, Matrix};
+
+    fn fill(m: usize, n: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| ((i * 7 + j * 3 + seed) % 13) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn empty_batch_returns_no_stats() {
+        let driver = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        assert!(driver.gemm_batch(GemmBatch::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_a_per_entry_loop() {
+        let driver = BlisGemm::new(BlockingParams { mc: 24, kc: 16, nc: 36, mr: 8, nr: 12 });
+        let shapes = [(13usize, 9usize, 7usize), (48, 48, 32), (1, 12, 5), (30, 17, 23)];
+        let inputs: Vec<(Matrix, Matrix, Matrix)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(s, &(m, n, k))| (fill(m, k, s), fill(k, n, s + 5), fill(m, n, s + 9)))
+            .collect();
+
+        let mut c_batch: Vec<Matrix> = inputs.iter().map(|(_, _, c)| c.clone()).collect();
+        let mut batch = GemmBatch::new();
+        for ((a, b, _), c) in inputs.iter().zip(c_batch.iter_mut()) {
+            batch.push(GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(1.25).beta(-0.5));
+        }
+        let stats = driver.gemm_batch(batch).unwrap();
+        assert_eq!(stats.len(), shapes.len());
+        assert!(stats.iter().all(|s| s.batched), "batch path must stamp the marker");
+
+        for (i, ((a, b, c0), c_got)) in inputs.iter().zip(&c_batch).enumerate() {
+            let mut c_seq = c0.clone();
+            let seq = driver
+                .gemm(GemmProblem::new(a.view(), b.view(), c_seq.view_mut()).alpha(1.25).beta(-0.5))
+                .unwrap();
+            assert_eq!(c_seq.data, c_got.data, "entry {i} must be bit-identical to the per-entry loop");
+            assert_eq!(stats[i].flop_count, seq.flop_count);
+            assert_eq!((stats[i].m, stats[i].n, stats[i].k), (seq.m, seq.n, seq.k));
+        }
+    }
+
+    #[test]
+    fn single_entry_and_degenerate_batches_follow_the_contract() {
+        let driver = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        let a = fill(10, 6, 0);
+        let b = fill(6, 7, 1);
+        let mut c = fill(10, 7, 2);
+        let c0 = c.clone();
+        let mut batch = GemmBatch::new();
+        batch.push(GemmProblem::new(a.view(), b.view(), c.view_mut()));
+        assert_eq!(driver.gemm_batch(batch).unwrap().len(), 1);
+        let mut c_seq = c0;
+        driver.gemm(GemmProblem::new(a.view(), b.view(), c_seq.view_mut())).unwrap();
+        assert_eq!(c.data, c_seq.data);
+
+        // Degenerate entry: k = 0 applies beta and reports zero flops.
+        let ea = Matrix::zeros(3, 0);
+        let eb = Matrix::zeros(0, 4);
+        let mut ec = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let mut batch = GemmBatch::new();
+        batch.push(GemmProblem::new(ea.view(), eb.view(), ec.view_mut()).beta(2.0));
+        let stats = driver.gemm_batch(batch).unwrap();
+        assert_eq!(stats[0].flop_count, 0);
+        assert!(stats[0].batched);
+        assert_eq!(ec.get(2, 3), 22.0);
+    }
+
+    #[test]
+    fn shape_mismatch_reports_the_failing_entry_error() {
+        let driver = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
+        let a = fill(4, 4, 0);
+        let bad_b = fill(5, 4, 1);
+        let mut c = Matrix::zeros(4, 4);
+        let mut batch = GemmBatch::new();
+        batch.push(GemmProblem::new(a.view(), bad_b.view(), c.view_mut()));
+        assert!(matches!(driver.gemm_batch(batch), Err(GemmError::ShapeMismatch { .. })));
+    }
+}

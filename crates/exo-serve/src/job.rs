@@ -1,0 +1,224 @@
+//! Owned GEMM jobs: the submission unit of [`crate::GemmService`].
+//!
+//! The synchronous API works on borrowed views ([`gemm_blis::MatRef`] /
+//! [`gemm_blis::MatMut`]) because the caller's stack outlives the call. A
+//! queued service cannot borrow — the job outlives the submitting
+//! statement — so submissions carry their operands in [`OwnedMat`]s:
+//! owned storage plus the same arbitrary stride map the views support
+//! (row-major, column-major, padded, offset windows). The service hands the
+//! `C` operand back in the [`CompletedJob`], so ownership round-trips
+//! rather than being copied.
+
+use gemm_blis::{GemmProblem, GemmStats, MatMut, MatRef, Matrix, Op};
+
+/// An owned `f32` matrix with an explicit stride map — the owning
+/// counterpart of [`MatRef`]/[`MatMut`], used for queued submissions whose
+/// storage must outlive the caller's stack frame.
+///
+/// The stride map is validated at construction by building the
+/// corresponding view, so an `OwnedMat` always produces valid views later.
+#[derive(Debug, Clone)]
+pub struct OwnedMat {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+    col_stride: usize,
+    offset: usize,
+}
+
+impl OwnedMat {
+    /// A dense row-major matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        OwnedMat { data: vec![0.0; rows * cols], rows, cols, row_stride: cols, col_stride: 1, offset: 0 }
+    }
+
+    /// A dense row-major matrix with `f(row, col)` values.
+    pub fn from_fn(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f32) -> Self {
+        Matrix::from_fn(rows, cols, f).into()
+    }
+
+    /// Takes ownership of `data` with an explicit layout: element `(i, j)`
+    /// lives at `offset + i * row_stride + j * col_stride`. Any injective
+    /// layout the borrowed views accept works here (column-major, padded
+    /// rows, a window inside a larger buffer, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout exceeds `data` or (for mutable use) aliases —
+    /// the same checks the view constructors enforce.
+    pub fn with_layout(
+        data: Vec<f32>,
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+        col_stride: usize,
+        offset: usize,
+    ) -> Self {
+        let mat = OwnedMat { data, rows, cols, row_stride, col_stride, offset };
+        let _ = mat.view(); // validate bounds eagerly
+        mat
+    }
+
+    /// Rows of the logical matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the logical matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor (through the stride map).
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.view().get(i, j)
+    }
+
+    /// A borrowed read-only view of the logical matrix.
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::with_strides(
+            &self.data[self.offset..],
+            self.rows,
+            self.cols,
+            self.row_stride,
+            self.col_stride,
+        )
+    }
+
+    /// A borrowed mutable view of the logical matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride map aliases (two `(i, j)` mapping to one slot)
+    /// — same contract as [`MatMut::with_strides`].
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        MatMut::with_strides(
+            &mut self.data[self.offset..],
+            self.rows,
+            self.cols,
+            self.row_stride,
+            self.col_stride,
+        )
+    }
+
+    /// The backing storage (including any padding/offset regions).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+impl From<Matrix> for OwnedMat {
+    fn from(m: Matrix) -> Self {
+        OwnedMat { rows: m.rows, cols: m.cols, row_stride: m.cols, col_stride: 1, offset: 0, data: m.data }
+    }
+}
+
+/// One owned GEMM submission: `C = alpha * op(A) * op(B) + beta * C` with
+/// the full BLAS contract of [`GemmProblem`], over [`OwnedMat`] operands.
+///
+/// Built with [`GemmJob::new`] plus the builder methods (mirroring the
+/// [`GemmProblem`] builder), submitted via [`crate::GemmService::submit`],
+/// and returned — `C` included — in a [`CompletedJob`].
+#[derive(Debug)]
+pub struct GemmJob {
+    a: OwnedMat,
+    b: OwnedMat,
+    c: OwnedMat,
+    alpha: f32,
+    beta: f32,
+    op_a: Op,
+    op_b: Op,
+}
+
+impl GemmJob {
+    /// The accumulating job `C += A * B` (`alpha = 1`, `beta = 1`, no
+    /// transposes).
+    pub fn new(a: OwnedMat, b: OwnedMat, c: OwnedMat) -> Self {
+        GemmJob { a, b, c, alpha: 1.0, beta: 1.0, op_a: Op::None, op_b: Op::None }
+    }
+
+    /// Sets the scale on the product.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the scale on the initial `C` (`0` = overwrite without reading).
+    #[must_use]
+    pub fn beta(mut self, beta: f32) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Uses `A` transposed.
+    #[must_use]
+    pub fn transpose_a(mut self) -> Self {
+        self.op_a = Op::Transpose;
+        self
+    }
+
+    /// Uses `B` transposed.
+    #[must_use]
+    pub fn transpose_b(mut self) -> Self {
+        self.op_b = Op::Transpose;
+        self
+    }
+
+    /// The borrowed [`GemmProblem`] this job describes — what the service
+    /// pushes into a [`crate::GemmBatch`].
+    pub fn problem(&mut self) -> GemmProblem<'_> {
+        let GemmJob { a, b, c, alpha, beta, op_a, op_b } = self;
+        GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(*alpha).beta(*beta).op_a(*op_a).op_b(*op_b)
+    }
+
+    /// Splits the job into its `C` operand (the deliverable) and drops the
+    /// inputs — what the service does when replying, also useful after
+    /// running a job's [`GemmJob::problem`] by hand.
+    pub fn into_c(self) -> OwnedMat {
+        self.c
+    }
+}
+
+/// A finished service job: the updated `C` operand plus the executor's
+/// per-call statistics.
+#[derive(Debug)]
+pub struct CompletedJob {
+    /// The `C` operand, updated in place and returned to the caller.
+    pub c: OwnedMat,
+    /// Driver statistics of the dispatched problem ([`GemmStats::batched`]
+    /// is set when the service ran it through a batch).
+    pub stats: GemmStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_blis::{GemmExecutor, NaiveGemm};
+
+    #[test]
+    fn owned_layouts_round_trip_through_views() {
+        // A 2 x 3 window at offset 1 inside a padded buffer with row
+        // stride 5.
+        let data: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let m = OwnedMat::with_layout(data, 2, 3, 5, 1, 1);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 8.0);
+        let v = m.view();
+        assert_eq!((v.rows(), v.cols()), (2, 3));
+    }
+
+    #[test]
+    fn jobs_expose_the_full_problem_contract() {
+        let a = OwnedMat::from_fn(3, 2, |i, j| (i * 2 + j) as f32); // stored A^T is 3x2
+        let b = OwnedMat::from_fn(3, 2, |i, j| (i + j) as f32 * 0.5);
+        let c = OwnedMat::from_fn(2, 2, |_, _| 1.0);
+        let mut job = GemmJob::new(a, b, c).transpose_a().alpha(2.0).beta(-1.0);
+        NaiveGemm.gemm(job.problem()).unwrap();
+        // Same numbers as the GemmProblem unit test for this contract.
+        let c = job.into_c();
+        assert_eq!(c.get(0, 0), 9.0);
+        assert_eq!(c.get(1, 1), 21.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `exo-serve`: a persistent GEMM service layer over the `gemm-blis`
+//! drivers and the `exo-tune` autotuner.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - **Shared thread pool** ([`ThreadPool`], re-exported from
+//!   `gemm_blis::pool`): one process-wide pool sized to the machine (or
+//!   `EXO_THREADS`), created once and borrowed by every GEMM call instead
+//!   of spawning OS threads per call.
+//! - **Batched execution** ([`GemmBatch`] / [`GemmBatchExecutor`]): group
+//!   problems by kernel shape so each group pays for its kernel lookup,
+//!   dispatch proof, and packing arena once, then shard entries across the
+//!   pool. Results are bit-identical to a sequential per-entry loop.
+//! - **Queued front door** ([`GemmService`]): a bounded submission queue
+//!   fed from any number of caller threads, drained by one collector into
+//!   adaptive batches, with aggregate counters ([`ServiceStats`]).
+//!
+//! ```
+//! use exo_serve::{GemmJob, GemmService, OwnedMat};
+//! use gemm_blis::{BlisGemm, BlockingParams};
+//!
+//! let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+//! let job = GemmJob::new(
+//!     OwnedMat::from_fn(4, 3, |i, j| (i + j) as f32),
+//!     OwnedMat::from_fn(3, 5, |i, j| (i * 5 + j) as f32 * 0.5),
+//!     OwnedMat::zeros(4, 5),
+//! )
+//! .beta(0.0);
+//! let done = service.submit(job).wait().unwrap();
+//! assert_eq!(done.stats.flop_count, 2 * 4 * 5 * 3);
+//! assert!(done.stats.batched);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod job;
+pub mod service;
+
+pub use batch::{GemmBatch, GemmBatchExecutor};
+pub use gemm_blis::pool::{env_threads_override, PoolJob, ThreadPool};
+pub use job::{CompletedJob, GemmJob, OwnedMat};
+pub use service::{GemmService, JobHandle, ServiceConfig, ServiceStats};

@@ -1,0 +1,366 @@
+//! The queued GEMM front door: many caller threads submit owned jobs, one
+//! collector thread drains them into [`GemmBatch`]es, the shared pool
+//! executes them.
+//!
+//! Lifecycle and flow:
+//!
+//! 1. [`GemmService::new`] spawns the collector thread and takes ownership
+//!    of a [`GemmBatchExecutor`] (typically `exo_tune::TunedGemm`).
+//! 2. Callers [`GemmService::submit`] owned [`GemmJob`]s from any number of
+//!    threads. The queue is **bounded** ([`ServiceConfig::queue_capacity`]):
+//!    a full queue blocks the submitter — backpressure, not unbounded
+//!    buffering.
+//! 3. The collector drains whatever is queued (up to
+//!    [`ServiceConfig::max_batch`] entries) into one batch, so batch size
+//!    adapts to load: an idle service runs singletons with no added
+//!    latency, a loaded service amortises fixed costs across everything
+//!    that queued up meanwhile.
+//! 4. Each job's result — the updated `C` plus [`gemm_blis::GemmStats`] —
+//!    comes back
+//!    through its [`JobHandle`]; per-call stats aggregate into the
+//!    process-wide counters of [`GemmService::stats`].
+//!
+//! Shutdown: dropping the service closes the queue, lets the collector
+//! finish everything already accepted, and joins it. Handles outstanding at
+//! shutdown resolve with an error rather than hanging.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use gemm_blis::pool::ThreadPool;
+use gemm_blis::GemmError;
+
+use crate::batch::{GemmBatch, GemmBatchExecutor};
+use crate::job::{CompletedJob, GemmJob};
+
+/// Tunables of a [`GemmService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Bound of the submission queue. A full queue blocks `submit` until
+    /// the collector drains — the service's backpressure mechanism.
+    pub queue_capacity: usize,
+    /// Maximum entries drained into a single batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { queue_capacity: 64, max_batch: 32 }
+    }
+}
+
+/// Aggregate service counters, snapshot via [`GemmService::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted by `submit` so far.
+    pub jobs_submitted: u64,
+    /// Jobs completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that resolved with an error.
+    pub jobs_failed: u64,
+    /// Batches the collector has executed.
+    pub batches: u64,
+    /// Largest batch executed so far.
+    pub largest_batch: usize,
+    /// High-water mark of the submission queue depth.
+    pub queue_highwater: usize,
+    /// Configured queue bound.
+    pub queue_capacity: usize,
+    /// Width of the shared worker pool serving the batches.
+    pub pool_workers: usize,
+    /// Jobs the shared pool has executed process-wide — together with
+    /// `pool_workers` this is the pool-utilization side of the story
+    /// (the counter spans every pool user in the process, not just this
+    /// service).
+    pub pool_tasks_executed: usize,
+    /// Total useful flops of completed jobs (degenerate jobs count as
+    /// zero-flop completions, not omissions).
+    pub total_flops: u64,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted / {} completed / {} failed in {} batches (largest {}); \
+             queue high-water {}/{}; pool {} workers, {} tasks; {:.3} GFLOP total",
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.batches,
+            self.largest_batch,
+            self.queue_highwater,
+            self.queue_capacity,
+            self.pool_workers,
+            self.pool_tasks_executed,
+            self.total_flops as f64 / 1e9
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicUsize,
+    queue_depth: AtomicUsize,
+    queue_highwater: AtomicUsize,
+    flops: AtomicU64,
+}
+
+struct Submission {
+    job: GemmJob,
+    reply: mpsc::Sender<Result<CompletedJob, GemmError>>,
+}
+
+/// The handle returned by [`GemmService::submit`]: redeem it with
+/// [`JobHandle::wait`] for the job's `C` operand and stats.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: mpsc::Receiver<Result<CompletedJob, GemmError>>,
+}
+
+impl JobHandle {
+    /// Blocks until the job resolves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the executor's error for this job, or a
+    /// [`GemmError::Backend`] if the service shut down first.
+    pub fn wait(self) -> Result<CompletedJob, GemmError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(GemmError::Backend {
+                backend: "exo-serve".into(),
+                message: "service shut down before the job completed".into(),
+            })
+        })
+    }
+}
+
+/// A persistent GEMM service: one collector thread batching submissions
+/// from any number of caller threads onto the shared worker pool.
+///
+/// See the module docs for lifecycle, batching, and backpressure
+/// semantics. The service is `Sync` — share `&GemmService` freely across
+/// caller threads (or clone the jobs' data and use scoped threads, as
+/// `examples/gemm_service.rs` does).
+pub struct GemmService {
+    tx: Option<mpsc::SyncSender<Submission>>,
+    collector: Option<std::thread::JoinHandle<()>>,
+    counters: Arc<Counters>,
+    config: ServiceConfig,
+}
+
+impl GemmService {
+    /// A service over `executor` with the default [`ServiceConfig`].
+    pub fn new<E: GemmBatchExecutor + Send + 'static>(executor: E) -> Self {
+        GemmService::with_config(executor, ServiceConfig::default())
+    }
+
+    /// A service over `executor` with explicit queue/batch bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` or `max_batch` is zero.
+    pub fn with_config<E: GemmBatchExecutor + Send + 'static>(executor: E, config: ServiceConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
+        let counters = Arc::new(Counters::default());
+        let collector_counters = Arc::clone(&counters);
+        let max_batch = config.max_batch;
+        let collector = std::thread::Builder::new()
+            .name("exo-serve-collector".into())
+            .spawn(move || collector_loop(executor, rx, collector_counters, max_batch))
+            .expect("failed to spawn exo-serve collector");
+        GemmService { tx: Some(tx), collector: Some(collector), counters, config }
+    }
+
+    /// Submits one owned job, blocking while the queue is at capacity
+    /// (backpressure). Returns immediately otherwise; redeem the handle
+    /// with [`JobHandle::wait`].
+    pub fn submit(&self, job: GemmJob) -> JobHandle {
+        let (reply, rx) = mpsc::channel();
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.counters.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        if tx.send(Submission { job, reply }).is_err() {
+            // Collector gone (only possible mid-shutdown): the reply channel
+            // closes with it, and wait() reports the shutdown error.
+            self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        JobHandle { rx }
+    }
+
+    /// Submits every job, then waits for all of them, returning results in
+    /// submission order. Blocking submission + bounded queue means this
+    /// paces itself against the collector instead of buffering everything.
+    pub fn execute_all(&self, jobs: Vec<GemmJob>) -> Vec<Result<CompletedJob, GemmError>> {
+        let handles: Vec<JobHandle> = jobs.into_iter().map(|job| self.submit(job)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let pool = ThreadPool::global();
+        ServiceStats {
+            jobs_submitted: self.counters.submitted.load(Ordering::Relaxed),
+            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
+            jobs_failed: self.counters.failed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            queue_highwater: self.counters.queue_highwater.load(Ordering::Relaxed),
+            queue_capacity: self.config.queue_capacity,
+            pool_workers: pool.workers(),
+            pool_tasks_executed: pool.tasks_executed(),
+            total_flops: self.counters.flops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for GemmService {
+    fn drop(&mut self) {
+        // Closing the queue ends the collector's recv loop after it drains
+        // everything already accepted; then join so no thread leaks.
+        drop(self.tx.take());
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+    }
+}
+
+/// The collector: block for one submission, opportunistically drain the
+/// rest of the queue (up to `max_batch`), execute as one batch, reply per
+/// job.
+fn collector_loop<E: GemmBatchExecutor>(
+    executor: E,
+    rx: mpsc::Receiver<Submission>,
+    counters: Arc<Counters>,
+    max_batch: usize,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        while pending.len() < max_batch {
+            match rx.try_recv() {
+                Ok(submission) => pending.push(submission),
+                Err(_) => break,
+            }
+        }
+        counters.queue_depth.fetch_sub(pending.len(), Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.largest_batch.fetch_max(pending.len(), Ordering::Relaxed);
+
+        // Invalid jobs fail individually and never poison the batch.
+        let mut valid: Vec<Submission> = Vec::with_capacity(pending.len());
+        for mut submission in pending {
+            match submission.job.problem().dims() {
+                Ok(_) => valid.push(submission),
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = submission.reply.send(Err(e));
+                }
+            }
+        }
+        if valid.is_empty() {
+            continue;
+        }
+        let batch: GemmBatch<'_> = valid.iter_mut().map(|s| s.job.problem()).collect();
+        match executor.gemm_batch(batch) {
+            Ok(stats) => {
+                for (submission, stats) in valid.into_iter().zip(stats) {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    counters.flops.fetch_add(stats.flop_count, Ordering::Relaxed);
+                    let _ = submission.reply.send(Ok(CompletedJob { c: submission.job.into_c(), stats }));
+                }
+            }
+            Err(e) => {
+                // Shape errors were filtered above, so this is an executor
+                // failure: every job of the batch reports it.
+                for submission in valid {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = submission.reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::OwnedMat;
+    use gemm_blis::{BlisGemm, BlockingParams};
+
+    fn job(m: usize, n: usize, k: usize, seed: usize) -> GemmJob {
+        let a = OwnedMat::from_fn(m, k, move |i, j| ((i * 7 + j * 3 + seed) % 13) as f32 * 0.25 - 1.0);
+        let b = OwnedMat::from_fn(k, n, move |i, j| ((i * 5 + j * 11 + seed) % 17) as f32 * 0.125 - 1.0);
+        let c = OwnedMat::zeros(m, n);
+        GemmJob::new(a, b, c).beta(0.0)
+    }
+
+    #[test]
+    fn service_runs_jobs_and_aggregates_counters() {
+        let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+        let handles: Vec<JobHandle> = (0..6).map(|s| service.submit(job(17, 13, 9, s))).collect();
+        for handle in handles {
+            let done = handle.wait().unwrap();
+            assert!(done.stats.batched);
+            assert_eq!(done.stats.flop_count, 2 * 17 * 13 * 9);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 6);
+        assert_eq!(stats.jobs_completed, 6);
+        assert_eq!(stats.jobs_failed, 0);
+        assert!(stats.batches >= 1 && stats.batches <= 6);
+        assert!(stats.largest_batch >= 1);
+        assert!(stats.queue_highwater >= 1);
+        assert_eq!(stats.total_flops, 6 * 2 * 17 * 13 * 9);
+        assert!(stats.to_string().contains("6 submitted"));
+    }
+
+    #[test]
+    fn invalid_jobs_fail_alone_without_poisoning_the_batch() {
+        let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+        let bad = GemmJob::new(OwnedMat::zeros(4, 5), OwnedMat::zeros(6, 4), OwnedMat::zeros(4, 4));
+        let good = job(8, 8, 8, 1);
+        let mut results = service.execute_all(vec![bad, good]);
+        assert!(matches!(results.remove(0), Err(GemmError::ShapeMismatch { .. })));
+        assert!(results.remove(0).is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.jobs_failed, 1);
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn degenerate_jobs_complete_with_zero_flops() {
+        let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+        let job = GemmJob::new(
+            OwnedMat::zeros(3, 0),
+            OwnedMat::zeros(0, 4),
+            OwnedMat::from_fn(3, 4, |i, j| (i * 4 + j) as f32),
+        )
+        .beta(2.0);
+        let done = service.submit(job).wait().unwrap();
+        assert_eq!(done.stats.flop_count, 0);
+        assert_eq!(done.c.get(2, 3), 22.0, "k = 0 still applies beta");
+        let stats = service.stats();
+        assert_eq!(stats.jobs_completed, 1, "degenerate jobs are counted, not skipped");
+        assert_eq!(stats.total_flops, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let service = GemmService::with_config(
+            BlisGemm::new(BlockingParams::carmel_defaults(8, 12)),
+            ServiceConfig { queue_capacity: 4, max_batch: 2 },
+        );
+        let handles: Vec<JobHandle> = (0..4).map(|s| service.submit(job(12, 12, 12, s))).collect();
+        drop(service);
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "accepted jobs must finish during shutdown");
+        }
+    }
+}

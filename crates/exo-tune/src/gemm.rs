@@ -80,6 +80,12 @@ impl TunedGemm {
         &self.tuner
     }
 
+    /// The worker-thread knob set with [`TunedGemm::with_threads`] (the
+    /// batch executor in `exo-serve` reads it to build matching drivers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The registry memoising verdicts for this front-end.
     pub fn registry(&self) -> &KernelRegistry {
         self.tuner.registry()

@@ -36,6 +36,7 @@
 use crate::baselines::{neon_intrinsics_kernel, KernelDispatch, KernelImpl};
 use crate::blocking::BlockingParams;
 use crate::packing::{a_panel, b_panel, pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
+use crate::pool::{PoolJob, ThreadPool};
 use crate::problem::{GemmExecutor, GemmProblem, GemmStats};
 use crate::views::{MatMut, MatRef};
 use crate::GemmError;
@@ -223,9 +224,11 @@ impl RawMat {
 pub struct BlisGemm {
     /// Cache blocking parameters.
     pub blocking: BlockingParams,
-    /// Worker threads for the arena path's parallel block loop (`ic` rows
-    /// by default, `jc` columns for wide-and-short problems). `1` is fully
-    /// sequential; `0` means "ask the OS" (`available_parallelism`).
+    /// Maximum parallelism drawn from the shared worker pool
+    /// ([`ThreadPool::global`]) for the arena path's parallel block loop
+    /// (`ic` rows by default, `jc` columns for wide-and-short problems).
+    /// `1` is fully sequential; `0` means "the pool's full width" (the
+    /// machine, or the `EXO_THREADS` override).
     pub threads: usize,
     /// Whether to use the zero-allocation arena hot path (default) or the
     /// legacy allocate-per-block path.
@@ -279,6 +282,20 @@ impl BlisGemm {
         self
     }
 
+    /// Creates an amortised sequential runner around this driver's stored
+    /// kernel and blocking: the arena, staged `C` tile, and prove-once
+    /// dispatch handle are allocated here, once, and reused by every
+    /// [`GemmRunner::gemm`] call.
+    pub fn runner(&self) -> GemmRunner<'_> {
+        let (mr, nr) = (self.kernel.mr, self.kernel.nr);
+        GemmRunner {
+            driver: self,
+            dispatch: self.kernel.dispatcher(),
+            arena: PackArena::empty(),
+            c_tile: vec![0.0f32; mr * nr],
+        }
+    }
+
     /// Solves a [`GemmProblem`] with an explicitly supplied micro-kernel
     /// (the stored one is ignored): the full-control entry point behind the
     /// [`GemmExecutor`] impl, used by harnesses that sweep kernels over one
@@ -298,8 +315,17 @@ impl BlisGemm {
         let b = problem.op_b.apply(problem.b);
         let (alpha, beta) = (problem.alpha, problem.beta);
         let mut c = problem.c;
-        let flop_count = if alpha == 0.0 { 0 } else { 2 * m as u64 * n as u64 * k as u64 };
-        let stats = |threads: usize| GemmStats { m, n, k, flop_count, kernel: kernel.name.clone(), threads };
+        let flop_count = GemmStats::flops_for(m, n, k, alpha);
+        let stats = |threads: usize| GemmStats {
+            m,
+            n,
+            k,
+            flop_count,
+            kernel: kernel.name.clone(),
+            threads,
+            pool_workers: if threads > 1 { ThreadPool::global().workers() } else { 0 },
+            batched: false,
+        };
         if m == 0 || n == 0 {
             return Ok(stats(1));
         }
@@ -335,7 +361,7 @@ impl BlisGemm {
         let BlockingParams { mc, kc, nc, .. } = self.blocking;
         let (mr, nr) = (kernel.mr, kernel.nr);
         let threads = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            0 => ThreadPool::global().workers(),
             t => t,
         };
 
@@ -357,25 +383,41 @@ impl BlisGemm {
         // the arena is sized for the tile that will actually be packed.
         let tile_blocking = BlockingParams { mr, nr, ..self.blocking };
         let mut arena = PackArena::for_problem(&tile_blocking, m, n, k);
-        let a_cap = arena.a_capacity();
-        let (a_buf, b_buf) = arena.buffers();
-        // Sequential-mode scratch (C tile + dispatch handle), plus one
-        // private A-pack/C-tile/dispatch triple per worker, all allocated
-        // once per GEMM.
-        let mut c_tile = vec![0.0f32; mr * nr];
-        let mut dispatch = kernel.dispatcher();
-        // Per-worker scratch only when the threaded branch can actually
-        // run — a single ic block always takes the sequential branch, and
-        // its scratch would be pure allocation waste.
-        let mut worker_state: Vec<(Vec<f32>, Vec<f32>, KernelDispatch)> = if threads > 1 && blocks.len() > 1 {
-            (0..threads.min(blocks.len()))
-                .map(|_| (vec![0.0f32; a_cap], vec![0.0f32; mr * nr], kernel.dispatcher()))
-                .collect()
-        } else {
-            Vec::new()
-        };
         let c_raw = RawMat::of(c);
-        let workers_used = worker_state.len().max(1);
+
+        // Fully sequential run: one scratch set, the shared five-loop body.
+        if threads <= 1 || blocks.len() <= 1 {
+            let (a_buf, b_buf) = arena.buffers();
+            let mut c_tile = vec![0.0f32; mr * nr];
+            let mut dispatch = kernel.dispatcher();
+            // SAFETY: sequential — this is the only live user of the C
+            // pointer, and all indices are in bounds.
+            unsafe {
+                gemm_arena_sequential(
+                    &self.blocking,
+                    &mut dispatch,
+                    a_buf,
+                    b_buf,
+                    &mut c_tile,
+                    a,
+                    b,
+                    c_raw,
+                    alpha,
+                    beta,
+                )?;
+            }
+            return Ok(1);
+        }
+
+        // Threaded run: one private A-pack/C-tile/dispatch triple per
+        // worker, allocated once per GEMM, and the ic loop of every
+        // (jc, pc) iteration fanned out over the shared pool's recycled
+        // workers — no OS threads are spawned here.
+        let a_cap = arena.a_capacity();
+        let (_, b_buf) = arena.buffers();
+        let workers = threads.min(blocks.len());
+        let mut worker_state: Vec<(Vec<f32>, Vec<f32>, KernelDispatch)> =
+            (0..workers).map(|_| (vec![0.0f32; a_cap], vec![0.0f32; mr * nr], kernel.dispatcher())).collect();
         // Loop L1: columns of C / B.
         let mut jc = 0;
         while jc < n {
@@ -390,73 +432,42 @@ impl BlisGemm {
                 pack_b_into(&mut b_buf[..b_len], b, pc, jc, kc_eff, nc_eff, nr);
                 let packed_b = &b_buf[..b_len];
 
-                // Loop L3: rows of C / A — the threaded loop.
-                if threads <= 1 || blocks.len() <= 1 {
-                    for &(ic, mc_eff) in &blocks {
-                        // SAFETY: sequential — this is the only live user
-                        // of the C pointer, and all indices are in bounds.
-                        unsafe {
-                            run_ic_block(
-                                &mut dispatch,
-                                a,
-                                ic,
-                                pc,
-                                mc_eff,
-                                kc_eff,
-                                packed_b,
-                                nc_eff,
-                                jc,
-                                c_raw,
-                                alpha,
-                                beta,
-                                first_k,
-                                a_buf,
-                                &mut c_tile,
-                            )?;
-                        }
-                    }
-                } else {
-                    // Deal the ic blocks round-robin to the workers; each
-                    // block is a disjoint row range of C.
-                    let workers = worker_state.len();
-                    let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); workers];
-                    for (idx, &blk) in blocks.iter().enumerate() {
-                        groups[idx % workers].push(blk);
-                    }
-                    std::thread::scope(|scope| -> Result<(), GemmError> {
-                        let handles: Vec<_> = groups
-                            .into_iter()
-                            .zip(worker_state.iter_mut())
-                            .map(|(group, (a_buf, c_tile, dispatch))| {
-                                scope.spawn(move || -> Result<(), GemmError> {
-                                    for (ic, mc_eff) in group {
-                                        // SAFETY: each worker owns the
-                                        // disjoint row ranges dealt to it;
-                                        // MatMut proved the stride map
-                                        // injective, so their C element
-                                        // sets are disjoint.
-                                        unsafe {
-                                            run_ic_block(
-                                                dispatch, a, ic, pc, mc_eff, kc_eff, packed_b, nc_eff, jc,
-                                                c_raw, alpha, beta, first_k, a_buf, c_tile,
-                                            )?;
-                                        }
-                                    }
-                                    Ok(())
-                                })
-                            })
-                            .collect();
-                        for handle in handles {
-                            handle.join().expect("gemm worker panicked")?;
-                        }
-                        Ok(())
-                    })?;
+                // Loop L3: rows of C / A — the pooled loop. Deal the ic
+                // blocks round-robin to the workers; each block is a
+                // disjoint row range of C.
+                let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); workers];
+                for (idx, &blk) in blocks.iter().enumerate() {
+                    groups[idx % workers].push(blk);
                 }
+                let mut results: Vec<Result<(), GemmError>> = vec![Ok(()); workers];
+                let jobs: Vec<PoolJob<'_>> = groups
+                    .into_iter()
+                    .zip(worker_state.iter_mut())
+                    .zip(results.iter_mut())
+                    .map(|((group, (a_buf, c_tile, dispatch)), result)| {
+                        Box::new(move || {
+                            *result = group.into_iter().try_for_each(|(ic, mc_eff)| {
+                                // SAFETY: each worker owns the disjoint row
+                                // ranges dealt to it; MatMut proved the
+                                // stride map injective, so their C element
+                                // sets are disjoint.
+                                unsafe {
+                                    run_ic_block(
+                                        dispatch, a, ic, pc, mc_eff, kc_eff, packed_b, nc_eff, jc, c_raw,
+                                        alpha, beta, first_k, a_buf, c_tile,
+                                    )
+                                }
+                            });
+                        }) as PoolJob<'_>
+                    })
+                    .collect();
+                ThreadPool::global().scope_run(jobs);
+                results.into_iter().collect::<Result<(), GemmError>>()?;
                 pc += kc_eff;
             }
             jc += nc_eff;
         }
-        Ok(workers_used)
+        Ok(workers)
     }
 
     /// The jc-parallel arena path: nc-wide column blocks of `C` are dealt
@@ -515,18 +526,21 @@ impl BlisGemm {
             .collect();
 
         // Deal blocks round-robin to up to `threads` workers; each worker
-        // owns disjoint `&mut` block entries, so the scope needs no unsafe
-        // sharing of C itself.
+        // owns disjoint `&mut` block entries, so the jobs need no unsafe
+        // sharing of C itself. The jobs run on the shared pool's recycled
+        // workers (plus this thread helping) — no OS threads are spawned.
         let workers = threads.min(staged.len());
         let mut groups: Vec<Vec<&mut (usize, usize, Vec<f32>)>> = (0..workers).map(|_| Vec::new()).collect();
         for (idx, blk) in staged.iter_mut().enumerate() {
             groups[idx % workers].push(blk);
         }
-        std::thread::scope(|scope| -> Result<(), GemmError> {
-            let handles: Vec<_> = groups
-                .into_iter()
-                .map(|group| {
-                    scope.spawn(move || -> Result<(), GemmError> {
+        let mut results: Vec<Result<(), GemmError>> = vec![Ok(()); workers];
+        let jobs: Vec<PoolJob<'_>> = groups
+            .into_iter()
+            .zip(results.iter_mut())
+            .map(|(group, result)| {
+                Box::new(move || {
+                    *result = (|| -> Result<(), GemmError> {
                         // Private per-worker arena and dispatch handle,
                         // sized for one column block, allocated once per
                         // GEMM.
@@ -569,14 +583,12 @@ impl BlisGemm {
                             }
                         }
                         Ok(())
-                    })
-                })
-                .collect();
-            for handle in handles {
-                handle.join().expect("gemm worker panicked")?;
-            }
-            Ok(())
-        })?;
+                    })();
+                }) as PoolJob<'_>
+            })
+            .collect();
+        ThreadPool::global().scope_run(jobs);
+        results.into_iter().collect::<Result<(), GemmError>>()?;
 
         // Scatter the finished column blocks back into C (memcpy per row
         // for unit column stride, scalar walk otherwise).
@@ -662,6 +674,146 @@ impl GemmExecutor for BlisGemm {
     fn gemm(&self, problem: GemmProblem<'_>) -> Result<GemmStats, GemmError> {
         self.gemm_with(&self.kernel, problem)
     }
+}
+
+/// An amortised sequential GEMM runner: one packing arena (sized at the
+/// driver's blocking maxima, so any problem fits), one staged `C` tile, and
+/// one prove-once [`KernelDispatch`] handle, reused across every problem
+/// passed to [`GemmRunner::gemm`].
+///
+/// This is the per-shard engine of the `exo-serve` batch executor: where
+/// [`BlisGemm::gemm`] pays arena allocation and dispatch proof per call, a
+/// runner pays them once per batch. Results are bit-identical to
+/// [`BlisGemm::gemm`] with `threads = 1` — same packing, same op order.
+/// Built with [`BlisGemm::runner`].
+pub struct GemmRunner<'d> {
+    driver: &'d BlisGemm,
+    dispatch: KernelDispatch,
+    arena: PackArena,
+    c_tile: Vec<f32>,
+}
+
+impl GemmRunner<'_> {
+    /// Solves one problem on the calling thread with the reused scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BlisGemm::gemm`]: [`GemmError::ShapeMismatch`]
+    /// for inconsistent dimensions, micro-kernel failures propagated.
+    pub fn gemm(&mut self, problem: GemmProblem<'_>) -> Result<GemmStats, GemmError> {
+        let (m, n, k) = problem.dims()?;
+        let a = problem.op_a.apply(problem.a);
+        let b = problem.op_b.apply(problem.b);
+        let (alpha, beta) = (problem.alpha, problem.beta);
+        let mut c = problem.c;
+        let stats = GemmStats {
+            m,
+            n,
+            k,
+            flop_count: GemmStats::flops_for(m, n, k, alpha),
+            kernel: self.driver.kernel.name.clone(),
+            threads: 1,
+            pool_workers: 0,
+            batched: false,
+        };
+        if m == 0 || n == 0 {
+            return Ok(stats);
+        }
+        if k == 0 || alpha == 0.0 {
+            scale_c(&mut c, beta);
+            return Ok(stats);
+        }
+        let c_raw = RawMat::of(&mut c);
+        let tile_blocking =
+            BlockingParams { mr: self.driver.kernel.mr, nr: self.driver.kernel.nr, ..self.driver.blocking };
+        self.arena.ensure_for_problem(&tile_blocking, m, n, k);
+        let (a_buf, b_buf) = self.arena.buffers();
+        // SAFETY: `c_raw` wraps the problem's exclusively borrowed C view;
+        // this sequential call is its only user.
+        unsafe {
+            gemm_arena_sequential(
+                &self.driver.blocking,
+                &mut self.dispatch,
+                a_buf,
+                b_buf,
+                &mut self.c_tile,
+                a,
+                b,
+                c_raw,
+                alpha,
+                beta,
+            )?;
+        }
+        Ok(stats)
+    }
+}
+
+/// The sequential five-loop body over pre-allocated scratch: loops L1/L2
+/// packing `Bc` blocks, then every ic block through [`run_ic_block`].
+/// Shared by the single-thread arena path and [`GemmRunner`], so both
+/// produce identical bits by construction.
+///
+/// # Safety
+///
+/// `c_raw` must point to live storage covering its declared extent, with no
+/// other thread accessing any of its elements during the call, and the
+/// scratch buffers must be sized for the blocking/kernel pair (see
+/// [`PackArena::for_problem`]).
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_arena_sequential(
+    blocking: &BlockingParams,
+    dispatch: &mut KernelDispatch,
+    a_buf: &mut [f32],
+    b_buf: &mut [f32],
+    c_tile: &mut [f32],
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c_raw: RawMat,
+    alpha: f32,
+    beta: f32,
+) -> Result<(), GemmError> {
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let BlockingParams { mc, kc, nc, .. } = *blocking;
+    let nr = dispatch.kernel().nr;
+    let mut jc = 0;
+    while jc < n {
+        let nc_eff = nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc_eff = kc.min(k - pc);
+            let first_k = pc == 0;
+            let b_len = nc_eff.div_ceil(nr) * kc_eff * nr;
+            pack_b_into(&mut b_buf[..b_len], b, pc, jc, kc_eff, nc_eff, nr);
+            let mut ic = 0;
+            while ic < m {
+                let mc_eff = mc.min(m - ic);
+                // SAFETY: forwarded from the caller — exclusive C access.
+                unsafe {
+                    run_ic_block(
+                        dispatch,
+                        a,
+                        ic,
+                        pc,
+                        mc_eff,
+                        kc_eff,
+                        &b_buf[..b_len],
+                        nc_eff,
+                        jc,
+                        c_raw,
+                        alpha,
+                        beta,
+                        first_k,
+                        a_buf,
+                        c_tile,
+                    )?;
+                }
+                ic += mc_eff;
+            }
+            pc += kc_eff;
+        }
+        jc += nc_eff;
+    }
+    Ok(())
 }
 
 /// `C = beta * C` in place, honoring `beta == 0` as "never read".

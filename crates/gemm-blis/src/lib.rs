@@ -33,10 +33,11 @@ pub mod baselines;
 pub mod blocking;
 pub mod model;
 pub mod packing;
+pub mod pool;
 pub mod problem;
 pub mod views;
 
-pub use algorithm::{naive_gemm, BlisGemm, Matrix};
+pub use algorithm::{naive_gemm, BlisGemm, GemmRunner, Matrix};
 pub use baselines::{
     blis_assembly_kernel, env_backend_override, exo_kernel, exo_kernel_interp, exo_kernel_superword,
     exo_kernel_tape, neon_intrinsics_kernel, reference_kernel, ExecBackend, KernelDispatch, KernelImpl,
@@ -46,6 +47,7 @@ pub use blocking::BlockingParams;
 pub use exo_codegen::simd_available;
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
+pub use pool::{env_threads_override, PoolJob, ThreadPool};
 pub use problem::{GemmExecutor, GemmProblem, GemmStats, NaiveGemm, Op};
 pub use views::{MatMut, MatRef};
 

@@ -225,6 +225,30 @@ impl PackArena {
         PackArena { a: vec![0.0; a_len], b: vec![0.0; b_len] }
     }
 
+    /// The empty arena: no capacity until [`PackArena::ensure_for_problem`]
+    /// grows it. The batch runners (`GemmRunner`, exo-serve shards) start
+    /// here and grow monotonically, so a stream of small entries never pays
+    /// for the blocking's unclamped maxima.
+    pub fn empty() -> Self {
+        PackArena { a: Vec::new(), b: Vec::new() }
+    }
+
+    /// Grows the arena (never shrinks) to fit an `m x n x k` problem under
+    /// `blocking` — same clamped sizing as [`PackArena::for_problem`]. A
+    /// runner calling this per entry pays an allocation only when an entry
+    /// needs more than every entry before it.
+    pub fn ensure_for_problem(&mut self, blocking: &BlockingParams, m: usize, n: usize, k: usize) {
+        let kc = blocking.kc.min(k.max(1));
+        let a_len = blocking.mc.min(m.max(1)).div_ceil(blocking.mr) * blocking.mr * kc;
+        let b_len = blocking.nc.min(n.max(1)).div_ceil(blocking.nr) * blocking.nr * kc;
+        if self.a.len() < a_len {
+            self.a.resize(a_len, 0.0);
+        }
+        if self.b.len() < b_len {
+            self.b.resize(b_len, 0.0);
+        }
+    }
+
     /// Capacity of the `Ac` buffer in elements.
     pub fn a_capacity(&self) -> usize {
         self.a.len()

@@ -1,0 +1,410 @@
+//! The process-wide GEMM worker pool: long-lived OS threads created once
+//! and borrowed by every driver call, in place of per-call
+//! `std::thread::scope` spawning.
+//!
+//! The pool exists for the serving story (see the `exo-serve` crate): a
+//! long-lived process answering a stream of GEMM calls must not pay thread
+//! creation and teardown on every call, and concurrent callers must share
+//! one bounded set of workers instead of oversubscribing the machine with
+//! per-call scopes. [`ThreadPool::global`] is that shared set — created on
+//! first use via `OnceLock`, sized to the machine (or the `EXO_THREADS`
+//! override), and never torn down.
+//!
+//! Design notes:
+//!
+//! * **Scoped semantics without scoped threads.** [`ThreadPool::scope_run`]
+//!   accepts jobs borrowing the caller's stack (`'env` closures) and does
+//!   not return until every job has finished, so the borrows stay valid —
+//!   the same contract as `std::thread::scope`, but on recycled workers.
+//! * **The caller helps.** While its jobs are outstanding the submitting
+//!   thread runs queued jobs itself. This keeps a single-worker pool (or a
+//!   pool whose workers are all blocked inside nested scopes) deadlock-free
+//!   and means a `scope_run` never waits idle while work it could do sits
+//!   queued.
+//! * **Panics propagate.** A panicking job poisons nothing: the first
+//!   panic payload is captured and re-thrown from `scope_run` on the
+//!   submitting thread, matching what `std::thread::scope` callers observe.
+//! * **Bit-identical results are the driver's concern, not the pool's.**
+//!   The pool promises only that each job runs exactly once; the GEMM
+//!   driver's block partitioning already makes any worker assignment
+//!   produce identical bits.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work submitted to the pool: a lifetime-erased closure plus the
+/// completion latch of the `scope_run` that owns it.
+struct Task {
+    job: Box<dyn FnOnce() + Send + 'static>,
+    latch: Arc<Latch>,
+}
+
+impl Task {
+    /// Runs the job and signals the owning scope, capturing a panic payload
+    /// instead of unwinding into the worker loop.
+    fn run(self) {
+        let Task { job, latch } = self;
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut state = latch.state.lock().unwrap();
+        state.remaining -= 1;
+        if let Err(payload) = outcome {
+            state.panic.get_or_insert(payload);
+        }
+        if state.remaining == 0 {
+            latch.done.notify_all();
+        }
+    }
+}
+
+/// Completion tracking for one `scope_run` call.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Latch { state: Mutex::new(LatchState { remaining: jobs, panic: None }), done: Condvar::new() }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().unwrap().remaining == 0
+    }
+
+    /// Blocks until either the scope completes or a spurious wakeup occurs
+    /// (the caller re-checks the queue afterwards, so spurious wakeups are
+    /// harmless).
+    fn wait(&self) {
+        let state = self.state.lock().unwrap();
+        if state.remaining > 0 {
+            drop(self.done.wait(state).unwrap());
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    /// Total OS threads this pool has ever created — the observable the
+    /// pool-reuse tests assert on (it must stop growing after warm-up).
+    spawned: AtomicUsize,
+    /// Total jobs finished by pool workers *and* helping callers.
+    executed: AtomicUsize,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+impl Shared {
+    /// Pops one queued task, if any.
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().unwrap().tasks.pop_front()
+    }
+
+    fn run_task(&self, task: Task) {
+        task.run();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A boxed job for [`ThreadPool::scope_run`], borrowing the caller's stack.
+pub type PoolJob<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A pool of long-lived worker threads with scoped-execution semantics.
+///
+/// Most callers want the process-wide [`ThreadPool::global`]; private pools
+/// ([`ThreadPool::with_workers`]) exist for tests and for callers that need
+/// isolation. Dropping a private pool signals its workers to exit once the
+/// queue drains (they are detached, so drop does not block on them).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// The process-wide pool: created on first use, sized by
+    /// [`env_threads_override`] (`EXO_THREADS`) when set, otherwise by
+    /// `std::thread::available_parallelism`, and alive for the rest of the
+    /// process.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = env_threads_override()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+            ThreadPool::with_workers(workers)
+        })
+    }
+
+    /// Creates a private pool with `workers` threads (clamped to at least
+    /// one). Prefer [`ThreadPool::global`] outside tests.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { tasks: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+            spawned: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        });
+        for idx in 0..workers {
+            let shared = Arc::clone(&shared);
+            shared.spawned.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("exo-gemm-worker-{idx}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn gemm pool worker");
+        }
+        ThreadPool { shared, workers }
+    }
+
+    /// The number of worker threads — the pool's maximum parallelism (the
+    /// helping caller adds one more lane while inside `scope_run`).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total OS threads this pool has ever spawned. Constant after
+    /// construction — asserted by the serving tests to prove the hot path
+    /// recycles workers instead of spawning.
+    pub fn threads_spawned(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Total jobs the pool has completed (workers and helping callers).
+    pub fn tasks_executed(&self) -> usize {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Runs every job to completion before returning, on pool workers plus
+    /// the calling thread — `std::thread::scope` semantics on recycled
+    /// threads.
+    ///
+    /// If a job panics, the first panic payload is re-thrown here after all
+    /// jobs of this scope have finished.
+    pub fn scope_run<'env>(&self, jobs: Vec<PoolJob<'env>>) {
+        match jobs.len() {
+            0 => return,
+            // One job: run it inline, no queue round-trip.
+            1 => {
+                let job = jobs.into_iter().next().unwrap();
+                return job();
+            }
+            _ => {}
+        }
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            for job in jobs {
+                // SAFETY: lifetime erasure only. `scope_run` does not return
+                // until this scope's latch reports every job finished (even
+                // on panic), so the `'env` borrows captured by the closure
+                // outlive every access the pool makes to it.
+                let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                queue.tasks.push_back(Task { job, latch: Arc::clone(&latch) });
+            }
+        }
+        self.shared.ready.notify_all();
+        // Help until our scope completes: run queued tasks (ours or another
+        // scope's) and only sleep on the latch when the queue is empty.
+        loop {
+            if latch.is_done() {
+                break;
+            }
+            match self.shared.try_pop() {
+                Some(task) => self.shared.run_task(task),
+                None => latch.wait(),
+            }
+        }
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.shutdown = true;
+        drop(queue);
+        self.shared.ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut state = shared.queue.lock().unwrap();
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.ready.wait(state).unwrap();
+            }
+        };
+        match task {
+            Some(task) => shared.run_task(task),
+            None => return,
+        }
+    }
+}
+
+/// Parses an `EXO_THREADS` value: a positive worker count.
+///
+/// # Errors
+///
+/// Returns a description of the problem for non-numeric or zero values.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!("`{value}` is zero; the pool needs at least one worker (unset EXO_THREADS for the machine default)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("`{value}` is not a worker count; expected a positive integer like `EXO_THREADS=4`")),
+    }
+}
+
+/// The process-wide `EXO_THREADS` override, read once.
+///
+/// Mirrors [`crate::env_backend_override`] (`EXO_BACKEND`): unset or empty
+/// means "no override" (size the pool to the machine), anything else must
+/// parse as a positive worker count — a typo panics with the parse error
+/// rather than silently falling back.
+pub fn env_threads_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("EXO_THREADS") {
+        Ok(value) if !value.is_empty() => {
+            Some(parse_threads(&value).unwrap_or_else(|e| panic!("EXO_THREADS: {e}")))
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn scope_run_completes_every_job_and_keeps_borrows_valid() {
+        let pool = ThreadPool::with_workers(3);
+        let mut slots = vec![0u32; 17];
+        let jobs: Vec<PoolJob<'_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = i as u32 + 1) as PoolJob<'_>)
+            .collect();
+        pool.scope_run(jobs);
+        assert_eq!(slots, (1..=17).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_scopes() {
+        let pool = ThreadPool::with_workers(2);
+        let spawned = pool.threads_spawned();
+        assert_eq!(spawned, 2);
+        let counter = AtomicU32::new(0);
+        for _ in 0..20 {
+            let jobs: Vec<PoolJob<'_>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as PoolJob<'_>
+                })
+                .collect();
+            pool.scope_run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+        assert_eq!(pool.threads_spawned(), spawned, "scopes must recycle workers, not spawn");
+        assert!(pool.tasks_executed() >= 80);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock_even_on_one_worker() {
+        let pool = ThreadPool::with_workers(1);
+        let counter = AtomicU32::new(0);
+        let outer: Vec<PoolJob<'_>> = (0..3)
+            .map(|_| {
+                Box::new(|| {
+                    let inner: Vec<PoolJob<'_>> = (0..3)
+                        .map(|_| {
+                            Box::new(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }) as PoolJob<'_>
+                        })
+                        .collect();
+                    pool.scope_run(inner);
+                }) as PoolJob<'_>
+            })
+            .collect();
+        pool.scope_run(outer);
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitting_thread() {
+        let pool = ThreadPool::with_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<PoolJob<'_>> = vec![
+                Box::new(|| {}) as PoolJob<'_>,
+                Box::new(|| panic!("gemm worker exploded")) as PoolJob<'_>,
+                Box::new(|| {}) as PoolJob<'_>,
+            ];
+            pool.scope_run(jobs);
+        }));
+        let payload = result.expect_err("panic must cross scope_run");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("exploded"), "payload preserved, got: {message}");
+        // The pool survives the panic and keeps serving.
+        let ran = AtomicU32::new(0);
+        pool.scope_run(
+            (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as PoolJob<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_scopes_short_circuit() {
+        let pool = ThreadPool::with_workers(2);
+        pool.scope_run(Vec::new());
+        let mut hit = false;
+        pool.scope_run(vec![Box::new(|| hit = true) as PoolJob<'_>]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = ThreadPool::global() as *const ThreadPool;
+        let b = ThreadPool::global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(ThreadPool::global().workers() >= 1);
+    }
+
+    #[test]
+    fn thread_count_parser_accepts_counts_and_rejects_typos() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert!(parse_threads("0").unwrap_err().contains("at least one"));
+        assert!(parse_threads("fast").unwrap_err().contains("not a worker count"));
+        assert!(parse_threads("-2").unwrap_err().contains("positive integer"));
+    }
+}

@@ -177,6 +177,12 @@ pub struct GemmStats {
     pub kernel: String,
     /// Worker threads the driver used (`1` for sequential executors).
     pub threads: usize,
+    /// Width of the shared worker pool the driver drew from, or `0` when
+    /// the run stayed entirely on the calling thread.
+    pub pool_workers: usize,
+    /// Whether the problem ran through a batch executor (`exo-serve`'s
+    /// `GemmBatch` path) rather than a standalone call.
+    pub batched: bool,
 }
 
 impl GemmStats {
@@ -184,6 +190,19 @@ impl GemmStats {
     /// `alpha == 0` skipped the product).
     pub fn flops(&self) -> u64 {
         self.flop_count
+    }
+
+    /// Useful floating-point operations of an `m x n x k` problem:
+    /// `2 m n k`, explicitly zero both for `alpha == 0` (the product is
+    /// skipped, `A`/`B` never read) and for degenerate shapes (any
+    /// dimension zero) — degenerate calls are *counted* as zero-flop work,
+    /// never silently skipped, so service-level aggregation stays honest.
+    pub fn flops_for(m: usize, n: usize, k: usize, alpha: f32) -> u64 {
+        if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+            0
+        } else {
+            2 * m as u64 * n as u64 * k as u64
+        }
     }
 }
 
@@ -236,8 +255,17 @@ impl GemmExecutor for NaiveGemm {
                 c.set(i, j, base + update);
             }
         }
-        let flop_count = if alpha == 0.0 { 0 } else { 2 * m as u64 * n as u64 * k as u64 };
-        Ok(GemmStats { m, n, k, flop_count, kernel: "naive strided reference".into(), threads: 1 })
+        let flop_count = GemmStats::flops_for(m, n, k, alpha);
+        Ok(GemmStats {
+            m,
+            n,
+            k,
+            flop_count,
+            kernel: "naive strided reference".into(),
+            threads: 1,
+            pool_workers: 0,
+            batched: false,
+        })
     }
 }
 
@@ -327,5 +355,29 @@ mod tests {
         assert_eq!(p.flops(), 2 * 4 * 2 * 8);
         let p = p.alpha(0.0);
         assert_eq!(p.flops(), 0);
+    }
+
+    #[test]
+    fn degenerate_shapes_report_zero_flops_not_garbage() {
+        assert_eq!(GemmStats::flops_for(4, 3, 5, 1.0), 120);
+        assert_eq!(GemmStats::flops_for(0, 3, 5, 1.0), 0);
+        assert_eq!(GemmStats::flops_for(4, 0, 5, 1.0), 0);
+        assert_eq!(GemmStats::flops_for(4, 3, 0, 1.0), 0);
+        assert_eq!(GemmStats::flops_for(4, 3, 5, 0.0), 0);
+        // And the executors *count* the degenerate call rather than
+        // skipping it: stats come back with the shape and zero flops.
+        let a: Vec<f32> = Vec::new();
+        let b = vec![0.0f32; 0];
+        let mut c = vec![7.0f32; 6];
+        let p = GemmProblem::new(
+            MatRef::from_slice(&a, 2, 0),
+            MatRef::from_slice(&b, 0, 3),
+            MatMut::from_slice(&mut c, 2, 3),
+        );
+        let stats = NaiveGemm.gemm(p).unwrap();
+        assert_eq!((stats.m, stats.n, stats.k), (2, 3, 0));
+        assert_eq!(stats.flops(), 0);
+        assert!(!stats.batched);
+        assert_eq!(stats.pool_workers, 0);
     }
 }

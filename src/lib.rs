@@ -19,6 +19,7 @@
 //! | GEMM | [`gemm_blis`] | five-loop BLIS algorithm, packing, blocking, baselines, the figure simulator |
 //! | workloads | [`dnn_models`] | ResNet50 v1.5 / VGG16 convolutions lowered to GEMM (Tables I/II) |
 //! | tune | [`exo_tune`] | design-space search, verdict registry with JSON persistence, [`exo_tune::TunedGemm`] dispatch |
+//! | serve | [`exo_serve`] | persistent service layer: shared worker pool, batched execution, queued front door |
 //!
 //! The public GEMM entry point is the BLAS-grade front door re-exported at
 //! the crate root: borrowed strided views ([`MatRef`]/[`MatMut`]), the
@@ -70,6 +71,7 @@ pub use exo_codegen;
 pub use exo_ir;
 pub use exo_isa;
 pub use exo_sched;
+pub use exo_serve;
 pub use exo_tune;
 pub use gemm_blis;
 pub use ukernel_gen;

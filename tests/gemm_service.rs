@@ -1,0 +1,255 @@
+//! Stress and edge-case suite for the `exo-serve` service layer:
+//!
+//! * N caller threads submit random-layout problems (the same generators
+//!   as `tests/gemm_api.rs`) to one shared [`GemmService`]; every result
+//!   must be bit-identical to a sequential per-call run of the same
+//!   executor, and must match the single-threaded `NaiveGemm` reference to
+//!   accumulation tolerance.
+//! * Batch edge cases through the [`GemmBatchExecutor`] trait: empty
+//!   batch, single-entry batch, mixed-shape batch with degenerate entries.
+//! * Pool-reuse: after warm-up, the hot path never spawns another OS
+//!   thread — the shared pool is borrowed, not recreated.
+
+mod common;
+
+use common::{poison_filler, reference, Cases, Stored};
+use exo_gemm::exo_serve::{
+    GemmBatch, GemmBatchExecutor, GemmJob, GemmService, OwnedMat, ServiceConfig, ThreadPool,
+};
+use exo_gemm::exo_tune::TunedGemm;
+use exo_gemm::gemm_blis::{BlisGemm, BlockingParams};
+use exo_gemm::{GemmExecutor, Op};
+
+/// Re-homes a randomly laid-out operand into an owned job operand with the
+/// exact same stride map (padding garbage included).
+fn owned(s: &Stored) -> OwnedMat {
+    OwnedMat::with_layout(s.data.clone(), s.rows, s.cols, s.row_stride, s.col_stride, s.offset)
+}
+
+/// One pre-generated random problem: operands in random layouts, the
+/// strided-reference expectation, and the result of a sequential per-call
+/// run of the shared executor (the bit-identity baseline).
+struct Case {
+    a: Stored,
+    b: Stored,
+    c0: Stored,
+    op_a: Op,
+    op_b: Op,
+    alpha: f32,
+    beta: f32,
+    m: usize,
+    n: usize,
+    k: usize,
+    want: Vec<f32>,
+    sequential: Vec<f32>,
+}
+
+impl Case {
+    fn random(cases: &mut Cases, executor: &impl GemmExecutor) -> Case {
+        let (m, n, k) = (cases.usize_in(1, 40), cases.usize_in(1, 40), cases.usize_in(1, 32));
+        let op_a = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let op_b = if cases.usize_in(0, 2) == 1 { Op::Transpose } else { Op::None };
+        let alpha = *cases.pick(&[1.0f32, 1.0, -0.5, 2.0, 0.0]);
+        let beta = *cases.pick(&[1.0f32, 1.0, 0.0, 0.5, -1.0]);
+        let (a_rows, a_cols) = if op_a == Op::Transpose { (k, m) } else { (m, k) };
+        let (b_rows, b_cols) = if op_b == Op::Transpose { (n, k) } else { (k, n) };
+        let (seed_a, seed_b, seed_c) = (cases.next_u64() | 1, cases.next_u64() | 1, cases.next_u64() | 1);
+        let a = Stored::random(a_rows, a_cols, cases, poison_filler(seed_a, alpha == 0.0));
+        let b = Stored::random(b_rows, b_cols, cases, poison_filler(seed_b, alpha == 0.0));
+        let c0 = Stored::random(m, n, cases, poison_filler(seed_c, beta == 0.0));
+        let want = reference(&a, &b, &c0, op_a, op_b, alpha, beta, m, n, k);
+
+        // The bit-identity baseline: the same executor, one plain per-call
+        // `gemm` on a clone of the operands.
+        let mut c_seq = Stored { data: c0.data.clone(), ..c0 };
+        executor
+            .gemm(
+                exo_gemm::GemmProblem::new(a.view(), b.view(), c_seq.view_mut())
+                    .op_a(op_a)
+                    .op_b(op_b)
+                    .alpha(alpha)
+                    .beta(beta),
+            )
+            .unwrap();
+        let sequential =
+            (0..m).flat_map(|i| (0..n).map(move |j| (i, j))).map(|(i, j)| c_seq.get(i, j)).collect();
+        Case { a, b, c0, op_a, op_b, alpha, beta, m, n, k, want, sequential }
+    }
+
+    fn job(&self) -> GemmJob {
+        let mut job =
+            GemmJob::new(owned(&self.a), owned(&self.b), owned(&self.c0)).alpha(self.alpha).beta(self.beta);
+        if self.op_a == Op::Transpose {
+            job = job.transpose_a();
+        }
+        if self.op_b == Op::Transpose {
+            job = job.transpose_b();
+        }
+        job
+    }
+
+    fn check(&self, c: &OwnedMat, who: &str) {
+        for i in 0..self.m {
+            for j in 0..self.n {
+                let got = c.get(i, j);
+                assert_eq!(
+                    got,
+                    self.sequential[i * self.n + j],
+                    "{who}: {}x{}x{} at ({i},{j}) diverged from the sequential per-call run",
+                    self.m,
+                    self.n,
+                    self.k
+                );
+                let want = self.want[i * self.n + j];
+                assert!(
+                    (got - want).abs() <= 2e-3 * want.abs().max(1.0),
+                    "{who}: {}x{}x{} at ({i},{j}): {got} vs naive reference {want}",
+                    self.m,
+                    self.n,
+                    self.k
+                );
+            }
+        }
+    }
+}
+
+/// The headline stress: 4 caller threads share one service over the
+/// autotuned executor, each submitting a stream of random-layout problems.
+/// Every job's `C` comes back bit-identical to the sequential per-call run
+/// and within tolerance of the strided `NaiveGemm`-style reference.
+#[test]
+fn concurrent_callers_match_the_sequential_reference_bitwise() {
+    const CALLERS: usize = 4;
+    const JOBS_PER_CALLER: usize = 8;
+    let executor = TunedGemm::new();
+    let mut cases = Cases::new(0x5E27_0001);
+    let per_caller: Vec<Vec<Case>> = (0..CALLERS)
+        .map(|_| (0..JOBS_PER_CALLER).map(|_| Case::random(&mut cases, &executor)).collect())
+        .collect();
+
+    // A small queue forces the backpressure path under 4 concurrent
+    // callers; max_batch below the job count forces multiple batches.
+    let service = GemmService::with_config(executor, ServiceConfig { queue_capacity: 8, max_batch: 16 });
+    std::thread::scope(|scope| {
+        for caller in &per_caller {
+            scope.spawn(|| {
+                // Keep a couple of jobs in flight per caller so batches form.
+                let handles: Vec<_> = caller.iter().map(|case| service.submit(case.job())).collect();
+                for (case, handle) in caller.iter().zip(handles) {
+                    let done = handle.wait().unwrap();
+                    assert!(done.stats.batched, "service runs must go through the batch path");
+                    case.check(&done.c, "service");
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let total = (CALLERS * JOBS_PER_CALLER) as u64;
+    assert_eq!(stats.jobs_submitted, total);
+    assert_eq!(stats.jobs_completed, total);
+    assert_eq!(stats.jobs_failed, 0);
+    assert!(stats.batches >= 1 && stats.batches <= total);
+    assert!(stats.queue_highwater >= 1);
+    let want_flops: u64 = per_caller
+        .iter()
+        .flatten()
+        .map(|c| if c.alpha == 0.0 { 0 } else { 2 * (c.m * c.n * c.k) as u64 })
+        .sum();
+    assert_eq!(stats.total_flops, want_flops);
+}
+
+/// Batch edge cases through the trait: empty, single entry, and a
+/// mixed-shape batch with degenerate (zero-dimension) entries — which must
+/// complete with zero flops, not be skipped.
+#[test]
+fn batch_edge_cases_empty_single_mixed_degenerate() {
+    let executor = TunedGemm::new();
+
+    // Empty batch: no work, no stats, no error.
+    assert!(executor.gemm_batch(GemmBatch::new()).unwrap().is_empty());
+
+    // Single entry behaves exactly like a per-call run.
+    let mut cases = Cases::new(0x5E27_0002);
+    let single = Case::random(&mut cases, &executor);
+    let mut job = single.job();
+    let mut batch = GemmBatch::new();
+    batch.push(job.problem());
+    let stats = executor.gemm_batch(batch).unwrap();
+    assert_eq!(stats.len(), 1);
+    assert!(stats[0].batched);
+
+    // Mixed shapes + a degenerate k = 0 entry: all run, order preserved,
+    // the degenerate one reports zero flops and still applies beta.
+    let shapes = [(17, 13, 9), (1, 40, 3), (8, 8, 0), (23, 5, 31)];
+    let mut jobs: Vec<GemmJob> = shapes
+        .iter()
+        .enumerate()
+        .map(|(s, &(m, n, k))| {
+            GemmJob::new(
+                OwnedMat::from_fn(m, k, move |i, j| ((i * 7 + j * 3 + s) % 13) as f32 * 0.25 - 1.0),
+                OwnedMat::from_fn(k, n, move |i, j| ((i * 5 + j * 11 + s) % 17) as f32 * 0.125 - 1.0),
+                OwnedMat::from_fn(m, n, |i, j| (i + j) as f32 * 0.5),
+            )
+            .beta(2.0)
+        })
+        .collect();
+    let mut batch = GemmBatch::new();
+    for job in &mut jobs {
+        batch.push(job.problem());
+    }
+    let stats = executor.gemm_batch(batch).unwrap();
+    assert_eq!(stats.len(), shapes.len());
+    for (st, &(m, n, k)) in stats.iter().zip(&shapes) {
+        assert_eq!((st.m, st.n, st.k), (m, n, k));
+        assert_eq!(st.flop_count, 2 * (m * n * k) as u64);
+        assert!(st.batched);
+    }
+    // The degenerate entry applied beta = 2 to its C.
+    let c_degenerate = jobs.remove(2).into_c();
+    assert_eq!(c_degenerate.get(3, 4), (3 + 4) as f32 * 0.5 * 2.0);
+}
+
+/// After warm-up, no execute path spawns OS threads: the global pool is
+/// created once and borrowed by per-call, batched, and service execution
+/// alike.
+#[test]
+fn hot_paths_reuse_the_pool_without_spawning_threads() {
+    let pool = ThreadPool::global();
+    let executor = BlisGemm::new(BlockingParams::carmel_defaults(8, 12)).with_threads(4);
+
+    // Warm-up: one per-call run and one batch touch every lazy path.
+    let mut cases = Cases::new(0x5E27_0003);
+    let warm = Case::random(&mut cases, &executor);
+    let mut job = warm.job();
+    executor.gemm(job.problem()).unwrap();
+    let mut batch = GemmBatch::new();
+    batch.push(job.problem());
+    executor.gemm_batch(batch).unwrap();
+
+    let spawned_after_warmup = pool.threads_spawned();
+
+    // Hammer all three entry points; the pool must not grow.
+    let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)).with_threads(4));
+    let hot: Vec<Case> = (0..12).map(|_| Case::random(&mut cases, &executor)).collect();
+    for case in &hot {
+        let mut job = case.job();
+        executor.gemm(job.problem()).unwrap();
+    }
+    let mut jobs: Vec<GemmJob> = hot.iter().map(|c| c.job()).collect();
+    let mut batch = GemmBatch::new();
+    for job in &mut jobs {
+        batch.push(job.problem());
+    }
+    executor.gemm_batch(batch).unwrap();
+    for result in service.execute_all(hot.iter().map(|c| c.job()).collect()) {
+        result.unwrap();
+    }
+
+    assert_eq!(
+        pool.threads_spawned(),
+        spawned_after_warmup,
+        "hot-path execution must borrow the shared pool, not spawn threads"
+    );
+    assert_eq!(service.stats().pool_workers, pool.workers());
+}
