@@ -262,7 +262,7 @@ fn measure_serve(reps: usize) -> [f64; 3] {
         for e in entries.iter_mut() {
             batch.push(e.problem());
         }
-        executor.gemm_batch(batch).expect("batched gemm");
+        executor.gemm_batch(batch).into_stats().expect("batched gemm");
     };
     let mut best = [f64::INFINITY; 2];
     per_call(&mut entries);
@@ -295,7 +295,8 @@ fn measure_serve(reps: usize) -> [f64; 3] {
             for jobs in per_caller.drain(..) {
                 let service = &service;
                 scope.spawn(move || {
-                    let handles: Vec<_> = jobs.into_iter().map(|j| service.submit(j)).collect();
+                    let handles: Vec<_> =
+                        jobs.into_iter().map(|j| service.submit(j).expect("service accepting")).collect();
                     for handle in handles {
                         handle.wait().expect("service job");
                     }

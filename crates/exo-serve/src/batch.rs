@@ -23,9 +23,27 @@
 //! same executor: kernel and blocking selection are deterministic per
 //! shape, entries never share a `C`, and each entry runs the exact
 //! sequential five-loop op order inside its runner.
+//!
+//! ## Fault isolation and degradation
+//!
+//! Entries fail **individually**: each attempt runs inside a panic capture
+//! (and each pool shard inside [`ThreadPool::scope_run_captured`]), so a
+//! panicking entry resolves as [`GemmError::JobPanicked`] while the rest of
+//! the batch completes. A failed or panicked entry whose `beta == 0` (its
+//! `C` is never read, so a re-run fully overwrites any partial write) is
+//! retried **once on the next execution tier down** the ladder
+//! simd → superword → tape → interp ([`gemm_blis::ExecBackend::degraded`]);
+//! a retried success is stamped [`GemmStats::degraded`]. The
+//! [`BatchReport`] carries the per-entry outcomes plus the isolation
+//! tallies (panics caught, retries, degraded completions).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gemm_blis::pool::{PoolJob, ThreadPool};
-use gemm_blis::{BlisGemm, GemmError, GemmExecutor, GemmProblem, GemmStats};
+use gemm_blis::{BlisGemm, GemmError, GemmExecutor, GemmProblem, GemmRunner, GemmStats};
+
+use crate::fault;
 
 /// Problems whose useful flops reach this threshold keep the driver's
 /// internal block-loop threading (the existing `ic`/`jc` split over the
@@ -83,29 +101,150 @@ impl<'a> FromIterator<GemmProblem<'a>> for GemmBatch<'a> {
     }
 }
 
-/// An executor that solves a whole [`GemmBatch`] with amortised fixed costs
-/// (see the module docs for the cost model).
-pub trait GemmBatchExecutor {
-    /// Solves every entry and returns per-entry stats in submission order
-    /// (each with [`GemmStats::batched`] set).
-    ///
-    /// An empty batch returns an empty vector. Degenerate entries
-    /// (`m`/`n`/`k` of zero) are executed (their `beta` contract applies)
-    /// and counted with zero flops.
+/// The per-entry outcomes of one batch, plus the isolation tallies.
+///
+/// Entry `i` of [`BatchReport::outcomes`] corresponds to entry `i` of the
+/// executed [`GemmBatch`]. Failures are per entry — one panicking or
+/// erroring entry never aborts its batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-entry results in submission order: stats (with
+    /// [`GemmStats::batched`] set) or the entry's own error.
+    pub outcomes: Vec<Result<GemmStats, GemmError>>,
+    /// Panic events contained by the entry and shard captures.
+    pub panics_caught: u64,
+    /// Degradation retries attempted (failed first attempts re-run one
+    /// tier down).
+    pub retries: u64,
+    /// Entries that completed on the retry tier ([`GemmStats::degraded`]).
+    pub degraded_completions: u64,
+}
+
+impl BatchReport {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the batch had no entries.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Collapses the report into the pre-isolation contract: stats in
+    /// submission order, or the error of the lowest-indexed failing entry
+    /// (the convenience for callers that treat any entry failure as a
+    /// batch failure, e.g. the throughput benches).
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-indexed failing entry. The `C`
-    /// operands of *other* entries may or may not have been updated by
-    /// then — on error the batch outputs are unspecified, exactly like an
-    /// aborted per-entry loop.
-    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError>;
+    /// Returns the first (lowest-indexed) entry error.
+    pub fn into_stats(self) -> Result<Vec<GemmStats>, GemmError> {
+        self.outcomes.into_iter().collect()
+    }
+}
+
+/// An executor that solves a whole [`GemmBatch`] with amortised fixed costs
+/// (see the module docs for the cost model).
+pub trait GemmBatchExecutor {
+    /// Solves every entry and returns per-entry outcomes in submission
+    /// order (successes carry [`GemmStats::batched`]).
+    ///
+    /// An empty batch returns an empty report. Degenerate entries
+    /// (`m`/`n`/`k` of zero) are executed (their `beta` contract applies)
+    /// and counted with zero flops. Entries fail individually — panics are
+    /// contained and degradation-retried per the module docs — so the `C`
+    /// operand of every *successful* outcome is fully updated regardless
+    /// of other entries' failures. A failed entry's `C` is untouched for
+    /// pre-dispatch errors (shape, planning, decline) and unspecified for
+    /// contained panics without a successful retry.
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport;
 }
 
 /// Stamps the batch marker on stats produced through the batch path.
 fn mark_batched(mut stats: GemmStats) -> GemmStats {
     stats.batched = true;
     stats
+}
+
+/// Shared isolation tallies, updated from shards and the calling thread.
+#[derive(Default)]
+struct Tally {
+    panics: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Renders a contained panic payload into the `JobPanicked` message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one batch entry with panic isolation and one degradation retry.
+///
+/// The first attempt goes through `runner` (the shard's amortised engine)
+/// when given, the driver's own path (block-loop threading for large
+/// entries) otherwise. A panic is contained and resolved as
+/// [`GemmError::JobPanicked`]. Executional failures — contained panics and
+/// kernel errors — are retried once on the next backend tier down, but
+/// only when `beta == 0`: a failed attempt may have partially written `C`,
+/// and only the never-reads-`C` contract makes a re-run equivalent to a
+/// clean first run. (Under an `EXO_BACKEND` override the dispatch tier is
+/// pinned, so the "degraded" retry re-runs the forced tier.)
+fn run_entry(
+    driver: &BlisGemm,
+    runner: Option<&mut GemmRunner<'_>>,
+    problem: &mut GemmProblem<'_>,
+    tally: &Tally,
+) -> Result<GemmStats, GemmError> {
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(fault::EntryFault::Decline) = fault::entry_hook() {
+            return Err(GemmError::Kernel {
+                kernel: driver.kernel().name.clone(),
+                message: "injected fault: simulated proof decline (EXO_FAULT decline)".into(),
+            });
+        }
+        match runner {
+            Some(runner) => runner.gemm(problem.reborrow()),
+            None => driver.gemm(problem.reborrow()),
+        }
+    }));
+    let failure = match first {
+        Ok(Ok(stats)) => return Ok(mark_batched(stats)),
+        Ok(Err(e)) => e,
+        Err(payload) => {
+            tally.panics.fetch_add(1, Ordering::Relaxed);
+            GemmError::JobPanicked { message: panic_message(payload.as_ref()) }
+        }
+    };
+    let executional = matches!(failure, GemmError::JobPanicked { .. } | GemmError::Kernel { .. });
+    if !executional || problem.beta != 0.0 {
+        return Err(failure);
+    }
+    let Some(tier) = driver.kernel().backend.effective().degraded() else {
+        return Err(failure);
+    };
+    tally.retries.fetch_add(1, Ordering::Relaxed);
+    let degraded_driver =
+        driver.clone().with_kernel(driver.kernel().clone().with_backend(tier)).with_threads(1);
+    match catch_unwind(AssertUnwindSafe(|| degraded_driver.gemm(problem.reborrow()))) {
+        Ok(Ok(mut stats)) => {
+            stats.degraded = true;
+            tally.degraded.fetch_add(1, Ordering::Relaxed);
+            Ok(mark_batched(stats))
+        }
+        Ok(Err(e)) => Err(e),
+        Err(payload) => {
+            tally.panics.fetch_add(1, Ordering::Relaxed);
+            Err(GemmError::JobPanicked { message: panic_message(payload.as_ref()) })
+        }
+    }
 }
 
 /// Runs one same-kernel/same-blocking group of entries through `driver`,
@@ -119,6 +258,7 @@ fn run_group<'a>(
     driver: &BlisGemm,
     entries: Vec<(usize, GemmProblem<'a>)>,
     out: &mut [Option<Result<GemmStats, GemmError>>],
+    tally: &Tally,
 ) {
     let mut small: Vec<(usize, GemmProblem<'a>)> = Vec::new();
     let mut large: Vec<(usize, GemmProblem<'a>)> = Vec::new();
@@ -132,8 +272,8 @@ fn run_group<'a>(
         }
     }
 
-    for (idx, problem) in large {
-        out[idx] = Some(driver.gemm(problem).map(mark_batched));
+    for (idx, mut problem) in large {
+        out[idx] = Some(run_entry(driver, None, &mut problem, tally));
     }
 
     if small.is_empty() {
@@ -143,8 +283,8 @@ fn run_group<'a>(
     let shard_count = pool.workers().min(small.len());
     if shard_count <= 1 {
         let mut runner = driver.runner();
-        for (idx, problem) in small {
-            out[idx] = Some(runner.gemm(problem).map(mark_batched));
+        for (idx, mut problem) in small {
+            out[idx] = Some(run_entry(driver, Some(&mut runner), &mut problem, tally));
         }
         return;
     }
@@ -163,36 +303,56 @@ fn run_group<'a>(
                 // dispatch proof are paid here, once, then reused by every
                 // entry of the shard.
                 let mut runner = driver.runner();
-                for (idx, problem) in shard {
-                    results.push((idx, runner.gemm(problem).map(mark_batched)));
+                for (idx, mut problem) in shard {
+                    results.push((idx, run_entry(driver, Some(&mut runner), &mut problem, tally)));
                 }
             }) as PoolJob<'_>
         })
         .collect();
-    pool.scope_run(jobs);
+    // Captured scope: a panic that escapes the per-entry isolation (an
+    // injected pool-job fault, or a future bug in the shard loop itself)
+    // fails only the entries that never produced an outcome, never the
+    // caller.
+    if pool.scope_run_captured(jobs).is_some() {
+        tally.panics.fetch_add(1, Ordering::Relaxed);
+    }
     for (idx, result) in shard_results.into_iter().flatten() {
         out[idx] = Some(result);
     }
 }
 
-/// Collapses per-entry outcomes into the batch result: stats in submission
-/// order, or the error of the lowest-indexed failing entry.
-fn collect_outcomes(out: Vec<Option<Result<GemmStats, GemmError>>>) -> Result<Vec<GemmStats>, GemmError> {
-    let mut stats = Vec::with_capacity(out.len());
-    for slot in out {
-        stats.push(slot.expect("every batch entry produces an outcome")?);
+/// Collapses per-entry slots into the [`BatchReport`]. A slot left empty
+/// means the entry's shard died before reaching it (a pool-level panic
+/// contained by the captured scope): that entry — and only that entry —
+/// resolves as [`GemmError::JobPanicked`].
+fn collect_outcomes(out: Vec<Option<Result<GemmStats, GemmError>>>, tally: Tally) -> BatchReport {
+    let outcomes = out
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(GemmError::JobPanicked {
+                    message: "the entry's pool shard panicked before reaching it".into(),
+                })
+            })
+        })
+        .collect();
+    BatchReport {
+        outcomes,
+        panics_caught: tally.panics.into_inner(),
+        retries: tally.retries.into_inner(),
+        degraded_completions: tally.degraded.into_inner(),
     }
-    Ok(stats)
 }
 
 impl GemmBatchExecutor for BlisGemm {
     /// One group: the driver's stored kernel and blocking serve every
     /// entry, so the whole batch shares one kernel and per-shard arenas.
-    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError> {
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport {
         let entries = batch.into_problems();
         let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
-        run_group(self, entries.into_iter().enumerate().collect(), &mut out);
-        collect_outcomes(out)
+        let tally = Tally::default();
+        run_group(self, entries.into_iter().enumerate().collect(), &mut out, &tally);
+        collect_outcomes(out, tally)
     }
 }
 
@@ -203,9 +363,10 @@ impl GemmBatchExecutor for exo_tune::TunedGemm {
     /// lookup, one kernel clone, and one driver construction for the whole
     /// batch. Degenerate entries form their own group on the default
     /// blocking, exactly as `TunedGemm::execute` treats them.
-    fn gemm_batch(&self, batch: GemmBatch<'_>) -> Result<Vec<GemmStats>, GemmError> {
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport {
         let entries = batch.into_problems();
         let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
+        let tally = Tally::default();
 
         // Group key: the verdict's blocking + tile. Insertion-ordered Vec
         // lookup — a serving mix has a handful of groups, not thousands.
@@ -258,14 +419,14 @@ impl GemmBatchExecutor for exo_tune::TunedGemm {
             // Same driver TunedGemm::execute uses for untunable shapes.
             let driver =
                 BlisGemm::new(gemm_blis::BlockingParams::carmel_defaults(8, 12)).with_threads(self.threads());
-            for (idx, problem) in degenerate {
-                out[idx] = Some(driver.gemm(problem).map(mark_batched));
+            for (idx, mut problem) in degenerate {
+                out[idx] = Some(run_entry(&driver, None, &mut problem, &tally));
             }
         }
         for (_, driver, group) in groups {
-            run_group(&driver, group, &mut out);
+            run_group(&driver, group, &mut out, &tally);
         }
-        collect_outcomes(out)
+        collect_outcomes(out, tally)
     }
 }
 
@@ -281,7 +442,10 @@ mod tests {
     #[test]
     fn empty_batch_returns_no_stats() {
         let driver = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
-        assert!(driver.gemm_batch(GemmBatch::new()).unwrap().is_empty());
+        let report = driver.gemm_batch(GemmBatch::new());
+        assert!(report.is_empty());
+        assert_eq!((report.panics_caught, report.retries, report.degraded_completions), (0, 0, 0));
+        assert!(report.into_stats().unwrap().is_empty());
     }
 
     #[test]
@@ -299,9 +463,10 @@ mod tests {
         for ((a, b, _), c) in inputs.iter().zip(c_batch.iter_mut()) {
             batch.push(GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(1.25).beta(-0.5));
         }
-        let stats = driver.gemm_batch(batch).unwrap();
+        let stats = driver.gemm_batch(batch).into_stats().unwrap();
         assert_eq!(stats.len(), shapes.len());
         assert!(stats.iter().all(|s| s.batched), "batch path must stamp the marker");
+        assert!(stats.iter().all(|s| !s.degraded), "healthy batches never degrade");
 
         for (i, ((a, b, c0), c_got)) in inputs.iter().zip(&c_batch).enumerate() {
             let mut c_seq = c0.clone();
@@ -323,7 +488,7 @@ mod tests {
         let c0 = c.clone();
         let mut batch = GemmBatch::new();
         batch.push(GemmProblem::new(a.view(), b.view(), c.view_mut()));
-        assert_eq!(driver.gemm_batch(batch).unwrap().len(), 1);
+        assert_eq!(driver.gemm_batch(batch).into_stats().unwrap().len(), 1);
         let mut c_seq = c0;
         driver.gemm(GemmProblem::new(a.view(), b.view(), c_seq.view_mut())).unwrap();
         assert_eq!(c.data, c_seq.data);
@@ -334,20 +499,32 @@ mod tests {
         let mut ec = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
         let mut batch = GemmBatch::new();
         batch.push(GemmProblem::new(ea.view(), eb.view(), ec.view_mut()).beta(2.0));
-        let stats = driver.gemm_batch(batch).unwrap();
+        let stats = driver.gemm_batch(batch).into_stats().unwrap();
         assert_eq!(stats[0].flop_count, 0);
         assert!(stats[0].batched);
         assert_eq!(ec.get(2, 3), 22.0);
     }
 
     #[test]
-    fn shape_mismatch_reports_the_failing_entry_error() {
+    fn shape_mismatch_fails_only_the_bad_entry() {
         let driver = BlisGemm::new(BlockingParams::carmel_defaults(8, 12));
         let a = fill(4, 4, 0);
         let bad_b = fill(5, 4, 1);
-        let mut c = Matrix::zeros(4, 4);
+        let good_b = fill(4, 4, 2);
+        let mut c_bad = Matrix::zeros(4, 4);
+        let mut c_good = Matrix::zeros(4, 4);
         let mut batch = GemmBatch::new();
-        batch.push(GemmProblem::new(a.view(), bad_b.view(), c.view_mut()));
-        assert!(matches!(driver.gemm_batch(batch), Err(GemmError::ShapeMismatch { .. })));
+        batch.push(GemmProblem::new(a.view(), bad_b.view(), c_bad.view_mut()));
+        batch.push(GemmProblem::new(a.view(), good_b.view(), c_good.view_mut()).beta(0.0));
+        let report = driver.gemm_batch(batch);
+        assert!(matches!(report.outcomes[0], Err(GemmError::ShapeMismatch { .. })));
+        assert!(report.outcomes[1].is_ok(), "the good entry must complete despite its neighbour");
+        // into_stats keeps the old first-error contract.
+        let a2 = fill(4, 4, 0);
+        let b2 = fill(5, 4, 1);
+        let mut c2 = Matrix::zeros(4, 4);
+        let mut batch = GemmBatch::new();
+        batch.push(GemmProblem::new(a2.view(), b2.view(), c2.view_mut()));
+        assert!(matches!(driver.gemm_batch(batch).into_stats(), Err(GemmError::ShapeMismatch { .. })));
     }
 }

@@ -9,6 +9,8 @@
 //! `C` operand back in the [`CompletedJob`], so ownership round-trips
 //! rather than being copied.
 
+use std::time::Duration;
+
 use gemm_blis::{GemmProblem, GemmStats, MatMut, MatRef, Matrix, Op};
 
 /// An owned `f32` matrix with an explicit stride map — the owning
@@ -129,13 +131,14 @@ pub struct GemmJob {
     beta: f32,
     op_a: Op,
     op_b: Op,
+    deadline: Option<Duration>,
 }
 
 impl GemmJob {
     /// The accumulating job `C += A * B` (`alpha = 1`, `beta = 1`, no
     /// transposes).
     pub fn new(a: OwnedMat, b: OwnedMat, c: OwnedMat) -> Self {
-        GemmJob { a, b, c, alpha: 1.0, beta: 1.0, op_a: Op::None, op_b: Op::None }
+        GemmJob { a, b, c, alpha: 1.0, beta: 1.0, op_a: Op::None, op_b: Op::None, deadline: None }
     }
 
     /// Sets the scale on the product.
@@ -166,10 +169,26 @@ impl GemmJob {
         self
     }
 
+    /// Bounds how long the job may sit in the service queue. A job still
+    /// queued when its deadline elapses resolves with
+    /// [`gemm_blis::GemmError::DeadlineExceeded`] instead of executing
+    /// stale work. Jobs already handed to the executor always run to
+    /// completion; the deadline only covers queue time.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The queue deadline, if one was set via [`GemmJob::with_deadline`].
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
     /// The borrowed [`GemmProblem`] this job describes — what the service
     /// pushes into a [`crate::GemmBatch`].
     pub fn problem(&mut self) -> GemmProblem<'_> {
-        let GemmJob { a, b, c, alpha, beta, op_a, op_b } = self;
+        let GemmJob { a, b, c, alpha, beta, op_a, op_b, deadline: _ } = self;
         GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(*alpha).beta(*beta).op_a(*op_a).op_b(*op_b)
     }
 

@@ -26,18 +26,40 @@
 //!     OwnedMat::zeros(4, 5),
 //! )
 //! .beta(0.0);
-//! let done = service.submit(job).wait().unwrap();
+//! let done = service.submit(job).expect("service accepting").wait().unwrap();
 //! assert_eq!(done.stats.flop_count, 2 * 4 * 5 * 3);
 //! assert!(done.stats.batched);
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! The service is built to keep serving through partial failure:
+//!
+//! - A panic inside one batch entry (kernel bug, injected fault) fails
+//!   **only that job** with [`gemm_blis::GemmError::JobPanicked`]; the rest
+//!   of the batch completes normally and the pool respawns dead workers.
+//! - Executional failures on `beta == 0` jobs are retried once on the next
+//!   backend tier down (`simd → superword → tape`); successes are stamped
+//!   `degraded` in their [`gemm_blis::GemmStats`].
+//! - Jobs carry optional queue deadlines ([`GemmJob::deadline`]); expired
+//!   jobs resolve with `DeadlineExceeded` instead of executing stale work.
+//! - If the collector thread itself dies, every outstanding and future
+//!   handle resolves with an error — no caller ever hangs — and the service
+//!   reports [`ServiceHealth::Failed`].
+//! - The [`fault`] module provides a deterministic, seeded fault-injection
+//!   harness (inert unless armed; see `EXO_FAULT`) used by the stress suite.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fault;
 pub mod job;
 pub mod service;
 
-pub use batch::{GemmBatch, GemmBatchExecutor};
+pub use batch::{BatchReport, GemmBatch, GemmBatchExecutor};
+pub use fault::FaultPlan;
 pub use gemm_blis::pool::{env_threads_override, PoolJob, ThreadPool};
 pub use job::{CompletedJob, GemmJob, OwnedMat};
-pub use service::{GemmService, JobHandle, ServiceConfig, ServiceStats};
+pub use service::{
+    GemmService, JobHandle, ServiceConfig, ServiceHealth, ServiceStats, SubmitError, SubmitErrorReason,
+};

@@ -9,7 +9,10 @@
 //! 2. Callers [`GemmService::submit`] owned [`GemmJob`]s from any number of
 //!    threads. The queue is **bounded** ([`ServiceConfig::queue_capacity`]):
 //!    a full queue blocks the submitter — backpressure, not unbounded
-//!    buffering.
+//!    buffering. [`GemmService::try_submit`] and
+//!    [`GemmService::submit_timeout`] are the non-blocking and bounded-wait
+//!    variants; both hand the job back in the [`SubmitError`] so nothing is
+//!    lost on rejection.
 //! 3. The collector drains whatever is queued (up to
 //!    [`ServiceConfig::max_batch`] entries) into one batch, so batch size
 //!    adapts to load: an idle service runs singletons with no added
@@ -20,17 +23,28 @@
 //!    through its [`JobHandle`]; per-call stats aggregate into the
 //!    process-wide counters of [`GemmService::stats`].
 //!
+//! Failure semantics: a panic inside one batch entry fails only that job
+//! (see [`crate::batch`]); jobs with a queue deadline
+//! ([`GemmJob::with_deadline`]) that expire before execution resolve with
+//! [`GemmError::DeadlineExceeded`]; and if the collector thread itself dies
+//! the service flips to [`ServiceHealth::Failed`], every queued and
+//! in-flight handle resolves with [`GemmError::ServiceShutdown`], and later
+//! submissions are refused — callers never hang on a dead service.
+//!
 //! Shutdown: dropping the service closes the queue, lets the collector
 //! finish everything already accepted, and joins it. Handles outstanding at
 //! shutdown resolve with an error rather than hanging.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use gemm_blis::pool::ThreadPool;
 use gemm_blis::GemmError;
 
 use crate::batch::{GemmBatch, GemmBatchExecutor};
+use crate::fault;
 use crate::job::{CompletedJob, GemmJob};
 
 /// Tunables of a [`GemmService`].
@@ -48,6 +62,98 @@ impl Default for ServiceConfig {
         ServiceConfig { queue_capacity: 64, max_batch: 32 }
     }
 }
+
+/// Service liveness, reported by [`GemmService::health`]. Health only ever
+/// worsens over a service's lifetime (raise-only), so a snapshot is a safe
+/// upper bound on how well the service has behaved so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ServiceHealth {
+    /// Every job so far ran cleanly on its intended backend.
+    Healthy = 0,
+    /// The service is live but has caught panics or completed jobs on a
+    /// degraded (tiered-down) backend.
+    Degraded = 1,
+    /// The collector thread died; the service refuses new work and all
+    /// outstanding handles resolve with [`GemmError::ServiceShutdown`].
+    Failed = 2,
+}
+
+impl ServiceHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ServiceHealth::Healthy,
+            1 => ServiceHealth::Degraded,
+            _ => ServiceHealth::Failed,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceHealth::Healthy => write!(f, "healthy"),
+            ServiceHealth::Degraded => write!(f, "degraded"),
+            ServiceHealth::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// Why a submission was rejected — see [`SubmitError::reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitErrorReason {
+    /// The queue was at capacity ([`GemmService::try_submit`]).
+    QueueFull,
+    /// The queue stayed at capacity for the whole allowed wait
+    /// ([`GemmService::submit_timeout`]).
+    Timeout,
+    /// The service has shut down or its collector died.
+    Shutdown,
+}
+
+/// A rejected submission. The job is handed back untouched
+/// ([`SubmitError::into_job`]) so the caller can retry, reroute, or run it
+/// synchronously — rejection never loses work.
+#[derive(Debug)]
+pub struct SubmitError {
+    job: GemmJob,
+    reason: SubmitErrorReason,
+}
+
+impl SubmitError {
+    /// Why the job was rejected.
+    pub fn reason(&self) -> SubmitErrorReason {
+        self.reason
+    }
+
+    /// Recovers the rejected job.
+    pub fn into_job(self) -> GemmJob {
+        self.job
+    }
+
+    /// The rejection as a [`GemmError`], for callers folding submission
+    /// failures into per-job results (as [`GemmService::execute_all`] does).
+    pub fn gemm_error(&self) -> GemmError {
+        match self.reason {
+            SubmitErrorReason::QueueFull | SubmitErrorReason::Timeout => GemmError::QueueFull,
+            SubmitErrorReason::Shutdown => GemmError::ServiceShutdown,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            SubmitErrorReason::QueueFull => write!(f, "submission rejected: queue full"),
+            SubmitErrorReason::Timeout => {
+                write!(f, "submission rejected: queue stayed full past the timeout")
+            }
+            SubmitErrorReason::Shutdown => write!(f, "submission rejected: service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Aggregate service counters, snapshot via [`GemmService::stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +182,17 @@ pub struct ServiceStats {
     /// Total useful flops of completed jobs (degenerate jobs count as
     /// zero-flop completions, not omissions).
     pub total_flops: u64,
+    /// Panics caught and isolated to single jobs (each fails only its own
+    /// job; the rest of the batch completes).
+    pub panics_caught: u64,
+    /// Tier-down retries attempted after an executional failure.
+    pub retries: u64,
+    /// Jobs that completed on a degraded (tiered-down) backend.
+    pub degraded_completions: u64,
+    /// Jobs whose queue deadline expired before execution.
+    pub deadline_expired: u64,
+    /// Current service health (raise-only: healthy → degraded → failed).
+    pub health: ServiceHealth,
 }
 
 impl std::fmt::Display for ServiceStats {
@@ -83,7 +200,8 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "{} submitted / {} completed / {} failed in {} batches (largest {}); \
-             queue high-water {}/{}; pool {} workers, {} tasks; {:.3} GFLOP total",
+             queue high-water {}/{}; pool {} workers, {} tasks; {:.3} GFLOP total; \
+             {} panics caught, {} retries, {} degraded, {} deadline-expired; health {}",
             self.jobs_submitted,
             self.jobs_completed,
             self.jobs_failed,
@@ -93,7 +211,12 @@ impl std::fmt::Display for ServiceStats {
             self.queue_capacity,
             self.pool_workers,
             self.pool_tasks_executed,
-            self.total_flops as f64 / 1e9
+            self.total_flops as f64 / 1e9,
+            self.panics_caught,
+            self.retries,
+            self.degraded_completions,
+            self.deadline_expired,
+            self.health,
         )
     }
 }
@@ -108,11 +231,53 @@ struct Counters {
     queue_depth: AtomicUsize,
     queue_highwater: AtomicUsize,
     flops: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+    degraded_jobs: AtomicU64,
+    deadline_expired: AtomicU64,
+    health: AtomicU8,
+    /// Serializes submission accounting against the collector's terminal
+    /// drain, so `jobs_submitted == jobs_completed + jobs_failed` holds
+    /// exactly even when the collector dies mid-submission.
+    gate: Mutex<()>,
+}
+
+impl Counters {
+    fn raise_health(&self, to: ServiceHealth) {
+        self.health.fetch_max(to as u8, Ordering::Relaxed);
+    }
+
+    fn gate(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.gate.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
 struct Submission {
     job: GemmJob,
     reply: mpsc::Sender<Result<CompletedJob, GemmError>>,
+    enqueued: Instant,
+}
+
+/// Submissions the collector has received but not yet replied to. Owned
+/// outside the collector's panic capture so a dying collector can fail
+/// every one of them with the failure counted *before* the reply lands —
+/// callers never observe a resolved handle the stats don't yet account
+/// for.
+#[derive(Default)]
+struct InFlight {
+    /// Drained from the queue, not yet triaged (deadline/shape checks).
+    triage: Vec<Submission>,
+    /// Triaged and awaiting batch execution / replies.
+    valid: Vec<Submission>,
+}
+
+impl InFlight {
+    fn fail_all(&mut self, counters: &Counters) {
+        for submission in self.triage.drain(..).chain(self.valid.drain(..)) {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = submission.reply.send(Err(GemmError::ServiceShutdown));
+        }
+    }
 }
 
 /// The handle returned by [`GemmService::submit`]: redeem it with
@@ -127,22 +292,31 @@ impl JobHandle {
     ///
     /// # Errors
     ///
-    /// Propagates the executor's error for this job, or a
-    /// [`GemmError::Backend`] if the service shut down first.
+    /// Propagates the executor's error for this job, or
+    /// [`GemmError::ServiceShutdown`] if the service (or its collector)
+    /// went away first — a dead service resolves handles, it never hangs
+    /// them.
     pub fn wait(self) -> Result<CompletedJob, GemmError> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(GemmError::Backend {
-                backend: "exo-serve".into(),
-                message: "service shut down before the job completed".into(),
-            })
-        })
+        self.rx.recv().unwrap_or(Err(GemmError::ServiceShutdown))
+    }
+
+    /// Like [`JobHandle::wait`] but gives up after `timeout`, returning
+    /// `None` so the caller can retry later (the handle stays redeemable).
+    /// A dead service still resolves immediately with
+    /// [`GemmError::ServiceShutdown`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CompletedJob, GemmError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(GemmError::ServiceShutdown)),
+        }
     }
 }
 
 /// A persistent GEMM service: one collector thread batching submissions
 /// from any number of caller threads onto the shared worker pool.
 ///
-/// See the module docs for lifecycle, batching, and backpressure
+/// See the module docs for lifecycle, batching, backpressure, and failure
 /// semantics. The service is `Sync` — share `&GemmService` freely across
 /// caller threads (or clone the jobs' data and use scoped threads, as
 /// `examples/gemm_service.rs` does).
@@ -163,44 +337,157 @@ impl GemmService {
     ///
     /// # Panics
     ///
-    /// Panics if `queue_capacity` or `max_batch` is zero.
+    /// Panics if `queue_capacity` or `max_batch` is zero, or if `EXO_FAULT`
+    /// is set to an unparseable fault spec.
     pub fn with_config<E: GemmBatchExecutor + Send + 'static>(executor: E, config: ServiceConfig) -> Self {
         assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
         assert!(config.max_batch > 0, "max_batch must be at least 1");
+        fault::arm_from_env();
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
         let counters = Arc::new(Counters::default());
         let collector_counters = Arc::clone(&counters);
         let max_batch = config.max_batch;
         let collector = std::thread::Builder::new()
             .name("exo-serve-collector".into())
-            .spawn(move || collector_loop(executor, rx, collector_counters, max_batch))
+            .spawn(move || {
+                // The in-flight holder lives OUTSIDE the panic capture, so
+                // submissions the collector had already received when it
+                // died are failed with full accounting below — their
+                // handles never resolve before the books record them.
+                let mut in_flight = InFlight::default();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    collector_loop(executor, &rx, &mut in_flight, &collector_counters, max_batch)
+                }));
+                if outcome.is_err() {
+                    in_flight.fail_all(&collector_counters);
+                    fail_everything_outstanding(rx, &collector_counters);
+                }
+            })
             .expect("failed to spawn exo-serve collector");
         GemmService { tx: Some(tx), collector: Some(collector), counters, config }
     }
 
     /// Submits one owned job, blocking while the queue is at capacity
-    /// (backpressure). Returns immediately otherwise; redeem the handle
-    /// with [`JobHandle::wait`].
-    pub fn submit(&self, job: GemmJob) -> JobHandle {
+    /// (backpressure). Redeem the handle with [`JobHandle::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitErrorReason::Shutdown`] if the service has failed or shut
+    /// down; the job comes back in the error.
+    // The error variant is deliberately large: it hands the job — three
+    // owned operands — back to the caller instead of dropping it.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, job: GemmJob) -> Result<JobHandle, SubmitError> {
+        let (job, tx) = self.submit_channel(job)?;
         let (reply, rx) = mpsc::channel();
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let gate = self.counters.gate();
+        // Depth rises before the send so the collector's decrement (which
+        // can only follow a successful send) never underflows the counter.
+        self.pre_enqueue();
+        match tx.send(Submission { job, reply, enqueued: Instant::now() }) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                Ok(JobHandle { rx })
+            }
+            Err(mpsc::SendError(submission)) => {
+                self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                drop(gate);
+                Err(SubmitError { job: submission.job, reason: SubmitErrorReason::Shutdown })
+            }
+        }
+    }
+
+    /// Non-blocking [`GemmService::submit`]: a full queue rejects with
+    /// [`SubmitErrorReason::QueueFull`] instead of blocking, handing the
+    /// job back for the caller to retry or reroute.
+    ///
+    /// # Errors
+    ///
+    /// `QueueFull` under backpressure, `Shutdown` on a dead service.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, job: GemmJob) -> Result<JobHandle, SubmitError> {
+        let (job, tx) = self.submit_channel(job)?;
+        let (reply, rx) = mpsc::channel();
+        let gate = self.counters.gate();
+        self.pre_enqueue();
+        match tx.try_send(Submission { job, reply, enqueued: Instant::now() }) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                Ok(JobHandle { rx })
+            }
+            Err(mpsc::TrySendError::Full(submission)) => {
+                self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                drop(gate);
+                Err(SubmitError { job: submission.job, reason: SubmitErrorReason::QueueFull })
+            }
+            Err(mpsc::TrySendError::Disconnected(submission)) => {
+                self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                drop(gate);
+                Err(SubmitError { job: submission.job, reason: SubmitErrorReason::Shutdown })
+            }
+        }
+    }
+
+    /// [`GemmService::submit`] with a bound on how long backpressure may
+    /// block: retries a non-blocking submit until `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitErrorReason::Timeout`] if the queue stayed full the whole
+    /// time, `Shutdown` on a dead service.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_timeout(&self, job: GemmJob, timeout: Duration) -> Result<JobHandle, SubmitError> {
+        let deadline = Instant::now() + timeout;
+        let mut job = job;
+        loop {
+            match self.try_submit(job) {
+                Ok(handle) => return Ok(handle),
+                Err(e) if e.reason() == SubmitErrorReason::QueueFull => {
+                    if Instant::now() >= deadline {
+                        return Err(SubmitError { job: e.into_job(), reason: SubmitErrorReason::Timeout });
+                    }
+                    job = e.into_job();
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Shared front half of the submit variants: refuse fast on a failed
+    /// service, hand back the channel otherwise.
+    #[allow(clippy::type_complexity, clippy::result_large_err)]
+    fn submit_channel(&self, job: GemmJob) -> Result<(GemmJob, &mpsc::SyncSender<Submission>), SubmitError> {
+        if self.health() == ServiceHealth::Failed {
+            return Err(SubmitError { job, reason: SubmitErrorReason::Shutdown });
+        }
+        match self.tx.as_ref() {
+            Some(tx) => Ok((job, tx)),
+            None => Err(SubmitError { job, reason: SubmitErrorReason::Shutdown }),
+        }
+    }
+
+    fn pre_enqueue(&self) {
         let depth = self.counters.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.queue_highwater.fetch_max(depth, Ordering::Relaxed);
-        let tx = self.tx.as_ref().expect("sender lives until drop");
-        if tx.send(Submission { job, reply }).is_err() {
-            // Collector gone (only possible mid-shutdown): the reply channel
-            // closes with it, and wait() reports the shutdown error.
-            self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        }
-        JobHandle { rx }
     }
 
     /// Submits every job, then waits for all of them, returning results in
     /// submission order. Blocking submission + bounded queue means this
     /// paces itself against the collector instead of buffering everything.
+    /// Rejected submissions fold into per-job errors
+    /// ([`SubmitError::gemm_error`]) instead of aborting the rest.
     pub fn execute_all(&self, jobs: Vec<GemmJob>) -> Vec<Result<CompletedJob, GemmError>> {
-        let handles: Vec<JobHandle> = jobs.into_iter().map(|job| self.submit(job)).collect();
-        handles.into_iter().map(JobHandle::wait).collect()
+        let handles: Vec<Result<JobHandle, GemmError>> =
+            jobs.into_iter().map(|job| self.submit(job).map_err(|e| e.gemm_error())).collect();
+        handles.into_iter().map(|handle| handle.and_then(JobHandle::wait)).collect()
+    }
+
+    /// Current service health (raise-only; see [`ServiceHealth`]).
+    pub fn health(&self) -> ServiceHealth {
+        ServiceHealth::from_u8(self.counters.health.load(Ordering::Relaxed))
     }
 
     /// A snapshot of the aggregate counters.
@@ -217,6 +504,11 @@ impl GemmService {
             pool_workers: pool.workers(),
             pool_tasks_executed: pool.tasks_executed(),
             total_flops: self.counters.flops.load(Ordering::Relaxed),
+            panics_caught: self.counters.panics.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            degraded_completions: self.counters.degraded_jobs.load(Ordering::Relaxed),
+            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            health: self.health(),
         }
     }
 }
@@ -232,56 +524,108 @@ impl Drop for GemmService {
     }
 }
 
+/// Terminal cleanup after a collector panic: refuse-and-resolve everything
+/// still queued, close the queue, and square the books so
+/// `jobs_submitted == jobs_completed + jobs_failed` holds exactly.
+fn fail_everything_outstanding(rx: mpsc::Receiver<Submission>, counters: &Counters) {
+    counters.raise_health(ServiceHealth::Failed);
+    let fail = |submission: Submission| {
+        counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        counters.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = submission.reply.send(Err(GemmError::ServiceShutdown));
+    };
+    // First drain without the gate so a submitter blocked on a full queue
+    // can finish its send and release the gate.
+    while let Ok(submission) = rx.try_recv() {
+        fail(submission);
+    }
+    // With the gate held no submitter is mid-send, so drain-then-drop loses
+    // nothing and the balance below sees final counts.
+    let gate = counters.gate();
+    while let Ok(submission) = rx.try_recv() {
+        fail(submission);
+    }
+    drop(rx);
+    // Safety net: in-flight jobs were failed by `InFlight::fail_all` and
+    // queued jobs by the drains above, so this normally adds zero — but if
+    // any job slipped through, count it failed so the books still balance.
+    let submitted = counters.submitted.load(Ordering::Relaxed);
+    let resolved = counters.completed.load(Ordering::Relaxed) + counters.failed.load(Ordering::Relaxed);
+    counters.failed.fetch_add(submitted.saturating_sub(resolved), Ordering::Relaxed);
+    drop(gate);
+}
+
 /// The collector: block for one submission, opportunistically drain the
 /// rest of the queue (up to `max_batch`), execute as one batch, reply per
 /// job.
 fn collector_loop<E: GemmBatchExecutor>(
     executor: E,
-    rx: mpsc::Receiver<Submission>,
-    counters: Arc<Counters>,
+    rx: &mpsc::Receiver<Submission>,
+    in_flight: &mut InFlight,
+    counters: &Counters,
     max_batch: usize,
 ) {
     while let Ok(first) = rx.recv() {
-        let mut pending = vec![first];
-        while pending.len() < max_batch {
+        in_flight.triage.push(first);
+        while in_flight.triage.len() < max_batch {
             match rx.try_recv() {
-                Ok(submission) => pending.push(submission),
+                Ok(submission) => in_flight.triage.push(submission),
                 Err(_) => break,
             }
         }
-        counters.queue_depth.fetch_sub(pending.len(), Ordering::Relaxed);
+        counters.queue_depth.fetch_sub(in_flight.triage.len(), Ordering::Relaxed);
         counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters.largest_batch.fetch_max(pending.len(), Ordering::Relaxed);
+        counters.largest_batch.fetch_max(in_flight.triage.len(), Ordering::Relaxed);
+        fault::collector_hook();
 
-        // Invalid jobs fail individually and never poison the batch.
-        let mut valid: Vec<Submission> = Vec::with_capacity(pending.len());
-        for mut submission in pending {
+        // Expired and invalid jobs fail individually and never poison the
+        // batch. Pop front-to-back so every submission is either still in
+        // the holder or already replied to, whatever happens mid-triage.
+        in_flight.triage.reverse();
+        while let Some(mut submission) = in_flight.triage.pop() {
+            if let Some(deadline) = submission.job.deadline() {
+                let waited = submission.enqueued.elapsed();
+                if waited >= deadline {
+                    counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = submission
+                        .reply
+                        .send(Err(GemmError::DeadlineExceeded { waited_ms: waited.as_millis() as u64 }));
+                    continue;
+                }
+            }
             match submission.job.problem().dims() {
-                Ok(_) => valid.push(submission),
+                Ok(_) => in_flight.valid.push(submission),
                 Err(e) => {
                     counters.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = submission.reply.send(Err(e));
                 }
             }
         }
-        if valid.is_empty() {
+        if in_flight.valid.is_empty() {
             continue;
         }
-        let batch: GemmBatch<'_> = valid.iter_mut().map(|s| s.job.problem()).collect();
-        match executor.gemm_batch(batch) {
-            Ok(stats) => {
-                for (submission, stats) in valid.into_iter().zip(stats) {
+        let report = {
+            let batch: GemmBatch<'_> = in_flight.valid.iter_mut().map(|s| s.job.problem()).collect();
+            executor.gemm_batch(batch)
+        };
+        counters.panics.fetch_add(report.panics_caught, Ordering::Relaxed);
+        counters.retries.fetch_add(report.retries, Ordering::Relaxed);
+        counters.degraded_jobs.fetch_add(report.degraded_completions, Ordering::Relaxed);
+        if report.panics_caught > 0 || report.degraded_completions > 0 {
+            counters.raise_health(ServiceHealth::Degraded);
+        }
+        debug_assert_eq!(report.len(), in_flight.valid.len(), "one outcome per batch entry");
+        for (submission, outcome) in in_flight.valid.drain(..).zip(report.outcomes) {
+            match outcome {
+                Ok(stats) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
                     counters.flops.fetch_add(stats.flop_count, Ordering::Relaxed);
                     let _ = submission.reply.send(Ok(CompletedJob { c: submission.job.into_c(), stats }));
                 }
-            }
-            Err(e) => {
-                // Shape errors were filtered above, so this is an executor
-                // failure: every job of the batch reports it.
-                for submission in valid {
+                Err(e) => {
                     counters.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = submission.reply.send(Err(e.clone()));
+                    let _ = submission.reply.send(Err(e));
                 }
             }
         }
@@ -304,7 +648,8 @@ mod tests {
     #[test]
     fn service_runs_jobs_and_aggregates_counters() {
         let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
-        let handles: Vec<JobHandle> = (0..6).map(|s| service.submit(job(17, 13, 9, s))).collect();
+        let handles: Vec<JobHandle> =
+            (0..6).map(|s| service.submit(job(17, 13, 9, s)).expect("service accepting")).collect();
         for handle in handles {
             let done = handle.wait().unwrap();
             assert!(done.stats.batched);
@@ -318,7 +663,10 @@ mod tests {
         assert!(stats.largest_batch >= 1);
         assert!(stats.queue_highwater >= 1);
         assert_eq!(stats.total_flops, 6 * 2 * 17 * 13 * 9);
+        assert_eq!(stats.health, ServiceHealth::Healthy);
+        assert_eq!((stats.panics_caught, stats.retries, stats.degraded_completions), (0, 0, 0));
         assert!(stats.to_string().contains("6 submitted"));
+        assert!(stats.to_string().contains("health healthy"));
     }
 
     #[test]
@@ -343,7 +691,7 @@ mod tests {
             OwnedMat::from_fn(3, 4, |i, j| (i * 4 + j) as f32),
         )
         .beta(2.0);
-        let done = service.submit(job).wait().unwrap();
+        let done = service.submit(job).expect("service accepting").wait().unwrap();
         assert_eq!(done.stats.flop_count, 0);
         assert_eq!(done.c.get(2, 3), 22.0, "k = 0 still applies beta");
         let stats = service.stats();
@@ -357,10 +705,47 @@ mod tests {
             BlisGemm::new(BlockingParams::carmel_defaults(8, 12)),
             ServiceConfig { queue_capacity: 4, max_batch: 2 },
         );
-        let handles: Vec<JobHandle> = (0..4).map(|s| service.submit(job(12, 12, 12, s))).collect();
+        let handles: Vec<JobHandle> =
+            (0..4).map(|s| service.submit(job(12, 12, 12, s)).expect("service accepting")).collect();
         drop(service);
         for handle in handles {
             assert!(handle.wait().is_ok(), "accepted jobs must finish during shutdown");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_jobs_expire_in_queue_instead_of_executing() {
+        let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+        let expired = job(8, 8, 8, 0).with_deadline(Duration::ZERO);
+        let handle = service.submit(expired).expect("service accepting");
+        match handle.wait() {
+            Err(GemmError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A job with slack runs normally alongside the expired one.
+        let done = service
+            .submit(job(8, 8, 8, 1).with_deadline(Duration::from_secs(60)))
+            .expect("service accepting")
+            .wait()
+            .unwrap();
+        assert_eq!(done.stats.flop_count, 2 * 8 * 8 * 8);
+        let stats = service.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.jobs_failed, 1);
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn try_submit_and_submit_timeout_accept_when_there_is_room() {
+        let service = GemmService::new(BlisGemm::new(BlockingParams::carmel_defaults(8, 12)));
+        let a = service.try_submit(job(8, 8, 8, 0)).expect("room in a fresh queue");
+        let b = service
+            .submit_timeout(job(8, 8, 8, 1), Duration::from_secs(5))
+            .expect("room well within the timeout");
+        assert!(a.wait().is_ok());
+        match b.wait_timeout(Duration::from_secs(30)) {
+            Some(Ok(_)) => {}
+            other => panic!("expected a completion, got {other:?}"),
         }
     }
 }

@@ -75,6 +75,19 @@ impl TunedGemm {
         Ok(TunedGemm { tuner: Tuner::with_registry(registry)?, threads: 1 })
     }
 
+    /// Like [`TunedGemm::with_persistence`], but a damaged registry file
+    /// degrades to a cold start instead of an error: the bad file is
+    /// quarantined as `<path>.corrupt` and tuning restarts fresh, still
+    /// persisting at `path`. Returns the executor along with the tolerated
+    /// load error, if any, so the caller can log the degradation.
+    pub fn with_persistence_or_fresh(path: impl AsRef<std::path::Path>) -> (Self, Option<TuneError>) {
+        let isa = exo_isa::neon_f32();
+        let (registry, tolerated) = KernelRegistry::with_persistence_or_fresh(isa.name, path);
+        let tuner = Tuner::with_registry(registry)
+            .expect("a fresh or freshly-validated same-ISA registry is always consistent");
+        (TunedGemm { tuner, threads: 1 }, tolerated)
+    }
+
     /// The underlying tuner.
     pub fn tuner(&self) -> &Tuner {
         &self.tuner

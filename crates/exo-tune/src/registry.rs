@@ -148,6 +148,32 @@ impl KernelRegistry {
         Ok(registry)
     }
 
+    /// Like [`KernelRegistry::with_persistence`], but a damaged cache
+    /// degrades to a cold start instead of refusing to serve: if the file
+    /// is unreadable or does not parse, it is quarantined aside as
+    /// `<path>.corrupt` (best effort) and a fresh registry persisting at
+    /// `path` is returned, along with the error that was tolerated so the
+    /// caller can log it. A tuning cache is an accelerant, not a source of
+    /// truth — losing it costs a re-search, never correctness.
+    pub fn with_persistence_or_fresh(
+        isa_name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> (Self, Option<TuneError>) {
+        let isa_name = isa_name.into();
+        let path = path.as_ref();
+        match KernelRegistry::with_persistence(isa_name.clone(), path) {
+            Ok(registry) => (registry, None),
+            Err(error) => {
+                let mut quarantine = path.as_os_str().to_owned();
+                quarantine.push(".corrupt");
+                let _ = std::fs::rename(path, &quarantine);
+                let mut registry = KernelRegistry::new(isa_name);
+                registry.path = Some(path.to_path_buf());
+                (registry, Some(error))
+            }
+        }
+    }
+
     /// The shared generated-kernel cache.
     pub fn kernel_cache(&self) -> Arc<KernelCache> {
         Arc::clone(&self.kernels)
@@ -343,6 +369,39 @@ mod tests {
             registry.load_text("{\"version\": 99, \"isa\": \"neon-f32\", \"verdicts\": []}"),
             Err(TuneError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_cold_start_and_is_quarantined() {
+        let path = temp_path("quarantine");
+        let quarantine = {
+            let mut q = path.as_os_str().to_owned();
+            q.push(".corrupt");
+            PathBuf::from(q)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
+        std::fs::write(&path, "definitely not a registry").unwrap();
+
+        assert!(KernelRegistry::with_persistence("neon-f32", &path).is_err());
+        let (registry, tolerated) = KernelRegistry::with_persistence_or_fresh("neon-f32", &path);
+        assert!(matches!(tolerated, Some(TuneError::Corrupt(_))));
+        assert!(registry.is_empty());
+        assert_eq!(registry.path(), Some(path.as_path()));
+        assert_eq!(std::fs::read_to_string(&quarantine).unwrap(), "definitely not a registry");
+
+        // The fresh registry still persists: record, reopen, warm start.
+        registry.record(verdict(196, 256, 2304)).unwrap();
+        let reopened = KernelRegistry::with_persistence("neon-f32", &path).unwrap();
+        assert_eq!(reopened.len(), 1);
+
+        // An intact (or absent) file passes through untouched.
+        let (warm, tolerated) = KernelRegistry::with_persistence_or_fresh("neon-f32", &path);
+        assert!(tolerated.is_none());
+        assert_eq!(warm.len(), 1);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
     }
 
     #[test]

@@ -325,6 +325,7 @@ impl BlisGemm {
             threads,
             pool_workers: if threads > 1 { ThreadPool::global().workers() } else { 0 },
             batched: false,
+            degraded: false,
         };
         if m == 0 || n == 0 {
             return Ok(stats(1));
@@ -715,6 +716,7 @@ impl GemmRunner<'_> {
             threads: 1,
             pool_workers: 0,
             batched: false,
+            degraded: false,
         };
         if m == 0 || n == 0 {
             return Ok(stats);

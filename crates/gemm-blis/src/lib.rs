@@ -76,6 +76,27 @@ pub enum GemmError {
         /// Failure description.
         message: String,
     },
+    /// The job's execution panicked and the panic was contained to this
+    /// job (per-entry isolation in the batch/service path). The job's `C`
+    /// operand may be partially written.
+    JobPanicked {
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+    /// The job's deadline expired while it was still queued; it was never
+    /// executed and its `C` operand is untouched.
+    DeadlineExceeded {
+        /// How long the job sat in the queue before expiring, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
+    /// The service shut down (or its collector failed) before the job could
+    /// be accepted or completed.
+    ServiceShutdown,
+    /// The service's bounded submission queue was full and the submission
+    /// mode did not allow blocking (`try_submit`, or `submit_timeout`
+    /// running out of time).
+    QueueFull,
 }
 
 impl fmt::Display for GemmError {
@@ -85,6 +106,18 @@ impl fmt::Display for GemmError {
             GemmError::Kernel { kernel, message } => write!(f, "micro-kernel `{kernel}` failed: {message}"),
             GemmError::Backend { backend, message } => {
                 write!(f, "gemm backend `{backend}` failed: {message}")
+            }
+            GemmError::JobPanicked { message } => {
+                write!(f, "gemm job panicked (isolated to this job): {message}")
+            }
+            GemmError::DeadlineExceeded { waited_ms } => {
+                write!(f, "gemm job deadline exceeded after {waited_ms}ms in queue; not executed")
+            }
+            GemmError::ServiceShutdown => {
+                write!(f, "gemm service shut down before the job completed")
+            }
+            GemmError::QueueFull => {
+                write!(f, "gemm service queue is full (backpressure); job not accepted")
             }
         }
     }
@@ -102,5 +135,11 @@ mod tests {
         assert!(e.to_string().contains("3x4"));
         let e = GemmError::Kernel { kernel: "EXO 8x8".into(), message: "boom".into() };
         assert!(e.to_string().contains("EXO 8x8"));
+        let e = GemmError::JobPanicked { message: "index out of bounds".into() };
+        assert!(e.to_string().contains("isolated"));
+        let e = GemmError::DeadlineExceeded { waited_ms: 12 };
+        assert!(e.to_string().contains("12ms"));
+        assert!(GemmError::ServiceShutdown.to_string().contains("shut down"));
+        assert!(GemmError::QueueFull.to_string().contains("full"));
     }
 }

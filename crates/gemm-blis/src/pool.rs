@@ -24,6 +24,18 @@
 //! * **Panics propagate.** A panicking job poisons nothing: the first
 //!   panic payload is captured and re-thrown from `scope_run` on the
 //!   submitting thread, matching what `std::thread::scope` callers observe.
+//!   Service-grade callers that must survive a panicking job use
+//!   [`ThreadPool::scope_run_captured`], which hands the payload back as a
+//!   value instead.
+//! * **Poison tolerance.** All pool locks are acquired with a
+//!   poison-tolerant helper: a panic while a lock is held (impossible in the
+//!   pool's own critical sections, which only move plain data, but cheap to
+//!   defend against) can never cascade `PoisonError` unwraps through every
+//!   later pool user.
+//! * **Worker respawn.** If a worker thread dies of an unwinding panic
+//!   (only reachable through the [`arm_worker_death`] fault hook today, but
+//!   defended regardless), a replacement is spawned on its way out, so the
+//!   pool's width survives any fault the harness can inject.
 //! * **Bit-identical results are the driver's concern, not the pool's.**
 //!   The pool promises only that each job runs exactly once; the GEMM
 //!   driver's block partitioning already makes any worker assignment
@@ -31,8 +43,53 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Acquires a mutex whether or not it is poisoned.
+///
+/// The pool's critical sections only push/pop plain data, so a poisoned
+/// lock's state is always consistent; propagating the poison (the default
+/// `unwrap`) would turn one contained panic into a process-wide cascade.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault hooks (inert unless armed).
+//
+// These are the pool-level half of the `exo_serve::fault` harness: the
+// dependency arrow points from `exo-serve` down to this crate, so the hooks
+// that must fire *inside* the pool live here and are armed from above. The
+// countdowns live per pool (tests arm private pools without interfering);
+// the free functions [`arm_task_panic`]/[`arm_worker_death`]/
+// [`disarm_pool_faults`] target the process-wide [`ThreadPool::global`],
+// which is what the service layer executes on. Each hook is one relaxed
+// atomic load on the hot path when disarmed.
+// ---------------------------------------------------------------------------
+
+/// Decrements an armed countdown; `true` exactly once, when it hits zero.
+fn countdown_fires(counter: &AtomicI64) -> bool {
+    if counter.load(Ordering::Relaxed) <= 0 {
+        return false;
+    }
+    counter.fetch_sub(1, Ordering::Relaxed) == 1
+}
+
+/// Arms [`ThreadPool::arm_task_panic`] on the global pool.
+pub fn arm_task_panic(nth: u64) {
+    ThreadPool::global().arm_task_panic(nth);
+}
+
+/// Arms [`ThreadPool::arm_worker_death`] on the global pool.
+pub fn arm_worker_death(nth: u64) {
+    ThreadPool::global().arm_worker_death(nth);
+}
+
+/// Disarms every fault hook of the global pool.
+pub fn disarm_pool_faults() {
+    ThreadPool::global().disarm_faults();
+}
 
 /// A unit of work submitted to the pool: a lifetime-erased closure plus the
 /// completion latch of the `scope_run` that owns it.
@@ -44,10 +101,13 @@ struct Task {
 impl Task {
     /// Runs the job and signals the owning scope, capturing a panic payload
     /// instead of unwinding into the worker loop.
-    fn run(self) {
+    fn run(self, shared: &Shared) {
         let Task { job, latch } = self;
-        let outcome = catch_unwind(AssertUnwindSafe(job));
-        let mut state = latch.state.lock().unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.maybe_injected_task_panic();
+            job();
+        }));
+        let mut state = lock_tolerant(&latch.state);
         state.remaining -= 1;
         if let Err(payload) = outcome {
             state.panic.get_or_insert(payload);
@@ -75,21 +135,21 @@ impl Latch {
     }
 
     fn is_done(&self) -> bool {
-        self.state.lock().unwrap().remaining == 0
+        lock_tolerant(&self.state).remaining == 0
     }
 
     /// Blocks until either the scope completes or a spurious wakeup occurs
     /// (the caller re-checks the queue afterwards, so spurious wakeups are
     /// harmless).
     fn wait(&self) {
-        let state = self.state.lock().unwrap();
+        let state = lock_tolerant(&self.state);
         if state.remaining > 0 {
-            drop(self.done.wait(state).unwrap());
+            drop(self.done.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner()));
         }
     }
 
     fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.state.lock().unwrap().panic.take()
+        lock_tolerant(&self.state).panic.take()
     }
 }
 
@@ -102,6 +162,16 @@ struct Shared {
     spawned: AtomicUsize,
     /// Total jobs finished by pool workers *and* helping callers.
     executed: AtomicUsize,
+    /// Workers respawned after dying of an unwinding panic.
+    respawned: AtomicUsize,
+    /// Fault hook: countdown until an injected panic inside the Nth job of
+    /// this pool (`<= 0` = disarmed).
+    task_panic_in: AtomicI64,
+    /// Fault hook: countdown until the worker finishing the Nth queued task
+    /// of this pool dies (`<= 0` = disarmed). The kill fires *after* the
+    /// task signalled its scope, so no latch is stranded — the observable
+    /// is the worker death plus its respawn.
+    worker_death_in: AtomicI64,
 }
 
 struct QueueState {
@@ -112,11 +182,19 @@ struct QueueState {
 impl Shared {
     /// Pops one queued task, if any.
     fn try_pop(&self) -> Option<Task> {
-        self.queue.lock().unwrap().tasks.pop_front()
+        lock_tolerant(&self.queue).tasks.pop_front()
+    }
+
+    /// Called at the start of every job of this pool (inside its capture).
+    #[inline]
+    fn maybe_injected_task_panic(&self) {
+        if countdown_fires(&self.task_panic_in) {
+            panic!("injected fault: pool job panic (EXO_FAULT pool-panic)");
+        }
     }
 
     fn run_task(&self, task: Task) {
-        task.run();
+        task.run(self);
         self.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -158,14 +236,12 @@ impl ThreadPool {
             ready: Condvar::new(),
             spawned: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
+            respawned: AtomicUsize::new(0),
+            task_panic_in: AtomicI64::new(0),
+            worker_death_in: AtomicI64::new(0),
         });
         for idx in 0..workers {
-            let shared = Arc::clone(&shared);
-            shared.spawned.fetch_add(1, Ordering::Relaxed);
-            std::thread::Builder::new()
-                .name(format!("exo-gemm-worker-{idx}"))
-                .spawn(move || worker_loop(shared))
-                .expect("failed to spawn gemm pool worker");
+            spawn_worker(Arc::clone(&shared), format!("exo-gemm-worker-{idx}"));
         }
         ThreadPool { shared, workers }
     }
@@ -188,6 +264,36 @@ impl ThreadPool {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
+    /// Workers respawned after dying of an unwinding panic — zero in a
+    /// healthy process; positive only under injected worker-death faults
+    /// (or a pool bug the respawn guard then contains).
+    pub fn workers_respawned(&self) -> usize {
+        self.shared.respawned.load(Ordering::Relaxed)
+    }
+
+    /// Arms a deterministic fault: the `nth` job of this pool to start
+    /// from now (1 = the very next one) panics before doing any work. The
+    /// panic is observed exactly as a real panicking job: captured by the
+    /// job's scope and either re-thrown from [`ThreadPool::scope_run`] or
+    /// returned from [`ThreadPool::scope_run_captured`].
+    pub fn arm_task_panic(&self, nth: u64) {
+        self.shared.task_panic_in.store(nth.max(1) as i64, Ordering::Relaxed);
+    }
+
+    /// Arms a deterministic fault: the worker that finishes the `nth`
+    /// queued task of this pool from now dies (its thread unwinds) *after*
+    /// signalling the task's scope, exercising the respawn path without
+    /// stranding any waiter.
+    pub fn arm_worker_death(&self, nth: u64) {
+        self.shared.worker_death_in.store(nth.max(1) as i64, Ordering::Relaxed);
+    }
+
+    /// Disarms every fault hook of this pool.
+    pub fn disarm_faults(&self) {
+        self.shared.task_panic_in.store(0, Ordering::Relaxed);
+        self.shared.worker_death_in.store(0, Ordering::Relaxed);
+    }
+
     /// Runs every job to completion before returning, on pool workers plus
     /// the calling thread — `std::thread::scope` semantics on recycled
     /// threads.
@@ -197,21 +303,59 @@ impl ThreadPool {
     pub fn scope_run<'env>(&self, jobs: Vec<PoolJob<'env>>) {
         match jobs.len() {
             0 => return,
-            // One job: run it inline, no queue round-trip.
+            // One job: run it inline, no queue round-trip. An injected
+            // task-panic fault still counts this as a pool job, and its
+            // panic propagates — exactly like a real panic on this path.
             1 => {
                 let job = jobs.into_iter().next().unwrap();
+                self.shared.maybe_injected_task_panic();
                 return job();
             }
             _ => {}
         }
+        if let Some(payload) = self.scope_run_latch(jobs) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Like [`ThreadPool::scope_run`], but a panicking job does not unwind
+    /// the caller: the first panic payload is returned as a value after
+    /// every job of the scope has finished (the rest run to completion).
+    ///
+    /// This is the service path's opt-in: `scope_run` keeps
+    /// `std::thread::scope` propagate semantics for direct callers, while a
+    /// batch executor that must keep serving the other entries of a batch
+    /// captures here and resolves only the affected jobs with errors.
+    pub fn scope_run_captured<'env>(
+        &self,
+        jobs: Vec<PoolJob<'env>>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        match jobs.len() {
+            0 => None,
+            1 => {
+                let job = jobs.into_iter().next().unwrap();
+                catch_unwind(AssertUnwindSafe(|| {
+                    self.shared.maybe_injected_task_panic();
+                    job();
+                }))
+                .err()
+            }
+            _ => self.scope_run_latch(jobs),
+        }
+    }
+
+    /// The shared latch machinery behind both scope entry points: queue the
+    /// jobs, help run the queue until the scope's latch reports done, and
+    /// hand back the first captured panic payload (if any).
+    fn scope_run_latch<'env>(&self, jobs: Vec<PoolJob<'env>>) -> Option<Box<dyn std::any::Any + Send>> {
         let latch = Arc::new(Latch::new(jobs.len()));
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_tolerant(&self.shared.queue);
             for job in jobs {
-                // SAFETY: lifetime erasure only. `scope_run` does not return
-                // until this scope's latch reports every job finished (even
-                // on panic), so the `'env` borrows captured by the closure
-                // outlive every access the pool makes to it.
+                // SAFETY: lifetime erasure only. `scope_run_latch` does not
+                // return until this scope's latch reports every job finished
+                // (even on panic), so the `'env` borrows captured by the
+                // closure outlive every access the pool makes to it.
                 let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
                 queue.tasks.push_back(Task { job, latch: Arc::clone(&latch) });
             }
@@ -228,25 +372,50 @@ impl ThreadPool {
                 None => latch.wait(),
             }
         }
-        if let Some(payload) = latch.take_panic() {
-            resume_unwind(payload);
-        }
+        latch.take_panic()
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = lock_tolerant(&self.shared.queue);
         queue.shutdown = true;
         drop(queue);
         self.shared.ready.notify_all();
     }
 }
 
+/// Spawns one pool worker thread (initial fleet and respawns alike).
+fn spawn_worker(shared: Arc<Shared>, name: String) {
+    shared.spawned.fetch_add(1, Ordering::Relaxed);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(shared))
+        .expect("failed to spawn gemm pool worker");
+}
+
+/// Replaces the current worker with a fresh one if its thread is dying of
+/// an unwinding panic. Armed for the whole worker loop; a clean shutdown
+/// exit defuses it.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    defused: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.defused && std::thread::panicking() {
+            let idx = self.shared.respawned.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(Arc::clone(&self.shared), format!("exo-gemm-worker-r{idx}"));
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>) {
+    let mut guard = RespawnGuard { shared: Arc::clone(&shared), defused: false };
     loop {
         let task = {
-            let mut state = shared.queue.lock().unwrap();
+            let mut state = lock_tolerant(&shared.queue);
             loop {
                 if let Some(task) = state.tasks.pop_front() {
                     break Some(task);
@@ -254,12 +423,24 @@ fn worker_loop(shared: Arc<Shared>) {
                 if state.shutdown {
                     break None;
                 }
-                state = shared.ready.wait(state).unwrap();
+                state = shared.ready.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
         match task {
-            Some(task) => shared.run_task(task),
-            None => return,
+            Some(task) => {
+                shared.run_task(task);
+                // The injected worker-death fault fires *after* the task
+                // signalled its scope: no waiter is stranded, the only
+                // observable is this thread dying and the respawn guard
+                // replacing it.
+                if countdown_fires(&shared.worker_death_in) {
+                    panic!("injected fault: pool worker death (EXO_FAULT worker-death)");
+                }
+            }
+            None => {
+                guard.defused = true;
+                return;
+            }
         }
     }
 }
@@ -380,6 +561,100 @@ mod tests {
                 .collect(),
         );
         assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn captured_scopes_return_the_payload_instead_of_unwinding() {
+        let pool = ThreadPool::with_workers(2);
+        let done = AtomicU32::new(0);
+        let jobs: Vec<PoolJob<'_>> = vec![
+            Box::new(|| {
+                done.fetch_add(1, Ordering::Relaxed);
+            }) as PoolJob<'_>,
+            Box::new(|| panic!("captured boom")) as PoolJob<'_>,
+            Box::new(|| {
+                done.fetch_add(1, Ordering::Relaxed);
+            }) as PoolJob<'_>,
+        ];
+        let payload = pool.scope_run_captured(jobs).expect("panic must be captured");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("captured boom"));
+        assert_eq!(done.load(Ordering::Relaxed), 2, "the other jobs of the scope still ran");
+
+        // Singleton captured scopes catch inline panics too.
+        let payload = pool.scope_run_captured(vec![Box::new(|| panic!("solo")) as PoolJob<'_>]);
+        assert!(payload.is_some());
+        assert!(pool.scope_run_captured(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn injected_worker_death_respawns_and_the_pool_keeps_serving() {
+        let pool = ThreadPool::with_workers(2);
+        let spawned_before = pool.threads_spawned();
+        pool.arm_worker_death(1);
+        // Drive multi-job scopes until a pool worker (not just the helping
+        // caller) runs a task and trips the countdown; jobs sleep briefly
+        // so the helping caller cannot drain the whole queue alone.
+        let counter = AtomicU32::new(0);
+        for _ in 0..200 {
+            if pool.workers_respawned() > 0 {
+                break;
+            }
+            pool.scope_run(
+                (0..8)
+                    .map(|_| {
+                        Box::new(|| {
+                            std::thread::sleep(std::time::Duration::from_micros(300));
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }) as PoolJob<'_>
+                    })
+                    .collect(),
+            );
+        }
+        pool.disarm_faults();
+        assert!(pool.workers_respawned() >= 1, "the dead worker must be replaced");
+        assert_eq!(
+            pool.threads_spawned(),
+            spawned_before + pool.workers_respawned(),
+            "each respawn spawns exactly one replacement"
+        );
+        // Full-width liveness after the death: a scope with more jobs than
+        // the helping caller can run alone still completes.
+        let ran = AtomicU32::new(0);
+        pool.scope_run(
+            (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as PoolJob<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn injected_task_panic_is_deterministic_and_contained() {
+        let pool = ThreadPool::with_workers(2);
+        pool.arm_task_panic(3);
+        let ran = AtomicU32::new(0);
+        let jobs = || {
+            (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as PoolJob<'_>
+                })
+                .collect::<Vec<_>>()
+        };
+        let payload = pool.scope_run_captured(jobs());
+        pool.disarm_faults();
+        let message = payload.as_deref().and_then(|p| p.downcast_ref::<&str>()).copied().unwrap_or_default();
+        assert!(message.contains("injected fault"), "job 3 of 4 must trip the countdown: {message}");
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "exactly one of the four jobs was killed");
+        // Disarmed again: everything runs.
+        assert!(pool.scope_run_captured(jobs()).is_none());
+        assert_eq!(ran.load(Ordering::Relaxed), 7);
     }
 
     #[test]

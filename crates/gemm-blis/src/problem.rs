@@ -148,6 +148,22 @@ impl<'a> GemmProblem<'a> {
         Ok((a.rows(), b.cols(), a.cols()))
     }
 
+    /// A mutable reborrow of this problem: the same descriptor over views
+    /// borrowed from `self`, so an executor can consume the reborrow while
+    /// the caller keeps the original — what the batch path's degradation
+    /// retry needs to attempt the same problem twice.
+    pub fn reborrow(&mut self) -> GemmProblem<'_> {
+        GemmProblem {
+            a: self.a,
+            b: self.b,
+            c: self.c.rb_mut(),
+            alpha: self.alpha,
+            beta: self.beta,
+            op_a: self.op_a,
+            op_b: self.op_b,
+        }
+    }
+
     /// Floating-point operations of the problem (`2 m n k`, zero when
     /// `alpha == 0`).
     pub fn flops(&self) -> u64 {
@@ -183,6 +199,10 @@ pub struct GemmStats {
     /// Whether the problem ran through a batch executor (`exo-serve`'s
     /// `GemmBatch` path) rather than a standalone call.
     pub batched: bool,
+    /// Whether the result came from a degradation retry: the first attempt
+    /// failed (error or contained panic) and the problem was re-run once on
+    /// the next execution tier down (simd → superword → tape → interp).
+    pub degraded: bool,
 }
 
 impl GemmStats {
@@ -265,6 +285,7 @@ impl GemmExecutor for NaiveGemm {
             threads: 1,
             pool_workers: 0,
             batched: false,
+            degraded: false,
         })
     }
 }

@@ -318,6 +318,20 @@ impl<'a> MatMut<'a> {
         self.data[i * self.row_stride + j * self.col_stride] = v;
     }
 
+    /// A mutable reborrow of this view: a `MatMut` over the same elements
+    /// whose lifetime is tied to `&mut self`, so the original stays usable
+    /// after the reborrow is dropped (the `rb_mut` idiom of `faer`/`pulp`).
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.row_stride,
+            col_stride: self.col_stride,
+        }
+    }
+
     /// A read-only reborrow of this view.
     #[inline]
     pub fn rb(&self) -> MatRef<'_> {

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             OwnedMat::from_fn(m, k, move |i, j| ((i * 3 + j + idx) % 11) as f32 * 0.1 - 0.5);
                         let b = OwnedMat::from_fn(k, n, move |i, j| ((i + 5 * j + idx) % 13) as f32 * 0.05);
                         let job = GemmJob::new(a, b, OwnedMat::zeros(m, n)).beta(0.0);
-                        (m, n, k, service.submit(job))
+                        (m, n, k, service.submit(job).expect("service accepting"))
                     })
                     .collect();
                 let mut flops = 0u64;

@@ -1,0 +1,398 @@
+//! Fault-injection stress suite for the `exo-serve` serving stack.
+//!
+//! Every test arms a deterministic [`FaultPlan`] (the same harness CI
+//! drives through `EXO_FAULT`), hammers the service or the batch executor,
+//! and asserts the fault-tolerance contract:
+//!
+//! * the service stays live — every handle resolves, nothing hangs;
+//! * a fault is isolated to the job it hit — survivors are bit-identical
+//!   to a sequential per-call run of the same executor (degraded
+//!   completions are tolerance-checked instead, since they ran a
+//!   different backend tier);
+//! * the books balance: `jobs_submitted == jobs_completed + jobs_failed`.
+//!
+//! Fault countdowns are process-global, so the tests serialise on one
+//! mutex and disarm on entry and exit.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use exo_gemm::exo_serve::fault::{self, FaultPlan};
+use exo_gemm::exo_serve::{
+    CompletedJob, GemmBatch, GemmBatchExecutor, GemmJob, GemmService, JobHandle, OwnedMat, ServiceConfig,
+    ServiceHealth, SubmitErrorReason,
+};
+use exo_gemm::gemm_blis::{BlisGemm, BlockingParams};
+use exo_gemm::{GemmError, GemmExecutor};
+
+/// Fault countdowns are process-global: one experiment at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn driver() -> BlisGemm {
+    BlisGemm::new(BlockingParams::carmel_defaults(8, 12))
+}
+
+fn make_job(m: usize, n: usize, k: usize, seed: usize, beta: f32) -> GemmJob {
+    let a = OwnedMat::from_fn(m, k, move |i, j| ((i * 7 + j * 3 + seed) % 13) as f32 * 0.25 - 1.0);
+    let b = OwnedMat::from_fn(k, n, move |i, j| ((i * 5 + j * 11 + seed) % 17) as f32 * 0.125 - 1.0);
+    let c = OwnedMat::from_fn(m, n, move |i, j| ((i + 2 * j + seed) % 7) as f32 * 0.5 - 1.0);
+    GemmJob::new(a, b, c).beta(beta)
+}
+
+/// The bit-identity baseline: the same job run per-call, sequentially,
+/// through the same driver. Must run while faults are DISARMED so the
+/// reference run does not consume countdowns.
+fn reference_c(m: usize, n: usize, k: usize, seed: usize, beta: f32) -> OwnedMat {
+    let mut job = make_job(m, n, k, seed, beta);
+    driver().gemm(job.problem()).expect("reference gemm");
+    job.into_c()
+}
+
+fn assert_bits(got: &OwnedMat, want: &OwnedMat, who: &str) {
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            assert_eq!(
+                got.get(i, j).to_bits(),
+                want.get(i, j).to_bits(),
+                "{who}: ({i},{j}) diverged from the sequential per-call run"
+            );
+        }
+    }
+}
+
+/// Degraded completions ran a different backend tier (different FMA
+/// contraction), so they are tolerance-checked, not bit-checked.
+fn assert_close(got: &OwnedMat, want: &OwnedMat, who: &str) {
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            let (g, w) = (got.get(i, j), want.get(i, j));
+            assert!((g - w).abs() <= 2e-3 * w.abs().max(1.0), "{who}: ({i},{j}): {g} vs reference {w}");
+        }
+    }
+}
+
+fn wait_or_hang(handle: &JobHandle) -> Result<CompletedJob, GemmError> {
+    handle
+        .wait_timeout(Duration::from_secs(120))
+        .expect("a job handle hung: the service must always resolve handles")
+}
+
+/// The headline chaos run: every executable fault class armed at once,
+/// four concurrent submitters, and the full contract checked afterwards.
+/// `beta = 0` everywhere, so executional failures are eligible for the
+/// tier-down retry; jobs killed at shard level may still fail — but only
+/// with `JobPanicked`/`Kernel`, and only they.
+#[test]
+fn armed_chaos_run_stays_live_and_survivors_stay_bit_identical() {
+    let _guard = serial();
+    fault::disarm();
+    const CALLERS: usize = 4;
+    const JOBS: usize = 12;
+    // Three recurring shapes so batch groups grow past one entry and the
+    // pool-level fault classes see sharded work.
+    let shape = |j: usize| [(24, 20, 16), (16, 16, 16), (33, 9, 21)][j % 3];
+    let refs: Vec<Vec<OwnedMat>> = (0..CALLERS)
+        .map(|caller| {
+            (0..JOBS)
+                .map(|j| {
+                    let (m, n, k) = shape(j);
+                    reference_c(m, n, k, caller * JOBS + j, 0.0)
+                })
+                .collect()
+        })
+        .collect();
+
+    let service = GemmService::with_config(driver(), ServiceConfig { queue_capacity: 16, max_batch: 8 });
+    FaultPlan::new().pool_panic(7).worker_death(3).entry_panic(5).slow(9, 5).decline(13).arm();
+
+    let outcomes: Vec<Vec<Result<CompletedJob, GemmError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|caller| {
+                let service = &service;
+                scope.spawn(move || {
+                    let submitted: Vec<JobHandle> = (0..JOBS)
+                        .map(|j| {
+                            let (m, n, k) = shape(j);
+                            service
+                                .submit(make_job(m, n, k, caller * JOBS + j, 0.0))
+                                .expect("a live service accepts submissions")
+                        })
+                        .collect();
+                    submitted.iter().map(wait_or_hang).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("submitter thread")).collect()
+    });
+    fault::disarm();
+
+    for (caller, (results, wants)) in outcomes.iter().zip(&refs).enumerate() {
+        for (j, (outcome, want)) in results.iter().zip(wants).enumerate() {
+            let who = format!("caller {caller} job {j}");
+            match outcome {
+                Ok(done) if done.stats.degraded => assert_close(&done.c, want, &who),
+                Ok(done) => assert_bits(&done.c, want, &who),
+                Err(GemmError::JobPanicked { .. }) | Err(GemmError::Kernel { .. }) => {}
+                Err(other) => panic!("{who}: unexpected failure class {other:?}"),
+            }
+        }
+    }
+
+    let stats = service.stats();
+    let total = (CALLERS * JOBS) as u64;
+    assert_eq!(stats.jobs_submitted, total);
+    assert_eq!(
+        stats.jobs_completed + stats.jobs_failed,
+        total,
+        "every submitted job must be accounted for: {stats}"
+    );
+    assert!(stats.panics_caught >= 1, "the armed entry-panic must have been caught: {stats}");
+    assert!(stats.retries >= 1, "beta = 0 failures must have been retried: {stats}");
+    assert!(stats.degraded_completions >= 1, "the declined entry must complete degraded: {stats}");
+    assert_eq!(stats.deadline_expired, 0);
+    assert_ne!(service.health(), ServiceHealth::Failed, "chaos must not kill the service");
+
+    // Disarmed, the service keeps serving cleanly.
+    let epilogue =
+        service.submit(make_job(16, 16, 16, 999, 0.0)).expect("service accepts after the chaos run");
+    let done = wait_or_hang(&epilogue).expect("clean job after disarm");
+    assert_eq!(done.stats.flop_count, 2 * 16 * 16 * 16);
+}
+
+/// The acceptance criterion for isolation: a panic inside one batch entry
+/// fails only that job. `beta != 0` disables the tier-down retry (C may
+/// already be partially written), so the fault surfaces as `JobPanicked`.
+#[test]
+fn an_entry_panic_fails_only_its_own_job() {
+    let _guard = serial();
+    fault::disarm();
+    let driver = driver();
+    const N: usize = 6;
+    let refs: Vec<OwnedMat> = (0..N).map(|s| reference_c(24, 20, 16, s, 1.0)).collect();
+    let mut jobs: Vec<GemmJob> = (0..N).map(|s| make_job(24, 20, 16, s, 1.0)).collect();
+
+    FaultPlan::new().entry_panic(3).arm();
+    let mut batch = GemmBatch::new();
+    for job in &mut jobs {
+        batch.push(job.problem());
+    }
+    let report = driver.gemm_batch(batch);
+    fault::disarm();
+
+    assert_eq!(report.panics_caught, 1);
+    assert_eq!(report.retries, 0, "beta != 0 must never retry: C was partially written");
+    let mut panicked = 0;
+    for (idx, (job, outcome)) in jobs.into_iter().zip(&report.outcomes).enumerate() {
+        match outcome {
+            Ok(stats) => {
+                assert!(stats.batched);
+                assert_bits(&job.into_c(), &refs[idx], &format!("entry {idx}"));
+            }
+            Err(GemmError::JobPanicked { message }) => {
+                assert!(message.contains("injected fault"), "unexpected payload: {message}");
+                panicked += 1;
+            }
+            Err(other) => panic!("entry {idx}: unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(panicked, 1, "exactly the faulted entry fails; its neighbours complete");
+}
+
+/// A slow batch holds the queue; jobs whose deadline expires while waiting
+/// resolve with `DeadlineExceeded` instead of executing stale work, while
+/// the slow job itself still completes bit-identically (the fault only
+/// sleeps).
+#[test]
+fn slow_batches_expire_queued_deadlines() {
+    let _guard = serial();
+    fault::disarm();
+    let want = reference_c(16, 16, 16, 1, 0.0);
+    let service = GemmService::with_config(driver(), ServiceConfig { queue_capacity: 8, max_batch: 4 });
+    FaultPlan::new().slow(1, 120).arm();
+    let slow = service.submit(make_job(16, 16, 16, 1, 0.0)).expect("accepting");
+    // Give the collector a beat to pick up the slow batch, then queue
+    // deadline-bound work behind it.
+    std::thread::sleep(Duration::from_millis(30));
+    let expired: Vec<JobHandle> = (2..4)
+        .map(|s| {
+            service.submit(make_job(16, 16, 16, s, 0.0).with_deadline(Duration::ZERO)).expect("accepting")
+        })
+        .collect();
+
+    let done = wait_or_hang(&slow).expect("the slow job still completes");
+    assert_bits(&done.c, &want, "slow job");
+    for handle in &expired {
+        match wait_or_hang(handle) {
+            Err(GemmError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    fault::disarm();
+    let stats = service.stats();
+    assert_eq!(stats.deadline_expired, 2);
+    assert_eq!(stats.jobs_failed, 2);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+/// A simulated backend decline on a `beta = 0` job retries once on the
+/// next tier down and completes, stamped `degraded`, with the service
+/// health raised to `Degraded` (but still serving).
+#[test]
+fn a_declined_entry_retries_one_tier_down_and_completes() {
+    let _guard = serial();
+    fault::disarm();
+    let want = reference_c(24, 24, 24, 9, 0.0);
+    let service = GemmService::new(driver());
+    FaultPlan::new().decline(1).arm();
+    let handle = service.submit(make_job(24, 24, 24, 9, 0.0)).expect("accepting");
+    let done = wait_or_hang(&handle).expect("declined job must complete via the fallback tier");
+    fault::disarm();
+
+    assert!(done.stats.degraded, "the completion must be stamped as degraded");
+    assert_close(&done.c, &want, "degraded completion");
+    let stats = service.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.degraded_completions, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(service.health(), ServiceHealth::Degraded);
+
+    // Degraded is not dead: the next clean job serves normally.
+    let clean = service.submit(make_job(16, 16, 16, 10, 0.0)).expect("degraded still accepts");
+    assert!(wait_or_hang(&clean).is_ok());
+}
+
+/// Collector death is the worst case: the service flips to `Failed`,
+/// every outstanding handle resolves with `ServiceShutdown` (no hangs),
+/// later submissions are refused with the job handed back, and the books
+/// still balance.
+#[test]
+fn collector_death_resolves_outstanding_handles_and_fails_the_service() {
+    let _guard = serial();
+    fault::disarm();
+    let service = GemmService::with_config(driver(), ServiceConfig { queue_capacity: 8, max_batch: 4 });
+    FaultPlan::new().collector_panic(2).arm();
+
+    // Batch 1 survives (the countdown fires before batch 2).
+    let first = service.submit(make_job(16, 16, 16, 0, 0.0)).expect("accepting");
+    assert!(wait_or_hang(&first).is_ok());
+
+    // The next burst triggers the collector panic. Depending on timing a
+    // submission may be accepted (its handle must then resolve with
+    // ServiceShutdown) or refused outright — either way nothing hangs and
+    // nothing is lost.
+    let mut accepted = Vec::new();
+    for s in 1..5 {
+        match service.submit(make_job(16, 16, 16, s, 0.0)) {
+            Ok(handle) => accepted.push(handle),
+            Err(e) => assert_eq!(e.reason(), SubmitErrorReason::Shutdown),
+        }
+    }
+    for handle in &accepted {
+        match wait_or_hang(handle) {
+            Err(GemmError::ServiceShutdown) => {}
+            other => panic!("expected ServiceShutdown, got {other:?}"),
+        }
+    }
+    fault::disarm();
+
+    // Health flips to Failed (the flip races the last handle resolution by
+    // a hair, so poll briefly).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while service.health() != ServiceHealth::Failed {
+        assert!(std::time::Instant::now() < deadline, "service never reported Failed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let refused = service.submit(make_job(16, 16, 16, 9, 0.0));
+    match refused {
+        Err(e) => {
+            assert_eq!(e.reason(), SubmitErrorReason::Shutdown);
+            let job = e.into_job(); // the job comes back intact
+            assert_eq!(job.deadline(), None);
+        }
+        Ok(_) => panic!("a failed service must refuse new work"),
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.jobs_completed + stats.jobs_failed,
+        stats.jobs_submitted,
+        "the books must balance after collector death: {stats}"
+    );
+    assert_eq!(stats.health, ServiceHealth::Failed);
+    drop(service); // must join cleanly, not hang
+}
+
+/// Dropping a service with handles still outstanding must resolve every
+/// one of them — accepted work drains and completes; nothing hangs.
+#[test]
+fn shutdown_with_outstanding_handles_resolves_them_all() {
+    let _guard = serial();
+    fault::disarm();
+    let service = GemmService::with_config(driver(), ServiceConfig { queue_capacity: 8, max_batch: 2 });
+    let handles: Vec<JobHandle> =
+        (0..6).map(|s| service.submit(make_job(16, 16, 16, s, 0.0)).expect("accepting")).collect();
+    drop(service);
+    for (idx, handle) in handles.iter().enumerate() {
+        match wait_or_hang(handle) {
+            Ok(done) => assert_eq!(done.stats.flop_count, 2 * 16 * 16 * 16),
+            // A job can only fail here if shutdown outran acceptance —
+            // and then it must say so, not hang.
+            Err(GemmError::ServiceShutdown) => panic!("job {idx} was accepted, it must complete"),
+            Err(other) => panic!("job {idx}: unexpected error {other:?}"),
+        }
+    }
+}
+
+/// CI's entry point: when `EXO_FAULT` is set, the first service
+/// construction arms it and this generic liveness run must survive
+/// whatever the spec throws. Without `EXO_FAULT` the test is a no-op.
+#[test]
+fn env_spec_drives_a_full_fault_run() {
+    let spec = match std::env::var("EXO_FAULT") {
+        Ok(spec) if !spec.is_empty() => spec,
+        _ => return,
+    };
+    let _guard = serial();
+    // Constructing the service arms the env plan (first construction in
+    // this process wins the OnceLock).
+    let service = GemmService::with_config(driver(), ServiceConfig { queue_capacity: 16, max_batch: 8 });
+    const CALLERS: usize = 4;
+    const JOBS: usize = 8;
+    let outcomes: Vec<Result<CompletedJob, GemmError>> = std::thread::scope(|scope| {
+        let spawned: Vec<_> = (0..CALLERS)
+            .map(|caller| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    for j in 0..JOBS {
+                        match service.submit(make_job(24, 20, 16, caller * JOBS + j, 0.0)) {
+                            Ok(handle) => results.push(wait_or_hang(&handle)),
+                            // A collector-panic spec may flip the service
+                            // to Failed mid-run; refusal is a valid
+                            // outcome, hanging is not.
+                            Err(e) => results.push(Err(e.gemm_error())),
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        spawned.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
+    });
+    fault::disarm();
+
+    assert_eq!(outcomes.len(), CALLERS * JOBS, "every job resolved, spec `{spec}`");
+    let stats = service.stats();
+    assert_eq!(
+        stats.jobs_completed + stats.jobs_failed,
+        stats.jobs_submitted,
+        "books must balance under EXO_FAULT={spec}: {stats}"
+    );
+    if service.health() != ServiceHealth::Failed {
+        let clean = service.submit(make_job(16, 16, 16, 777, 0.0)).expect("live service accepts");
+        assert!(wait_or_hang(&clean).is_ok());
+    }
+}

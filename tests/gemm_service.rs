@@ -134,7 +134,10 @@ fn concurrent_callers_match_the_sequential_reference_bitwise() {
         for caller in &per_caller {
             scope.spawn(|| {
                 // Keep a couple of jobs in flight per caller so batches form.
-                let handles: Vec<_> = caller.iter().map(|case| service.submit(case.job())).collect();
+                let handles: Vec<_> = caller
+                    .iter()
+                    .map(|case| service.submit(case.job()).expect("healthy service accepts"))
+                    .collect();
                 for (case, handle) in caller.iter().zip(handles) {
                     let done = handle.wait().unwrap();
                     assert!(done.stats.batched, "service runs must go through the batch path");
@@ -167,7 +170,7 @@ fn batch_edge_cases_empty_single_mixed_degenerate() {
     let executor = TunedGemm::new();
 
     // Empty batch: no work, no stats, no error.
-    assert!(executor.gemm_batch(GemmBatch::new()).unwrap().is_empty());
+    assert!(executor.gemm_batch(GemmBatch::new()).into_stats().unwrap().is_empty());
 
     // Single entry behaves exactly like a per-call run.
     let mut cases = Cases::new(0x5E27_0002);
@@ -175,7 +178,7 @@ fn batch_edge_cases_empty_single_mixed_degenerate() {
     let mut job = single.job();
     let mut batch = GemmBatch::new();
     batch.push(job.problem());
-    let stats = executor.gemm_batch(batch).unwrap();
+    let stats = executor.gemm_batch(batch).into_stats().unwrap();
     assert_eq!(stats.len(), 1);
     assert!(stats[0].batched);
 
@@ -198,7 +201,7 @@ fn batch_edge_cases_empty_single_mixed_degenerate() {
     for job in &mut jobs {
         batch.push(job.problem());
     }
-    let stats = executor.gemm_batch(batch).unwrap();
+    let stats = executor.gemm_batch(batch).into_stats().unwrap();
     assert_eq!(stats.len(), shapes.len());
     for (st, &(m, n, k)) in stats.iter().zip(&shapes) {
         assert_eq!((st.m, st.n, st.k), (m, n, k));
@@ -225,7 +228,7 @@ fn hot_paths_reuse_the_pool_without_spawning_threads() {
     executor.gemm(job.problem()).unwrap();
     let mut batch = GemmBatch::new();
     batch.push(job.problem());
-    executor.gemm_batch(batch).unwrap();
+    executor.gemm_batch(batch).into_stats().unwrap();
 
     let spawned_after_warmup = pool.threads_spawned();
 
@@ -241,7 +244,7 @@ fn hot_paths_reuse_the_pool_without_spawning_threads() {
     for job in &mut jobs {
         batch.push(job.problem());
     }
-    executor.gemm_batch(batch).unwrap();
+    executor.gemm_batch(batch).into_stats().unwrap();
     for result in service.execute_all(hot.iter().map(|c| c.job()).collect()) {
         result.unwrap();
     }
