@@ -17,8 +17,9 @@
 //! * `superword+arena+transB`   — the portable path with `op(B) = T`
 //!   (`B` stored `n x k`, transposed through the view, folded into
 //!   packing's stride walk),
-//! * `simd`                     — the native AVX2/FMA closure chain,
-//!   legacy driver (isolates the intrinsic win from the driver win),
+//! * `simd`                     — the native closure chain for the active
+//!   vector ISA (AVX2/FMA, NEON, or the scalar reference), legacy driver
+//!   (isolates the intrinsic win from the driver win),
 //! * `simd+arena+threads`       — the chain plus arenas plus the threaded
 //!   block loop: the default production path on x86_64,
 //! * `simd+arena+strided`       — the production path over strided views.
@@ -46,16 +47,19 @@
 //! * the backend ordering must hold at every size — `simd >= superword >=
 //!   tape >= interp` (a faster tier measuring slower than its fallback
 //!   means the fast path regressed below the slow one); the `simd >=
-//!   superword` leg only applies when the host actually runs the chain
-//!   (`simd_available()`), since elsewhere the two series are the same
-//!   code and differ only by noise;
+//!   superword` leg only applies when a *native* ISA is selected
+//!   (`simd_available()`), since the scalar chain has no vector win over
+//!   the superword loop and the two differ only by noise;
 //! * the serve ordering must hold — `batched >= per_call` (batching exists
 //!   to amortise per-call overhead; measuring below the per-call loop
 //!   means the batch path regressed);
 //! * with `--check BASELINE`, each backend's geomean GFLOPS over the sizes
 //!   shared with the committed baseline must not drop more than 25% below
 //!   the baseline's geomean over those same sizes, and each serve series
-//!   present in the baseline must hold the same floor.
+//!   present in the baseline must hold the same floor. The JSON records
+//!   which ISA produced the numbers (`"isa"`); a baseline recorded on a
+//!   different ISA is not comparable, so the geomean floors are skipped
+//!   with a visible note instead of failing spuriously.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,8 +67,8 @@ use std::time::Instant;
 use exo_serve::{GemmBatch, GemmBatchExecutor, GemmJob, GemmService, OwnedMat, ServiceConfig};
 use exo_tune::TunedGemm;
 use gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, simd_available, BlisGemm,
-    BlockingParams, GemmExecutor, GemmProblem, KernelImpl, MatMut, MatRef,
+    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, simd_available,
+    BlisGemm, BlockingParams, GemmExecutor, GemmProblem, IsaKind, KernelImpl, MatMut, MatRef,
 };
 use ukernel_gen::MicroKernelGenerator;
 
@@ -333,6 +337,9 @@ struct Baseline {
     /// The `serve` section's per-series GFLOPS, when the baseline has one
     /// (older baselines predate the serve layer).
     serve: Vec<(String, f64)>,
+    /// Which vector ISA produced the baseline numbers, when recorded
+    /// (older baselines predate the multi-ISA backend and carry none).
+    isa: Option<String>,
 }
 
 fn load_baseline(path: &str) -> Result<Baseline, String> {
@@ -365,7 +372,8 @@ fn load_baseline(path: &str) -> Result<Baseline, String> {
             serve.push((name.clone(), v.as_num().ok_or("non-numeric serve gflops")?));
         }
     }
-    Ok(Baseline { sizes, series, serve })
+    let isa = json.get("isa").and_then(|v| v.as_str()).map(str::to_string);
+    Ok(Baseline { sizes, series, serve, isa })
 }
 
 /// The `--check` regression gate: every backend in the committed baseline
@@ -382,6 +390,20 @@ fn check_against_baseline(
     serve_names: &[&str],
     serve_gflops: &[f64],
 ) -> bool {
+    // The floors compare like-for-like only: a baseline recorded on a
+    // different vector ISA (or on one when this run has none pinned the
+    // same way) measures different machine code, so its geomeans say
+    // nothing about a regression here.
+    let current_isa = active_isa().name();
+    if let Some(base_isa) = &baseline.isa {
+        if base_isa != current_isa {
+            println!(
+                "\n--check: baseline was recorded on the `{base_isa}` ISA but this run uses \
+                 `{current_isa}`; geomean floors skipped (not comparable like-for-like)"
+            );
+            return true;
+        }
+    }
     let common: Vec<usize> = sizes.iter().copied().filter(|s| baseline.sizes.contains(s)).collect();
     if common.is_empty() {
         eprintln!("CHECK FAIL: no sizes in common with the baseline ({:?})", baseline.sizes);
@@ -576,7 +598,11 @@ fn main() {
     println!("superword over tape:  min {sw_min:.1}x, geomean {sw_geo:.1}x");
     println!(
         "simd over superword:  min {simd_min:.1}x, geomean {simd_geo:.1}x{}",
-        if simd_available() { "" } else { "  (no AVX2/FMA: simd ran the superword fallback)" }
+        if simd_available() {
+            format!("  (isa: {})", active_isa())
+        } else {
+            "  (no native ISA: simd ran the bit-exact scalar chain)".to_string()
+        }
     );
 
     // The serve_throughput section: the exo-serve layer on the
@@ -632,6 +658,13 @@ fn main() {
         json_f64(simd_geo)
     ));
     json.push_str(&format!("  \"simd_available\": {},\n", simd_available()));
+    json.push_str(&format!("  \"isa\": \"{}\",\n", active_isa().name()));
+    json.push_str("  \"isa_available\": {\n");
+    for (i, isa) in IsaKind::ALL.iter().enumerate() {
+        let comma = if i + 1 < IsaKind::ALL.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {}{}\n", isa.name(), isa.available(), comma));
+    }
+    json.push_str("  },\n");
     json.push_str("  \"serve\": {\n");
     json.push_str(&format!("    \"problems\": {SERVE_PROBLEMS},\n"));
     json.push_str(&format!("    \"callers\": {SERVE_CALLERS},\n"));
@@ -649,9 +682,9 @@ fn main() {
 
     // CI gate 1: the backend ordering must hold at every size — a faster
     // tier measuring slower than its own fallback is a hard regression.
-    // The simd leg only applies where the chain actually runs: without
-    // AVX2/FMA the simd series *is* the superword code and the two differ
-    // only by measurement noise.
+    // The simd leg only applies where a *native* chain runs: on the scalar
+    // ISA the chain does the same scalar arithmetic as the superword loop
+    // and the two differ only by measurement noise.
     let mut failed = false;
     for (i, &size) in sizes.iter().enumerate() {
         if gflops[tape_i][i] < gflops[interp_i][i] {

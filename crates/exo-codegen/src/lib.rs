@@ -19,14 +19,16 @@
 //!   register per dispatch over a validated, bounds-free register file —
 //!   the fastest *portable* backend, and every other tier's fallback,
 //! * [`simd`] — the native tier: the validated superword ops compiled once
-//!   per kernel into a chain of monomorphic closures over AVX2/FMA
-//!   intrinsics, selected at run time by feature detection — the fastest
-//!   backend, and the one the GEMM hot path dispatches through on x86_64.
+//!   per kernel into a chain of monomorphic closures over the widest
+//!   vector ISA the host can run — AVX2/FMA on x86_64, NEON on aarch64, a
+//!   bit-exact scalar reference everywhere (pin one with `EXO_ISA`) — the
+//!   fastest backend, and the one the GEMM hot path dispatches through.
 
 #![warn(missing_docs)]
 
 pub mod asm;
 pub mod c;
+pub mod env;
 pub mod error;
 pub mod exec;
 pub mod simd;
@@ -36,9 +38,12 @@ pub mod trace;
 
 pub use asm::{count_mnemonics, emit_asm};
 pub use c::emit_c;
+pub use env::env_once;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};
-pub use simd::{fma_contraction_tol, simd_available, SimdDispatch, SimdKernel};
+pub use simd::{
+    active_isa, env_isa_override, fma_contraction_tol, simd_available, IsaKind, SimdDispatch, SimdKernel,
+};
 pub use superword::{SuperwordDispatch, SuperwordKernel};
 pub use tape::{TapeKernel, TensorView};
 pub use trace::{extract_trace, summarise, KernelTrace, MachineOp};

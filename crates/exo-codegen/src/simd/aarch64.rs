@@ -1,0 +1,72 @@
+//! The NEON implementation of [`VectorIsa`]: 4-lane `float32x4_t` chains
+//! via `vfmaq_f32`.
+//!
+//! NEON (Advanced SIMD) is a baseline feature of every aarch64 Rust
+//! target — `cfg!(target_feature = "neon")` holds without any
+//! `-C target-feature` flags — so unlike AVX2 there is no
+//! `#[target_feature]` call boundary to honour: the fine-grained trait
+//! ops inline straight into the generic composed helpers, and the
+//! monomorphised defaults *are* the NEON implementation. An 8-lane
+//! superword run (the `MR = 8` micro-kernels were shaped for one
+//! `__m256`) re-rolls into a pair of `float32x4_t` ops inside the
+//! default [`VectorIsa::fma_run`] / [`VectorIsa::fma_tile`] loops; this
+//! is exactly the 2×`vfmaq_f32`-per-row lowering the paper's Fig. 5
+//! Carmel micro-kernel uses, recovered mechanically instead of
+//! hand-written.
+//!
+//! `vfmaq_f32(acc, a, b)` computes `acc + a·b` with a single rounding —
+//! the same FMA contraction contract as the AVX2 chain, held to
+//! [`super::fma_contraction_tol`] by the differential suites.
+
+use std::arch::aarch64::{float32x4_t, vdupq_n_f32, vfmaq_f32, vld1q_f32, vst1q_f32};
+
+use super::VectorIsa;
+
+/// The NEON vector implementation (4 × f32 per register).
+pub(crate) struct Neon;
+
+impl VectorIsa for Neon {
+    type Vector = float32x4_t;
+    const LANES: usize = 4;
+    const NAME: &'static str = "neon";
+
+    fn available() -> bool {
+        // Baseline on aarch64: the module only compiles there.
+        true
+    }
+
+    unsafe fn splat(v: f32) -> float32x4_t {
+        vdupq_n_f32(v)
+    }
+
+    unsafe fn load(p: *const f32) -> float32x4_t {
+        vld1q_f32(p)
+    }
+
+    unsafe fn store(p: *mut f32, v: float32x4_t) {
+        vst1q_f32(p, v)
+    }
+
+    unsafe fn fma(acc: float32x4_t, a: float32x4_t, b: float32x4_t) -> float32x4_t {
+        vfmaq_f32(acc, a, b)
+    }
+
+    unsafe fn load_partial(p: *const f32, n: usize) -> float32x4_t {
+        debug_assert!(n < Self::LANES);
+        let mut buf = [0.0f32; 4];
+        std::ptr::copy_nonoverlapping(p, buf.as_mut_ptr(), n);
+        vld1q_f32(buf.as_ptr())
+    }
+
+    unsafe fn store_partial(p: *mut f32, v: float32x4_t, n: usize) {
+        debug_assert!(n < Self::LANES);
+        let mut buf = [0.0f32; 4];
+        vst1q_f32(buf.as_mut_ptr(), v);
+        std::ptr::copy_nonoverlapping(buf.as_ptr(), p, n);
+    }
+
+    fn fma_scalar(acc: f32, a: f32, b: f32) -> f32 {
+        // Lowers to a scalar `fmadd` — contracted like the vector lanes.
+        a.mul_add(b, acc)
+    }
+}

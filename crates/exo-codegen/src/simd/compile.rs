@@ -1,0 +1,446 @@
+//! The ISA-generic chain compiler: one monomorphic closure per superword
+//! op, fused tiles for `VFmaLane` runs, vector intrinsics per lane shape.
+//!
+//! Everything here is generic over [`VectorIsa`] and monomorphised per
+//! implementation at [`build_nodes`] time: the closures a chain holds are
+//! compiled *for* one ISA, so the hot path never dispatches over the ISA
+//! again. Register-file copies (`VLoad`/`VStore`) are plain memcpys and
+//! need no intrinsics; the FMA ops route through the ISA's register-run
+//! helpers, which pick vector bodies, masked fringes, and scalar tails.
+
+use super::VectorIsa;
+use crate::superword::{SAddr, VOp};
+use crate::tape::{Addr, TOp};
+
+/// Chain statistics accumulated during compilation.
+#[derive(Default)]
+pub(super) struct BuildStats {
+    pub(super) steps: usize,
+    pub(super) fused_tiles: usize,
+}
+
+/// One pre-compiled closure: operands resolved at compile time, intrinsics
+/// selected for the lane shape. Receives the register file, the tensor
+/// base-pointer table, and the loop/scalar tables of the current run.
+pub(super) type StepFn = Box<dyn Fn(*mut f32, &[*mut f32], &[i64], &[i64]) + Send + Sync>;
+
+/// A node of the compiled program: a straight-line step or a native loop
+/// over a nested chain.
+pub(super) enum Node {
+    /// One pre-compiled op.
+    Step(StepFn),
+    /// A dynamic loop: evaluate bounds, run the body chain per iteration
+    /// with the counter written into its slot.
+    Loop { slot: usize, lo: SAddr, hi: SAddr, body: Vec<Node> },
+    /// A dynamic loop whose whole body fused into one closure (the laneq
+    /// micro-kernel's `KC` loop): the counter drives the step directly,
+    /// no per-iteration chain walk.
+    LoopStep { slot: usize, lo: SAddr, hi: SAddr, step: StepFn },
+}
+
+/// Runs a compiled chain: steps call straight through their closure, loops
+/// drive native counters over their body chain.
+///
+/// # Safety
+///
+/// As `SimdKernel::exec_unchecked` — every closure assumes the proofs
+/// hold for the pointers and tables it receives.
+pub(super) unsafe fn run_nodes(
+    nodes: &[Node],
+    regs: *mut f32,
+    tens: &[*mut f32],
+    loops: &mut [i64],
+    scalars: &[i64],
+) {
+    for node in nodes {
+        match node {
+            Node::Step(f) => f(regs, tens, loops, scalars),
+            Node::Loop { slot, lo, hi, body } => {
+                let l = lo.eval(loops, scalars);
+                let h = hi.eval(loops, scalars);
+                let mut v = l;
+                while v < h {
+                    *loops.get_unchecked_mut(*slot) = v;
+                    run_nodes(body, regs, tens, loops, scalars);
+                    v += 1;
+                }
+            }
+            Node::LoopStep { slot, lo, hi, step } => {
+                let l = lo.eval(loops, scalars);
+                let h = hi.eval(loops, scalars);
+                let mut v = l;
+                while v < h {
+                    *loops.get_unchecked_mut(*slot) = v;
+                    step(regs, tens, loops, scalars);
+                    v += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Whether `[a, a + len)` and `[b, b + blen)` intersect.
+fn overlaps(a: usize, len: usize, b: usize, blen: usize) -> bool {
+    a < b + blen && b < a + len
+}
+
+/// A register-file copy closure (`VLoad`/`VStore` are memcpys between
+/// a tensor and a lane-aligned register run; `copy_nonoverlapping`
+/// lowers to vector moves). `LOAD` selects the direction.
+fn copy_step<const LOAD: bool>(reg: usize, buf: usize, lanes: usize, addr: &SAddr) -> StepFn {
+    // Specialise the hot single-loop-term address so the chain never
+    // touches the general evaluator on the packed-operand walk.
+    if let SAddr::Loop { base, slot, coeff } = *addr {
+        let slot = slot as usize;
+        Box::new(move |regs, tens, loops, _scalars| unsafe {
+            let idx = (base + coeff * *loops.get_unchecked(slot)) as usize;
+            let t = (*tens.get_unchecked(buf)).add(idx);
+            if LOAD {
+                std::ptr::copy_nonoverlapping(t as *const f32, regs.add(reg), lanes);
+            } else {
+                std::ptr::copy_nonoverlapping(regs.add(reg) as *const f32, t, lanes);
+            }
+        })
+    } else {
+        let addr = addr.clone();
+        Box::new(move |regs, tens, loops, scalars| unsafe {
+            let idx = addr.eval(loops, scalars) as usize;
+            let t = (*tens.get_unchecked(buf)).add(idx);
+            if LOAD {
+                std::ptr::copy_nonoverlapping(t as *const f32, regs.add(reg), lanes);
+            } else {
+                std::ptr::copy_nonoverlapping(regs.add(reg) as *const f32, t, lanes);
+            }
+        })
+    }
+}
+
+/// One `VFmaLane` op as a closure, vector form when the runs permit.
+fn fma_lane_step<I: VectorIsa>(dst: usize, a: usize, b: usize, lanes: usize) -> StepFn {
+    if a != dst && overlaps(a, lanes, dst, lanes) {
+        // Partial overlap: ascending lane order is semantic — keep it.
+        Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+            I::fma_run_inorder(regs, dst, a, *regs.add(b), lanes);
+        })
+    } else {
+        Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+            I::fma_run(regs, dst, a, *regs.add(b), lanes);
+        })
+    }
+}
+
+/// One `VFmaBcast` op: broadcast one tensor element, write the scratch
+/// register (the scalar sequence leaves it written), FMA the run.
+fn fma_bcast_step<I: VectorIsa>(
+    dst: usize,
+    a: usize,
+    buf: usize,
+    addr: &SAddr,
+    scratch: usize,
+    lanes: usize,
+) -> StepFn {
+    let addr = addr.clone();
+    let plain_order = a == dst || !overlaps(a, lanes, dst, lanes);
+    Box::new(move |regs, tens, loops, scalars| unsafe {
+        let idx = addr.eval(loops, scalars) as usize;
+        let bval = *(*tens.get_unchecked(buf)).add(idx);
+        *regs.add(scratch) = bval;
+        if plain_order {
+            I::fma_run(regs, dst, a, bval, lanes);
+        } else {
+            I::fma_run_inorder(regs, dst, a, bval, lanes);
+        }
+    })
+}
+
+/// A scalar tape op as a closure. Scalar `Fma` takes the ISA's scalar
+/// rounding (contracted on the native ISAs, two roundings on the scalar
+/// reference) like the rest of the tier.
+fn scalar_step<I: VectorIsa>(op: &TOp) -> Option<StepFn> {
+    let addr_eval = |addr: &Addr| {
+        let addr = SAddr::from_addr(addr);
+        move |loops: &[i64], scalars: &[i64]| addr.eval(loops, scalars)
+    };
+    Some(match op {
+        TOp::ConstF { dst, val } => {
+            let (dst, val) = (*dst as usize, *val);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = val })
+        }
+        TOp::LoadT { dst, buf, addr } => {
+            let (dst, buf, at) = (*dst as usize, *buf as usize, addr_eval(addr));
+            Box::new(move |regs, tens, loops, scalars| unsafe {
+                let idx = at(loops, scalars) as usize;
+                *regs.add(dst) = *(*tens.get_unchecked(buf)).add(idx);
+            })
+        }
+        TOp::StoreT { src, buf, addr } => {
+            let (src, buf, at) = (*src as usize, *buf as usize, addr_eval(addr));
+            Box::new(move |regs, tens, loops, scalars| unsafe {
+                let idx = at(loops, scalars) as usize;
+                *(*tens.get_unchecked(buf)).add(idx) = *regs.add(src);
+            })
+        }
+        TOp::Mov { dst, src } => {
+            let (dst, src) = (*dst as usize, *src as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(src) })
+        }
+        TOp::Add { dst, a, b } => {
+            let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) + *regs.add(b) })
+        }
+        TOp::Sub { dst, a, b } => {
+            let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) - *regs.add(b) })
+        }
+        TOp::Mul { dst, a, b } => {
+            let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) * *regs.add(b) })
+        }
+        TOp::Div { dst, a, b } => {
+            let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = *regs.add(a) / *regs.add(b) })
+        }
+        TOp::Neg { dst, src } => {
+            let (dst, src) = (*dst as usize, *src as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) = -*regs.add(src) })
+        }
+        TOp::Fma { dst, a, b } => {
+            let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe {
+                I::fma_run_inorder(regs, dst, a, *regs.add(b), 1);
+            })
+        }
+        TOp::AddAssign { dst, src } => {
+            let (dst, src) = (*dst as usize, *src as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe { *regs.add(dst) += *regs.add(src) })
+        }
+        TOp::CastI { dst, value } => {
+            let (dst, at) = (*dst as usize, addr_eval(value));
+            Box::new(move |regs, _tens, loops, scalars| unsafe {
+                *regs.add(dst) = at(loops, scalars) as f32;
+            })
+        }
+        TOp::Round { reg } => {
+            let reg = *reg as usize;
+            Box::new(move |regs, _t, _l, _s| unsafe {
+                let r = regs.add(reg);
+                *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
+            })
+        }
+        TOp::Zero { base, len } => {
+            let (base, len) = (*base as usize, *len as usize);
+            Box::new(move |regs, _t, _l, _s| unsafe {
+                std::ptr::write_bytes(regs.add(base), 0, len);
+            })
+        }
+        // Loop markers are lifted to VOp level by the superword pass;
+        // one surviving here means the source was not validated.
+        TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => return None,
+    })
+}
+
+/// Pre-resolved parameters of a fused accumulator tile.
+#[derive(Clone, Copy)]
+struct Tile {
+    dst: usize,
+    a: usize,
+    b: usize,
+    lanes: usize,
+    count: usize,
+}
+
+/// Recognises a run of `VFmaLane` ops starting at `ops[i]` that forms
+/// one tile: identical lane count (8 or 4 — the shapes `match_tile` was
+/// proven against; an ISA narrower than the run re-rolls it inside
+/// `fma_tile`), one shared operand run, broadcast registers ascending by
+/// one, accumulators ascending by `lanes`. Returns the tile and how many
+/// ops it spans.
+fn match_tile(ops: &[VOp], i: usize) -> Option<(Tile, usize)> {
+    let &VOp::VFmaLane { dst, a, b, lanes } = ops.get(i)? else { return None };
+    if lanes != 8 && lanes != 4 {
+        return None;
+    }
+    let mut count = 1usize;
+    while let Some(VOp::VFmaLane { dst: d2, a: a2, b: b2, lanes: l2 }) = ops.get(i + count) {
+        if *l2 == lanes && *a2 == a && *b2 == b + count as u32 && *d2 == dst + count as u32 * lanes {
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    let tile = Tile { dst: dst as usize, a: a as usize, b: b as usize, lanes: lanes as usize, count };
+    // Hoisting the operand load across the tile requires the operand
+    // run (and it alone — broadcast registers are re-read per row) to
+    // stay disjoint from every accumulator row written before it is
+    // read again.
+    if count < 2 || overlaps(tile.a, tile.lanes, tile.dst, count * tile.lanes) {
+        return None;
+    }
+    Some((tile, count))
+}
+
+/// One pre-resolved operand-stage `VLoad` of a fused micro-iteration:
+/// the address is the hot single-loop-term shape, fully unpacked.
+#[derive(Clone, Copy)]
+struct StageLoad {
+    reg: usize,
+    buf: usize,
+    lanes: usize,
+    base: i64,
+    slot: usize,
+    coeff: i64,
+}
+
+/// The monomorphic fused micro-iteration: `N` stage loads then the
+/// tile, one indirect call per `k` iteration, everything unrolled.
+fn fused_iteration<I: VectorIsa, const N: usize>(loads: [StageLoad; N], tile: Tile) -> StepFn {
+    Box::new(move |regs, tens, loops, _scalars| unsafe {
+        for ld in &loads {
+            let idx = (ld.base + ld.coeff * *loops.get_unchecked(ld.slot)) as usize;
+            let src = (*tens.get_unchecked(ld.buf)).add(idx);
+            std::ptr::copy_nonoverlapping(src as *const f32, regs.add(ld.reg), ld.lanes);
+        }
+        I::fma_tile(regs, tile.dst, tile.a, tile.b, tile.lanes, tile.count);
+    })
+}
+
+/// Fuses the dominant inner-loop body of a laneq micro-kernel —
+/// operand stage loads followed by one accumulator tile — into a
+/// single closure, so one `k` iteration costs one indirect call
+/// instead of one per op. Op order inside the closure is exactly the
+/// tape's: every load in sequence, then the tile rows ascending.
+/// Returns the closure and how many ops it consumed.
+fn try_fuse_iteration<I: VectorIsa>(ops: &[VOp], i: usize) -> Option<(StepFn, usize)> {
+    let mut loads = Vec::new();
+    let mut j = i;
+    while let Some(VOp::VLoad { dst, buf, addr, lanes }) = ops.get(j) {
+        // Only the hot loop-term address shape fuses; anything else
+        // keeps its own specialised closure.
+        let SAddr::Loop { base, slot, coeff } = *addr else { return None };
+        loads.push(StageLoad {
+            reg: *dst as usize,
+            buf: *buf as usize,
+            lanes: *lanes as usize,
+            base,
+            slot: slot as usize,
+            coeff,
+        });
+        j += 1;
+    }
+    let (tile, tile_ops) = match_tile(ops, j)?;
+    let used = (j - i) + tile_ops;
+    let step = match *loads.as_slice() {
+        [] => return None,
+        [l0] => fused_iteration::<I, 1>([l0], tile),
+        [l0, l1] => fused_iteration::<I, 2>([l0, l1], tile),
+        [l0, l1, l2] => fused_iteration::<I, 3>([l0, l1, l2], tile),
+        _ => return None,
+    };
+    Some((step, used))
+}
+
+/// A lone tile (no leading loads) as its own closure.
+fn try_fuse_tile<I: VectorIsa>(ops: &[VOp], i: usize) -> Option<(StepFn, usize)> {
+    let (tile, used) = match_tile(ops, i)?;
+    let step: StepFn = Box::new(move |regs, _tens, _loops, _scalars| unsafe {
+        I::fma_tile(regs, tile.dst, tile.a, tile.b, tile.lanes, tile.count);
+    });
+    Some((step, used))
+}
+
+/// Compiles a superword op slice into a node chain for one ISA, recursing
+/// into loop bodies. Returns `None` only for structurally invalid input
+/// (which `to_superword` never produces).
+pub(super) fn build_nodes<I: VectorIsa>(ops: &[VOp], stats: &mut BuildStats) -> Option<Vec<Node>> {
+    debug_assert!(I::available(), "chain compiled for {} on a host that cannot run it", I::NAME);
+    build_nodes_at::<I>(ops, 0, stats)
+}
+
+/// The recursion worker: `base` is the index of `ops[0]` in the
+/// original op vec, because every `LoopBegin`'s `end` jump target is
+/// absolute in that vec and must be rebased before indexing the
+/// subslice (nested dynamic loops would otherwise miss their
+/// `LoopEnd` by the accumulated offset and decline compilation).
+fn build_nodes_at<I: VectorIsa>(ops: &[VOp], base: usize, stats: &mut BuildStats) -> Option<Vec<Node>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < ops.len() {
+        match &ops[i] {
+            VOp::LoopBegin { slot, lo, hi, end } => {
+                let end = (*end as usize).checked_sub(base)?;
+                // Body spans (i + 1)..(end - 1); ops[end - 1] is the
+                // matching LoopEnd.
+                if end < 2 || end > ops.len() || !matches!(ops[end - 1], VOp::LoopEnd { .. }) {
+                    return None;
+                }
+                let mut body = build_nodes_at::<I>(&ops[i + 1..end - 1], base + i + 1, stats)?;
+                let (slot, lo, hi) = (*slot as usize, lo.clone(), hi.clone());
+                if body.len() == 1 && matches!(body[0], Node::Step(_)) {
+                    let Some(Node::Step(step)) = body.pop() else { unreachable!() };
+                    out.push(Node::LoopStep { slot, lo, hi, step });
+                } else {
+                    out.push(Node::Loop { slot, lo, hi, body });
+                }
+                i = end;
+            }
+            VOp::LoopEnd { .. } => return None,
+            VOp::VFmaLane { dst, a, b, lanes } => {
+                if let Some((step, used)) = try_fuse_tile::<I>(ops, i) {
+                    stats.fused_tiles += 1;
+                    stats.steps += 1;
+                    out.push(Node::Step(step));
+                    i += used;
+                } else {
+                    stats.steps += 1;
+                    out.push(Node::Step(fma_lane_step::<I>(
+                        *dst as usize,
+                        *a as usize,
+                        *b as usize,
+                        *lanes as usize,
+                    )));
+                    i += 1;
+                }
+            }
+            VOp::VLoad { dst, buf, addr, lanes } => {
+                if let Some((step, used)) = try_fuse_iteration::<I>(ops, i) {
+                    stats.fused_tiles += 1;
+                    stats.steps += 1;
+                    out.push(Node::Step(step));
+                    i += used;
+                } else {
+                    stats.steps += 1;
+                    out.push(Node::Step(copy_step::<true>(
+                        *dst as usize,
+                        *buf as usize,
+                        *lanes as usize,
+                        addr,
+                    )));
+                    i += 1;
+                }
+            }
+            VOp::VStore { src, buf, addr, lanes } => {
+                stats.steps += 1;
+                out.push(Node::Step(copy_step::<false>(*src as usize, *buf as usize, *lanes as usize, addr)));
+                i += 1;
+            }
+            VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
+                stats.steps += 1;
+                out.push(Node::Step(fma_bcast_step::<I>(
+                    *dst as usize,
+                    *a as usize,
+                    *buf as usize,
+                    addr,
+                    *scratch as usize,
+                    *lanes as usize,
+                )));
+                i += 1;
+            }
+            VOp::Scalar(op) => {
+                stats.steps += 1;
+                out.push(Node::Step(scalar_step::<I>(op)?));
+                i += 1;
+            }
+        }
+    }
+    Some(out)
+}

@@ -1,0 +1,159 @@
+//! The AVX2/FMA implementation of [`VectorIsa`]: 8-lane `__m256` chains
+//! with `__m128` quarters and contracted `mul_add` scalar tails.
+//!
+//! AVX2 is not a baseline x86_64 feature, so every vector body must sit
+//! behind a `#[target_feature(enable = "avx2", enable = "fma")]` call
+//! boundary — and `target_feature` cannot be applied to trait methods or
+//! generic functions. [`Avx2`] therefore overrides the three composed
+//! register-run helpers the chain compiler actually calls
+//! ([`VectorIsa::fma_run`] / [`VectorIsa::fma_run_inorder`] /
+//! [`VectorIsa::fma_tile`]) with thin delegations to `target_feature`
+//! free functions: one call boundary per closure invocation, exactly the
+//! structure the tier had when it was x86-only. The fine-grained trait
+//! ops are implemented for completeness (the generic defaults are never
+//! reached once the helpers are overridden) but carry no
+//! `target_feature` of their own.
+
+use std::arch::x86_64::{
+    __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps, _mm_fmadd_ps, _mm_loadu_ps,
+    _mm_set1_ps, _mm_storeu_ps,
+};
+
+use super::VectorIsa;
+
+/// The AVX2 + FMA vector implementation (8 × f32 per register).
+pub(crate) struct Avx2;
+
+impl VectorIsa for Avx2 {
+    type Vector = __m256;
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx2";
+
+    fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    unsafe fn splat(v: f32) -> __m256 {
+        _mm256_set1_ps(v)
+    }
+
+    unsafe fn load(p: *const f32) -> __m256 {
+        _mm256_loadu_ps(p)
+    }
+
+    unsafe fn store(p: *mut f32, v: __m256) {
+        _mm256_storeu_ps(p, v)
+    }
+
+    unsafe fn fma(acc: __m256, a: __m256, b: __m256) -> __m256 {
+        _mm256_fmadd_ps(a, b, acc)
+    }
+
+    unsafe fn load_partial(p: *const f32, n: usize) -> __m256 {
+        debug_assert!(n < Self::LANES);
+        let mut buf = [0.0f32; 8];
+        std::ptr::copy_nonoverlapping(p, buf.as_mut_ptr(), n);
+        _mm256_loadu_ps(buf.as_ptr())
+    }
+
+    unsafe fn store_partial(p: *mut f32, v: __m256, n: usize) {
+        debug_assert!(n < Self::LANES);
+        let mut buf = [0.0f32; 8];
+        _mm256_storeu_ps(buf.as_mut_ptr(), v);
+        std::ptr::copy_nonoverlapping(buf.as_ptr(), p, n);
+    }
+
+    fn fma_scalar(acc: f32, a: f32, b: f32) -> f32 {
+        a.mul_add(b, acc)
+    }
+
+    unsafe fn fma_run(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+        fma_run(regs, dst, a, bval, lanes)
+    }
+
+    unsafe fn fma_run_inorder(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+        fma_run_scalar(regs, dst, a, bval, lanes)
+    }
+
+    unsafe fn fma_tile(regs: *mut f32, dst0: usize, a: usize, b0: usize, lanes: usize, count: usize) {
+        fma_tile(regs, dst0, a, b0, lanes, count)
+    }
+}
+
+/// `lanes` FMAs `reg[dst+i] = reg[a+i] * bval + reg[dst+i]`, ascending:
+/// whole `__m256`s, then a `__m128` quarter, then `mul_add` scalar
+/// tails. Inside this `target_feature` context the scalar `mul_add`
+/// also lowers to a single `vfmadd` — the whole tier contracts.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA and both register runs in bounds (the superword
+/// construction proof).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_run(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+    let mut i = 0;
+    if lanes >= 8 {
+        let vb = _mm256_set1_ps(bval);
+        while i + 8 <= lanes {
+            let d = regs.add(dst + i);
+            let va = _mm256_loadu_ps(regs.add(a + i));
+            _mm256_storeu_ps(d, _mm256_fmadd_ps(va, vb, _mm256_loadu_ps(d)));
+            i += 8;
+        }
+    }
+    if i + 4 <= lanes {
+        let d = regs.add(dst + i);
+        let va = _mm_loadu_ps(regs.add(a + i));
+        _mm_storeu_ps(d, _mm_fmadd_ps(va, _mm_set1_ps(bval), _mm_loadu_ps(d)));
+        i += 4;
+    }
+    while i < lanes {
+        let d = regs.add(dst + i);
+        *d = (*regs.add(a + i)).mul_add(bval, *d);
+        i += 1;
+    }
+}
+
+/// The strict ascending-lane form, taken when the operand run overlaps
+/// the accumulator run (whole-register loads would read stale lanes).
+///
+/// # Safety
+///
+/// Requires FMA and both register runs in bounds.
+#[target_feature(enable = "fma")]
+unsafe fn fma_run_scalar(regs: *mut f32, dst: usize, a: usize, bval: f32, lanes: usize) {
+    for i in 0..lanes {
+        let d = regs.add(dst + i);
+        *d = (*regs.add(a + i)).mul_add(bval, *d);
+    }
+}
+
+/// A fused accumulator tile: `count` consecutive `VFmaLane` ops over
+/// one operand run, `reg[dst0 + g·lanes + i] += reg[a+i] * reg[b0+g]`.
+/// The operand run is loaded once and held across the whole tile —
+/// the inner-loop body of a laneq micro-kernel in three instructions
+/// per accumulator row.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, all register runs in bounds, and the operand run
+/// disjoint from the accumulator span (checked at fuse time).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_tile(regs: *mut f32, dst0: usize, a: usize, b0: usize, lanes: usize, count: usize) {
+    if lanes == 8 {
+        let va = _mm256_loadu_ps(regs.add(a));
+        for g in 0..count {
+            let d = regs.add(dst0 + g * 8);
+            let vb = _mm256_set1_ps(*regs.add(b0 + g));
+            _mm256_storeu_ps(d, _mm256_fmadd_ps(va, vb, _mm256_loadu_ps(d)));
+        }
+    } else {
+        debug_assert_eq!(lanes, 4);
+        let va = _mm_loadu_ps(regs.add(a));
+        for g in 0..count {
+            let d = regs.add(dst0 + g * 4);
+            let vb = _mm_set1_ps(*regs.add(b0 + g));
+            _mm_storeu_ps(d, _mm_fmadd_ps(va, vb, _mm_loadu_ps(d)));
+        }
+    }
+}

@@ -717,7 +717,7 @@ impl SuperwordKernel {
             unsafe { self.exec_unchecked(scalars, tensors, &mut scratch) };
             Ok(())
         } else {
-            self.exec_checked(scalars, tensors, &mut scratch)
+            crate::simd::scalar::exec_checked(self, scalars, tensors, &mut scratch)
         }
     }
 
@@ -925,139 +925,6 @@ impl SuperwordKernel {
         }
     }
 
-    /// The fully checked fallback, taken when the interval proof declines:
-    /// identical semantics (op order, rounding, and errors) to the scalar
-    /// tape, one lane at a time inside the packed ops. Shared with the SIMD
-    /// tier, whose declined-proof path must report the same errors.
-    pub(crate) fn exec_checked(
-        &self,
-        scalars: &[i64],
-        tensors: &mut [TensorView<'_>],
-        scratch: &mut ExecScratch,
-    ) -> Result<()> {
-        scratch.regs.fill(0.0);
-        let ExecScratch { regs, loops, bounds } = scratch;
-        let load =
-            |tensors: &[TensorView<'_>], buf: u16, idx: i64| -> Result<f32> {
-                let slice = tensors[buf as usize].as_slice();
-                slice.get(usize::try_from(idx).unwrap_or(usize::MAX)).copied().ok_or(
-                    CodegenError::OutOfBounds { buf: format!("Arg({buf})"), index: idx, len: slice.len() },
-                )
-            };
-        fn store(tensors: &mut [TensorView<'_>], buf: u16, idx: i64, value: f32) -> Result<()> {
-            match &mut tensors[buf as usize] {
-                TensorView::Rw(slice) => {
-                    let len = slice.len();
-                    *slice
-                        .get_mut(usize::try_from(idx).unwrap_or(usize::MAX))
-                        .ok_or(CodegenError::OutOfBounds { buf: format!("Arg({buf})"), index: idx, len })? =
-                        value;
-                    Ok(())
-                }
-                TensorView::Ro(_) => Err(CodegenError::BadArguments {
-                    reason: format!("store to read-only tensor parameter {buf}"),
-                }),
-            }
-        }
-        let ops = &self.ops;
-        let mut pc = 0usize;
-        while pc < ops.len() {
-            match &ops[pc] {
-                VOp::VFmaLane { dst, a, b, lanes } => {
-                    let bval = regs[*b as usize];
-                    for i in 0..*lanes as usize {
-                        let v = regs[*a as usize + i] * bval;
-                        regs[*dst as usize + i] += v;
-                    }
-                }
-                VOp::VLoad { dst, buf, addr, lanes } => {
-                    let base = addr.eval(loops, scalars);
-                    for i in 0..*lanes as usize {
-                        regs[*dst as usize + i] = load(tensors, *buf, base + i as i64)?;
-                    }
-                }
-                VOp::VStore { src, buf, addr, lanes } => {
-                    let base = addr.eval(loops, scalars);
-                    for i in 0..*lanes as usize {
-                        store(tensors, *buf, base + i as i64, regs[*src as usize + i])?;
-                    }
-                }
-                VOp::VFmaBcast { dst, a, buf, addr, scratch, lanes } => {
-                    let bval = load(tensors, *buf, addr.eval(loops, scalars))?;
-                    regs[*scratch as usize] = bval;
-                    for i in 0..*lanes as usize {
-                        let v = regs[*a as usize + i] * bval;
-                        regs[*dst as usize + i] += v;
-                    }
-                }
-                VOp::LoopBegin { slot, lo, hi, end } => {
-                    let l = lo.eval(loops, scalars);
-                    let h = hi.eval(loops, scalars);
-                    if l >= h {
-                        pc = *end as usize;
-                        continue;
-                    }
-                    loops[*slot as usize] = l;
-                    bounds[*slot as usize] = h;
-                }
-                VOp::LoopEnd { slot, begin } => {
-                    let s = *slot as usize;
-                    loops[s] += 1;
-                    if loops[s] < bounds[s] {
-                        pc = *begin as usize + 1;
-                        continue;
-                    }
-                }
-                VOp::Scalar(op) => match op {
-                    TOp::Fma { dst, a, b } => {
-                        let v = regs[*a as usize] * regs[*b as usize];
-                        regs[*dst as usize] += v;
-                    }
-                    TOp::LoadT { dst, buf, addr } => {
-                        regs[*dst as usize] = load(tensors, *buf, addr.eval(loops, scalars))?;
-                    }
-                    TOp::StoreT { src, buf, addr } => {
-                        store(tensors, *buf, addr.eval(loops, scalars), regs[*src as usize])?;
-                    }
-                    TOp::ConstF { dst, val } => regs[*dst as usize] = *val,
-                    TOp::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
-                    TOp::Add { dst, a, b } => {
-                        let v = regs[*a as usize] + regs[*b as usize];
-                        regs[*dst as usize] = v;
-                    }
-                    TOp::Sub { dst, a, b } => {
-                        let v = regs[*a as usize] - regs[*b as usize];
-                        regs[*dst as usize] = v;
-                    }
-                    TOp::Mul { dst, a, b } => {
-                        let v = regs[*a as usize] * regs[*b as usize];
-                        regs[*dst as usize] = v;
-                    }
-                    TOp::Div { dst, a, b } => {
-                        let v = regs[*a as usize] / regs[*b as usize];
-                        regs[*dst as usize] = v;
-                    }
-                    TOp::Neg { dst, src } => regs[*dst as usize] = -regs[*src as usize],
-                    TOp::AddAssign { dst, src } => {
-                        let v = regs[*src as usize];
-                        regs[*dst as usize] += v;
-                    }
-                    TOp::CastI { dst, value } => regs[*dst as usize] = value.eval(loops, scalars) as f32,
-                    TOp::Round { reg } => {
-                        let r = &mut regs[*reg as usize];
-                        *r = exo_ir::types::f16_round(f64::from(*r)) as f32;
-                    }
-                    TOp::Zero { base, len } => {
-                        regs[*base as usize..(*base + *len) as usize].fill(0.0);
-                    }
-                    TOp::LoopBegin { .. } | TOp::LoopEnd { .. } => unreachable!("lifted to VOp level"),
-                },
-            }
-            pc += 1;
-        }
-        Ok(())
-    }
-
     /// A prove-once dispatch handle over this kernel (see
     /// [`SuperwordDispatch`]).
     pub fn dispatcher(self: &std::sync::Arc<Self>) -> SuperwordDispatch {
@@ -1178,7 +1045,7 @@ impl SuperwordDispatch {
             unsafe { kernel.exec_unchecked(scalars, tensors, &mut self.scratch) };
             Ok(())
         } else {
-            kernel.exec_checked(scalars, tensors, &mut self.scratch)
+            crate::simd::scalar::exec_checked(&kernel, scalars, tensors, &mut self.scratch)
         }
     }
 
@@ -1192,7 +1059,7 @@ impl SuperwordDispatch {
             unsafe { kernel.exec_unchecked(scalars, tensors, &mut self.scratch) };
             Ok(())
         } else {
-            kernel.exec_checked(scalars, tensors, &mut self.scratch)
+            crate::simd::scalar::exec_checked(&kernel, scalars, tensors, &mut self.scratch)
         }
     }
 

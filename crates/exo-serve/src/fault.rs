@@ -259,18 +259,14 @@ pub fn disarm() {
 /// Called on every service construction, so `EXO_FAULT=...` alone turns a
 /// test binary into a fault run. An unset or empty variable means "no
 /// faults"; an unparseable value panics (a typo silently ignoring the
-/// requested fault would defeat its purpose — same policy as
-/// `EXO_BACKEND`/`EXO_THREADS`).
+/// requested fault would defeat its purpose — the workspace override
+/// contract of [`gemm_blis::env_once`], as `EXO_BACKEND`/`EXO_THREADS`).
 pub fn arm_from_env() -> bool {
-    static ARMED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ARMED.get_or_init(|| match std::env::var("EXO_FAULT") {
-        Ok(spec) if !spec.is_empty() => {
-            let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("EXO_FAULT: {e}"));
-            plan.arm();
-            true
-        }
-        _ => false,
-    })
+    static PLAN: std::sync::OnceLock<Option<FaultPlan>> = std::sync::OnceLock::new();
+    // Arming inside the parse closure keeps the once-per-process contract:
+    // `env_once` runs it only on the first read of a set variable.
+    gemm_blis::env_once(&PLAN, "EXO_FAULT", |spec| FaultPlan::parse(spec).inspect(|plan| plan.arm()))
+        .is_some()
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub use baselines::{
     KernelKind,
 };
 pub use blocking::BlockingParams;
-pub use exo_codegen::simd_available;
+pub use exo_codegen::{active_isa, env_isa_override, env_once, simd_available, IsaKind};
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};
 pub use pool::{env_threads_override, PoolJob, ThreadPool};

@@ -458,20 +458,14 @@ pub fn parse_threads(value: &str) -> Result<usize, String> {
     }
 }
 
-/// The process-wide `EXO_THREADS` override, read once.
-///
-/// Mirrors [`crate::env_backend_override`] (`EXO_BACKEND`): unset or empty
-/// means "no override" (size the pool to the machine), anything else must
-/// parse as a positive worker count — a typo panics with the parse error
-/// rather than silently falling back.
+/// The process-wide `EXO_THREADS` override, read once under the workspace
+/// override contract ([`exo_codegen::env_once`], as `EXO_BACKEND` and
+/// `EXO_ISA`): unset or empty means "no override" (size the pool to the
+/// machine), anything else must parse as a positive worker count — a typo
+/// panics with the parse error rather than silently falling back.
 pub fn env_threads_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| match std::env::var("EXO_THREADS") {
-        Ok(value) if !value.is_empty() => {
-            Some(parse_threads(&value).unwrap_or_else(|e| panic!("EXO_THREADS: {e}")))
-        }
-        _ => None,
-    })
+    exo_codegen::env_once(&OVERRIDE, "EXO_THREADS", parse_threads)
 }
 
 #[cfg(test)]

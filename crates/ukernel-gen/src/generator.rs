@@ -102,12 +102,14 @@ pub struct GeneratedKernel {
     /// register per dispatch — the fastest *portable* backend and every
     /// other tier's fallback. `None` exactly when `tape` is `None`.
     pub superword: Option<Arc<SuperwordKernel>>,
-    /// Native AVX2/FMA closure chain compiled from [`Self::superword`] —
-    /// the fastest backend and the default for [`Self::run_packed`].
-    /// `None` when `superword` is `None` or the host lacks AVX2/FMA
-    /// (`exo_codegen::simd_available()`), in which case runs stay on the
-    /// bit-exact superword tier. Results are within the documented
-    /// FMA-contraction ULP bound of the other tiers.
+    /// Native closure chain compiled from [`Self::superword`] for the
+    /// active vector ISA (`exo_codegen::active_isa()`: AVX2/FMA, NEON, or
+    /// the scalar reference — pin one with `EXO_ISA`) — the fastest
+    /// backend and the default for [`Self::run_packed`]. `None` exactly
+    /// when `superword` is `None`: the scalar ISA floor compiles
+    /// everywhere. Results of the native ISAs are within the documented
+    /// FMA-contraction ULP bound of the other tiers; the scalar chain is
+    /// bit-identical to them.
     pub simd: Option<Arc<SimdKernel>>,
 }
 
@@ -115,9 +117,10 @@ impl GeneratedKernel {
     /// Runs the kernel on packed operands: `c[nr][mr] += ac[kc][mr] *
     /// bc[kc][nr]` (row-major, exactly the layouts of the paper's Fig. 5).
     ///
-    /// Dispatches through the native SIMD chain when one compiled (AVX2/FMA
-    /// intrinsics, results within the FMA-contraction ULP bound of the
-    /// other tiers), then the superword backend, then the scalar tape, then
+    /// Dispatches through the native SIMD chain when one compiled (the
+    /// active vector ISA's intrinsics; native ISAs land within the
+    /// FMA-contraction ULP bound of the other tiers, the scalar ISA is
+    /// bit-exact), then the superword backend, then the scalar tape, then
     /// the interpreter — the last three compute bit-for-bit identical
     /// results.
     ///
@@ -308,7 +311,8 @@ impl MicroKernelGenerator {
         // scheduler left with data-dependent structure); the interpreter
         // remains the fallback, so a missing tape is not an error. The
         // superword lowering always succeeds on a valid tape, and the SIMD
-        // chain compiles from it whenever the host has AVX2/FMA.
+        // chain compiles from it for the active vector ISA (at worst the
+        // scalar reference, so every host gets a chain).
         let tape = compiled.to_tape().ok().map(Arc::new);
         let superword = tape.as_ref().and_then(|t| t.to_superword().ok()).map(Arc::new);
         let simd = superword.as_ref().and_then(|sw| SimdKernel::compile(Arc::clone(sw))).map(Arc::new);
@@ -453,8 +457,9 @@ mod tests {
             // Scheduled kernels stage the C tile (and vector operands) in
             // locals, which the tape register-allocates.
             assert!(tape.register_count() >= mr * nr, "{mr}x{nr} C tile must live in registers");
-            if exo_codegen::simd_available() {
-                assert!(kernel.simd.is_some(), "{mr}x{nr} must compile the SIMD chain on AVX2 hosts");
+            {
+                let simd = kernel.simd.as_ref().expect("the scalar ISA floor compiles everywhere");
+                assert_eq!(simd.isa(), exo_codegen::active_isa(), "{mr}x{nr}: chain targets the active ISA");
             }
             let kc = 23;
             let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect();

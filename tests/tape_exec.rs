@@ -1,25 +1,29 @@
 //! Differential suite for the execution engines, now a **four-way**
-//! comparison: the native SIMD chain, the superword backend, the scalar
-//! tape, the tree-walking interpreter, and the naive reference must agree.
-//! Where the computation is literally the same sequence of f32 operations
-//! (superword vs. tape vs. interpreter, arena vs. legacy driver, 1 vs. N
-//! threads, ic vs. jc split — and the SIMD chain against *itself* across
-//! drivers and thread counts), they must agree **bit for bit**. The SIMD
-//! tier contracts its FMAs, so against the portable tiers it is held to
-//! the accumulation-scaled ULP bound of `common::assert_fma_close`; on
-//! hosts without AVX2/FMA (or under `EXO_BACKEND=superword`, the CI
-//! fallback leg) the simd pin runs the superword tier and the bound
-//! tightens to exact equality automatically.
+//! comparison with an **ISA axis**: the native SIMD chain (compiled per
+//! vector ISA — AVX2/FMA, NEON, or the scalar reference), the superword
+//! backend, the scalar tape, the tree-walking interpreter, and the naive
+//! reference must agree. Where the computation is literally the same
+//! sequence of f32 operations (superword vs. tape vs. interpreter, arena
+//! vs. legacy driver, 1 vs. N threads, ic vs. jc split — and any one SIMD
+//! chain against *itself* across drivers and thread counts), they must
+//! agree **bit for bit**. The native ISAs contract their FMAs, so against
+//! the portable tiers they are held to the accumulation-scaled ULP bound
+//! of `common::assert_fma_close`; the scalar ISA chain does not contract
+//! and is held to exact equality — which is also what `EXO_ISA=scalar`
+//! (the CI forced-scalar leg) pins process-wide, and what
+//! `EXO_BACKEND=superword` (the CI fallback leg) gets by skipping the
+//! chains entirely.
 
 mod common;
 
 use std::sync::Arc;
 
 use common::{assert_fma_close, Cases};
+use exo_gemm::exo_codegen::SimdKernel;
 use exo_gemm::exo_isa::neon_f32;
 use exo_gemm::gemm_blis::{
-    exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, naive_gemm, BlisGemm,
-    BlockingParams, ExecBackend, GemmProblem, Matrix,
+    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, naive_gemm, BlisGemm,
+    BlockingParams, ExecBackend, GemmProblem, IsaKind, Matrix,
 };
 use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
@@ -43,9 +47,10 @@ fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
         assert!(kernel.tape.is_some(), "{mr}x{nr} must tape-compile");
         let sw = kernel.superword.as_ref().unwrap_or_else(|| panic!("{mr}x{nr} must superword-compile"));
         assert!(sw.vector_op_count() > 0, "{mr}x{nr} must pack whole-vector ops");
-        if exo_gemm::gemm_blis::simd_available() {
-            assert!(kernel.simd.is_some(), "{mr}x{nr} must compile the SIMD chain on AVX2 hosts");
-        }
+        let chain = kernel.simd.as_ref().unwrap_or_else(|| {
+            panic!("{mr}x{nr} must compile a SIMD chain (the scalar ISA floor exists everywhere)")
+        });
+        assert_eq!(chain.isa(), exo_gemm::gemm_blis::active_isa(), "{mr}x{nr}: chain targets the active ISA");
         for kc in [0usize, 1, 2, 17, 64] {
             let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
             let mut c_simd = c0.clone();
@@ -261,4 +266,179 @@ fn jc_split_is_bit_identical_across_backends_and_thread_counts() {
             }
         }
     }
+}
+
+/// The ISA axis of the differential suite: for every registry shape and
+/// every vector ISA the host can run, the chain compiled *for that ISA*
+/// (via `SimdKernel::compile_for`, independent of the `EXO_ISA` pin) must
+/// agree with the portable superword reference — the scalar chain **bit
+/// for bit** (it rounds multiply-then-add exactly like the portable
+/// tiers), the native AVX2/NEON chains within the documented
+/// FMA-contraction bound.
+#[test]
+fn every_available_isa_matches_superword_across_registry_shapes() {
+    let generator = MicroKernelGenerator::new(neon_f32());
+    let mut cases = Cases::new(0x15a5);
+    let isas: Vec<IsaKind> = IsaKind::ALL.iter().copied().filter(|isa| isa.available()).collect();
+    assert!(isas.contains(&IsaKind::Scalar), "the scalar reference is available on every host");
+    for (mr, nr) in KernelSet::paper_shapes() {
+        let kernel = generator.generate(mr, nr).unwrap();
+        let sw = kernel.superword.as_ref().unwrap_or_else(|| panic!("{mr}x{nr} must superword-compile"));
+        for &isa in &isas {
+            let chain = SimdKernel::compile_for(Arc::clone(sw), isa)
+                .unwrap_or_else(|| panic!("{mr}x{nr}: {isa} is available but declined the chain"));
+            assert_eq!(chain.isa(), isa);
+            for kc in [0usize, 1, 2, 17, 64] {
+                let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
+                let mut c_sw = c0.clone();
+                sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+                let mut c_chain = c0.clone();
+                chain.run_packed(kc, &a, &b, &mut c_chain).unwrap();
+                if isa.contracts_fma() {
+                    assert_fma_close(&c_chain, &c_sw, kc, &format!("{mr}x{nr} kc={kc}: {isa} vs superword"));
+                } else {
+                    assert_eq!(c_chain, c_sw, "{mr}x{nr} kc={kc}: the scalar chain must be bit-exact");
+                }
+            }
+        }
+    }
+}
+
+/// The masked-fringe axis: a staged kernel whose lane runs (6 and 3) are
+/// *not* multiples of any native vector width, so the NEON chain must take
+/// its masked partial-vector path (one whole `float32x4_t` plus a 2-lane
+/// masked fringe per 6-lane run) and the AVX2 chain its `__m128`-quarter +
+/// scalar-tail path. Every available ISA must still agree with the
+/// superword reference under the same per-ISA contract as the registry
+/// shapes.
+#[test]
+fn fringe_lane_runs_take_the_masked_partial_vector_path_on_every_isa() {
+    use exo_gemm::exo_ir::builder::*;
+    use exo_gemm::exo_ir::{Expr, MemSpace, ScalarType};
+
+    let (mr, nr) = (6i64, 3i64);
+    let p = proc("ukr_6x3_staged")
+        .size_arg("KC")
+        .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(mr)], MemSpace::Dram)
+        .tensor_arg("Bc", ScalarType::F32, vec![var("KC"), int(nr)], MemSpace::Dram)
+        .tensor_arg("C", ScalarType::F32, vec![int(nr * mr)], MemSpace::Dram)
+        .body(vec![
+            alloc("Ct", ScalarType::F32, vec![int(nr), int(mr)], MemSpace::Neon),
+            alloc("Ra", ScalarType::F32, vec![int(mr)], MemSpace::Neon),
+            alloc("Rb", ScalarType::F32, vec![int(nr)], MemSpace::Neon),
+            for_(
+                "j",
+                0,
+                nr,
+                vec![for_(
+                    "i",
+                    0,
+                    mr,
+                    vec![assign(
+                        "Ct",
+                        vec![var("j"), var("i")],
+                        read("C", vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))]),
+                    )],
+                )],
+            ),
+            for_(
+                "k",
+                0,
+                var("KC"),
+                vec![
+                    for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign("Ra", vec![var("i")], read("Ac", vec![var("k"), var("i")]))],
+                    ),
+                    for_(
+                        "j",
+                        0,
+                        nr,
+                        vec![assign("Rb", vec![var("j")], read("Bc", vec![var("k"), var("j")]))],
+                    ),
+                    for_(
+                        "j",
+                        0,
+                        nr,
+                        vec![for_(
+                            "i",
+                            0,
+                            mr,
+                            vec![reduce(
+                                "Ct",
+                                vec![var("j"), var("i")],
+                                Expr::mul(read("Ra", vec![var("i")]), read("Rb", vec![var("j")])),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            for_(
+                "j",
+                0,
+                nr,
+                vec![for_(
+                    "i",
+                    0,
+                    mr,
+                    vec![assign(
+                        "C",
+                        vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))],
+                        read("Ct", vec![var("j"), var("i")]),
+                    )],
+                )],
+            ),
+        ])
+        .build();
+    let sw = Arc::new(exo_gemm::exo_codegen::compile(&p).unwrap().to_superword().unwrap());
+    assert!(sw.vector_op_count() > 0, "the 6-lane staged tiles must pack whole-vector ops");
+    let (mr, nr) = (mr as usize, nr as usize);
+    let mut cases = Cases::new(0xf41e);
+    for isa in IsaKind::ALL.iter().copied().filter(|isa| isa.available()) {
+        let chain = SimdKernel::compile_for(Arc::clone(&sw), isa)
+            .unwrap_or_else(|| panic!("{isa} declined the fringe kernel"));
+        for kc in [0usize, 1, 2, 17, 64] {
+            let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
+            let mut c_sw = c0.clone();
+            sw.run_packed(kc, &a, &b, &mut c_sw).unwrap();
+            let mut c_chain = c0.clone();
+            chain.run_packed(kc, &a, &b, &mut c_chain).unwrap();
+            if isa.contracts_fma() {
+                assert_fma_close(&c_chain, &c_sw, kc, &format!("fringe {mr}x{nr} kc={kc}: {isa}"));
+            } else {
+                assert_eq!(c_chain, c_sw, "fringe {mr}x{nr} kc={kc}: scalar chain must be bit-exact");
+            }
+        }
+    }
+}
+
+/// The reported-ISA probe the cross-target CI matrix asserts against: the
+/// runtime selection must actually pick the native ISA of the build target
+/// (NEON under the aarch64/QEMU job, AVX2 on the x86 runners) unless
+/// `EXO_ISA` pins one — and a pinned run must report exactly the pin.
+/// `simd_available()` means "a native ISA was selected", so the
+/// forced-scalar leg reports `false` even on AVX2 hosts.
+#[test]
+fn the_active_isa_is_the_native_one_unless_pinned() {
+    let active = active_isa();
+    assert!(active.available());
+    assert_eq!(exo_gemm::gemm_blis::simd_available(), active != IsaKind::Scalar);
+    match exo_gemm::gemm_blis::env_isa_override() {
+        Some(pinned) => assert_eq!(active, pinned, "EXO_ISA pin must win the selection"),
+        None => {
+            #[cfg(target_arch = "aarch64")]
+            assert_eq!(active, IsaKind::Neon, "NEON is baseline on aarch64 and must be selected");
+            #[cfg(target_arch = "x86_64")]
+            if IsaKind::Avx2.available() {
+                assert_eq!(active, IsaKind::Avx2, "AVX2 hosts must select the AVX2 chain");
+            } else {
+                assert_eq!(active, IsaKind::Scalar);
+            }
+        }
+    }
+    // The generator's chains report the same selection.
+    let kernel = MicroKernelGenerator::new(neon_f32()).generate(4, 4).unwrap();
+    assert_eq!(kernel.simd.as_ref().expect("scalar floor").isa(), active);
 }
