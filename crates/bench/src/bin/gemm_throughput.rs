@@ -17,12 +17,19 @@
 //! * `superword+arena+transB`   — the portable path with `op(B) = T`
 //!   (`B` stored `n x k`, transposed through the view, folded into
 //!   packing's stride walk),
-//! * `simd`                     — the native closure chain for the active
-//!   vector ISA (AVX2/FMA, NEON, or the scalar reference), legacy driver
-//!   (isolates the intrinsic win from the driver win),
+//! * `simd`                     — the in-process closure chain for the
+//!   active vector ISA (AVX2/FMA, NEON, or the scalar reference), legacy
+//!   driver (isolates the intrinsic win from the driver win),
 //! * `simd+arena+threads`       — the chain plus arenas plus the threaded
-//!   block loop: the default production path on x86_64,
-//! * `simd+arena+strided`       — the production path over strided views.
+//!   block loop,
+//! * `simd+arena+strided`       — the chain path over strided views,
+//! * `native`                   — the ahead-of-time compiled `.so` tier
+//!   (C emitted from the superword tape, built by the host toolchain,
+//!   dlopen'd), legacy driver — on hosts without a C compiler this
+//!   silently measures the simd chain instead (`"native_available"` in
+//!   the JSON says which),
+//! * `native+arena+threads`     — the native tier plus arenas plus the
+//!   threaded block loop: the default production path.
 //!
 //! A second section, `serve_throughput`, measures the `exo-serve` layer on
 //! an overhead-dominated workload: 64 small mixed-shape problems run three
@@ -44,12 +51,15 @@
 //!
 //! Exit status encodes the CI perf gates:
 //!
-//! * the backend ordering must hold at every size — `simd >= superword >=
-//!   tape >= interp` (a faster tier measuring slower than its fallback
-//!   means the fast path regressed below the slow one); the `simd >=
-//!   superword` leg only applies when a *native* ISA is selected
+//! * the backend ordering must hold at every size — `native >= simd >=
+//!   superword >= tape >= interp` (a faster tier measuring slower than its
+//!   fallback means the fast path regressed below the slow one); the
+//!   `simd >= superword` leg only applies when a *native* ISA is selected
 //!   (`simd_available()`), since the scalar chain has no vector win over
-//!   the superword loop and the two differ only by noise;
+//!   the superword loop and the two differ only by noise, and the
+//!   `native >= simd` leg only applies when a C toolchain answered the
+//!   probe (`native_available()`), since without one the native series
+//!   *is* the simd chain;
 //! * the serve ordering must hold — `batched >= per_call` (batching exists
 //!   to amortise per-call overhead; measuring below the per-call loop
 //!   means the batch path regressed);
@@ -67,8 +77,9 @@ use std::time::Instant;
 use exo_serve::{GemmBatch, GemmBatchExecutor, GemmJob, GemmService, OwnedMat, ServiceConfig};
 use exo_tune::TunedGemm;
 use gemm_blis::{
-    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, simd_available,
-    BlisGemm, BlockingParams, GemmExecutor, GemmProblem, IsaKind, KernelImpl, MatMut, MatRef,
+    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_simd, exo_kernel_superword, exo_kernel_tape,
+    native_available, simd_available, toolchain, BlisGemm, BlockingParams, GemmExecutor, GemmProblem,
+    IsaKind, KernelImpl, MatMut, MatRef,
 };
 use ukernel_gen::MicroKernelGenerator;
 
@@ -540,21 +551,33 @@ fn main() {
         },
         Variant {
             name: "simd",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_simd(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).without_arena(),
             mode: Mode::Dense,
         },
         Variant {
             name: "simd+arena+threads",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_simd(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking).with_threads(0),
             mode: Mode::Dense,
         },
         Variant {
             name: "simd+arena+strided",
-            kernel: exo_kernel(Arc::clone(&kernel)),
+            kernel: exo_kernel_simd(Arc::clone(&kernel)),
             driver: BlisGemm::new(blocking),
             mode: Mode::Strided,
+        },
+        Variant {
+            name: "native",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).without_arena(),
+            mode: Mode::Dense,
+        },
+        Variant {
+            name: "native+arena+threads",
+            kernel: exo_kernel(Arc::clone(&kernel)),
+            driver: BlisGemm::new(blocking).with_threads(0),
+            mode: Mode::Dense,
         },
     ];
     let names: Vec<&str> = variants.iter().map(|v| v.name).collect();
@@ -585,8 +608,13 @@ fn main() {
     let series_of = |name: &str| -> usize {
         names.iter().position(|n| *n == name).unwrap_or_else(|| panic!("no `{name}` series"))
     };
-    let (interp_i, tape_i, sw_i, simd_i) =
-        (series_of("interp"), series_of("tape"), series_of("superword"), series_of("simd"));
+    let (interp_i, tape_i, sw_i, simd_i, native_i) = (
+        series_of("interp"),
+        series_of("tape"),
+        series_of("superword"),
+        series_of("simd"),
+        series_of("native"),
+    );
     let speedup_series = |num: usize, den: usize| -> (f64, f64) {
         let per_size: Vec<f64> = (0..sizes.len()).map(|i| gflops[num][i] / gflops[den][i]).collect();
         (per_size.iter().cloned().fold(f64::INFINITY, f64::min), geomean(&per_size))
@@ -594,6 +622,7 @@ fn main() {
     let (tape_min, tape_geo) = speedup_series(tape_i, interp_i);
     let (sw_min, sw_geo) = speedup_series(sw_i, tape_i);
     let (simd_min, simd_geo) = speedup_series(simd_i, sw_i);
+    let (native_min, native_geo) = speedup_series(native_i, simd_i);
     println!("\ntape over interp:     min {tape_min:.1}x, geomean {tape_geo:.1}x");
     println!("superword over tape:  min {sw_min:.1}x, geomean {sw_geo:.1}x");
     println!(
@@ -602,6 +631,13 @@ fn main() {
             format!("  (isa: {})", active_isa())
         } else {
             "  (no native ISA: simd ran the bit-exact scalar chain)".to_string()
+        }
+    );
+    println!(
+        "native over simd:     min {native_min:.1}x, geomean {native_geo:.1}x{}",
+        match toolchain() {
+            Some(tc) => format!("  (cc: {})", tc.version),
+            None => "  (no C toolchain: native ran the simd chain)".to_string(),
         }
     );
 
@@ -657,7 +693,20 @@ fn main() {
         json_f64(simd_min),
         json_f64(simd_geo)
     ));
+    json.push_str(&format!(
+        "  \"speedup_native_over_simd\": {{ \"min\": {}, \"geomean\": {} }},\n",
+        json_f64(native_min),
+        json_f64(native_geo)
+    ));
     json.push_str(&format!("  \"simd_available\": {},\n", simd_available()));
+    json.push_str(&format!("  \"native_available\": {},\n", native_available()));
+    json.push_str(&format!(
+        "  \"cc_version\": {},\n",
+        match toolchain() {
+            Some(tc) => format!("\"{}\"", tc.version.replace('\\', "\\\\").replace('"', "\\\"")),
+            None => "null".to_string(),
+        }
+    ));
     json.push_str(&format!("  \"isa\": \"{}\",\n", active_isa().name()));
     json.push_str("  \"isa_available\": {\n");
     for (i, isa) in IsaKind::ALL.iter().enumerate() {
@@ -697,6 +746,13 @@ fn main() {
         }
         if simd_available() && gflops[simd_i][i] < gflops[sw_i][i] {
             eprintln!("FAIL: simd slower than the superword fallback at {size}");
+            failed = true;
+        }
+        // The native leg only applies where an artifact actually compiled:
+        // without a toolchain the native series *is* the simd chain and the
+        // two differ only by noise.
+        if native_available() && gflops[native_i][i] < gflops[simd_i][i] {
+            eprintln!("FAIL: native slower than the simd fallback at {size}");
             failed = true;
         }
     }

@@ -1,0 +1,10 @@
+fn main() {
+    // `dlopen`/`dlsym` live in libdl on older glibc and in libc proper on
+    // modern ones (where libdl is an empty stub kept for exactly this
+    // link line). Either way the explicit request is correct on Linux;
+    // macOS and the BSDs ship them in libc/libSystem with no libdl.
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    if os == "linux" || os == "android" {
+        println!("cargo:rustc-link-lib=dl");
+    }
+}

@@ -1,0 +1,206 @@
+//! The compilation engine: emission → toolchain → artifact cache →
+//! loaded kernel, with in-process memoisation and observability counters.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use exo_codegen::{active_isa, emit_superword_c, IsaKind, SuperwordKernel};
+
+use crate::dylib::Dylib;
+use crate::error::{io_err, AotError, Result};
+use crate::kernel::{NativeKernel, KERNEL_SYMBOL};
+use crate::store::{artifact_key, default_artifact_dir, ArtifactStore};
+use crate::toolchain::{toolchain, Toolchain};
+
+/// Fault-injection countdown for the `aot-compile-fail` class: when
+/// armed, the Nth [`AotEngine::compile`] entry in the process fails with
+/// [`AotError::FaultInjected`] before touching the cache or the
+/// toolchain. Armed by exo-serve's fault harness.
+static COMPILE_FAIL_IN: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the `aot-compile-fail` countdown: the `n`-th compilation from
+/// now fails. `0` disarms.
+pub fn arm_compile_fail(n: u64) {
+    COMPILE_FAIL_IN.store(n, Ordering::SeqCst);
+}
+
+fn countdown_fires(countdown: &AtomicU64) -> bool {
+    countdown
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .map(|prev| prev == 1)
+        .unwrap_or(false)
+}
+
+/// The ahead-of-time compilation engine.
+///
+/// One engine owns one artifact directory plus an in-process memo of
+/// loaded kernels, and counts its compiler invocations and disk-cache
+/// hits — the warm-start proof ("a second process performs zero compiler
+/// invocations") is an assertion over these counters.
+#[derive(Debug)]
+pub struct AotEngine {
+    store: ArtifactStore,
+    loaded: Mutex<HashMap<u64, Arc<NativeKernel>>>,
+    compiler_invocations: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl AotEngine {
+    /// An engine over an explicit artifact directory (tests point this at
+    /// a scratch dir; production uses [`engine`]).
+    pub fn with_dir(dir: PathBuf) -> AotEngine {
+        AotEngine {
+            store: ArtifactStore::new(dir),
+            loaded: Mutex::new(HashMap::new()),
+            compiler_invocations: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// How many times this engine has invoked the C compiler.
+    pub fn compiler_invocations(&self) -> u64 {
+        self.compiler_invocations.load(Ordering::SeqCst)
+    }
+
+    /// How many kernels were satisfied by an on-disk artifact without a
+    /// compiler invocation.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::SeqCst)
+    }
+
+    /// Compiles (or loads from cache) the native kernel for `source`
+    /// lowered to `isa`.
+    ///
+    /// Resolution order: fault hook → in-process memo → on-disk artifact
+    /// (`dlopen` only; an unloadable entry is quarantined to
+    /// `<path>.corrupt` and rebuilt) → C compiler. The per-engine lock is
+    /// held across a build, so concurrent callers compile each kernel
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// [`AotError::Unsupported`] when the emitter declines the tape,
+    /// [`AotError::ToolchainMissing`] with no host compiler, and
+    /// [`AotError::CompileFailed`] / [`AotError::LoadFailed`] /
+    /// [`AotError::SymbolMissing`] on build or load problems. All are
+    /// declines: callers fall back to the simd tier.
+    pub fn compile(&self, source: &Arc<SuperwordKernel>, isa: IsaKind) -> Result<Arc<NativeKernel>> {
+        if countdown_fires(&COMPILE_FAIL_IN) {
+            return Err(AotError::FaultInjected);
+        }
+        let c_source = emit_superword_c(source, isa, KERNEL_SYMBOL)?;
+        let tc = toolchain().ok_or(AotError::ToolchainMissing)?;
+        let key = artifact_key(&c_source, &tc.version);
+
+        let mut loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(k) = loaded.get(&key) {
+            return Ok(Arc::clone(k));
+        }
+        let c_source: Arc<str> = c_source.into();
+        let artifact = self.store.artifact_path(key);
+        let lib = match self.try_disk(&artifact) {
+            Some(lib) => lib,
+            None => self.build(&c_source, key, tc, isa)?,
+        };
+        let kernel = Arc::new(NativeKernel::from_lib(Arc::clone(source), c_source, isa, Arc::new(lib))?);
+        loaded.insert(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Compiles for the host's active ISA (honouring the `EXO_ISA` pin,
+    /// so native stays bit-faithful to the simd tier it backs up),
+    /// swallowing the error: `None` means "no native tier for this
+    /// kernel" and the caller stays on simd.
+    pub fn compile_or_none(&self, source: &Arc<SuperwordKernel>) -> Option<Arc<NativeKernel>> {
+        self.compile(source, active_isa()).ok()
+    }
+
+    /// Tries the on-disk artifact; quarantines unloadable entries.
+    fn try_disk(&self, artifact: &std::path::Path) -> Option<Dylib> {
+        if !artifact.is_file() {
+            return None;
+        }
+        match Dylib::open(artifact) {
+            Ok(lib) => {
+                self.disk_hits.fetch_add(1, Ordering::SeqCst);
+                Some(lib)
+            }
+            Err(_) => {
+                // A torn, stale, or foreign-arch artifact: move the
+                // evidence aside and rebuild into the now-free slot.
+                self.store.quarantine(artifact);
+                None
+            }
+        }
+    }
+
+    /// Invokes the C compiler and loads the result, publishing the
+    /// artifact (and its source) atomically on success.
+    fn build(&self, c_source: &str, key: u64, tc: &Toolchain, isa: IsaKind) -> Result<Dylib> {
+        self.store.ensure_dir()?;
+        let src = self.store.source_path(key);
+        self.store.write_atomic(&src, c_source.as_bytes())?;
+
+        let artifact = self.store.artifact_path(key);
+        let tmp = self.store.scratch_path(&artifact, "cc");
+        let mut cmd = Command::new(&tc.cc);
+        cmd.args(["-O3", "-shared", "-fPIC", "-ffp-contract=off"]);
+        if isa == IsaKind::Avx2 {
+            cmd.args(["-mavx2", "-mfma"]);
+        }
+        cmd.arg(&src).arg("-o").arg(&tmp);
+        self.compiler_invocations.fetch_add(1, Ordering::SeqCst);
+        let out = cmd.output().map_err(|e| io_err(format!("running `{}`", tc.cc), e))?;
+        if !out.status.success() {
+            let _ = std::fs::remove_file(&tmp);
+            let mut stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+            stderr.truncate(2000);
+            return Err(AotError::CompileFailed { compiler: tc.cc.clone(), stderr });
+        }
+        std::fs::rename(&tmp, &artifact).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(format!("renaming into {}", artifact.display()), e)
+        })?;
+        Dylib::open(&artifact)
+    }
+}
+
+/// The process-wide engine over the default artifact directory
+/// (`EXO_AOT_DIR`, else `$HOME/.cache/exo-aot`, else the system temp
+/// dir). Everything above this crate — kernel caches, the GEMM runner,
+/// exo-serve — compiles through this instance, sharing its memo and
+/// counters.
+pub fn engine() -> &'static AotEngine {
+    static CELL: OnceLock<AotEngine> = OnceLock::new();
+    CELL.get_or_init(|| AotEngine::with_dir(default_artifact_dir().to_path_buf()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_countdown_fires_exactly_once_on_the_nth_call() {
+        let c = AtomicU64::new(3);
+        assert!(!countdown_fires(&c));
+        assert!(!countdown_fires(&c));
+        assert!(countdown_fires(&c), "fires on the third call");
+        assert!(!countdown_fires(&c), "then stays quiet at zero");
+        assert!(!countdown_fires(&c));
+    }
+
+    #[test]
+    fn disarming_resets_the_global_countdown() {
+        arm_compile_fail(1);
+        arm_compile_fail(0);
+        assert!(!countdown_fires(&COMPILE_FAIL_IN));
+    }
+}

@@ -1,0 +1,44 @@
+//! # exo-aot
+//!
+//! Ahead-of-time native kernel compilation: the endgame of the paper's
+//! pipeline, where the validated schedule is lowered all the way to real
+//! compiled code instead of an interpreted or closure-chained stand-in.
+//!
+//! The pipeline has three stages, each of which can *decline* (never
+//! fail loudly) so the stack above silently stays on the simd tier:
+//!
+//! 1. **Emission** — [`exo_codegen::emit_superword_c`] lowers the
+//!    validated superword tape to a self-contained C translation unit
+//!    (AVX2/NEON intrinsics, or plain C for the portable floor) with the
+//!    packed `(KC, Ac, Bc, C)` kernel ABI.
+//! 2. **Build + cache** — [`AotEngine`] detects a host C compiler
+//!    ([`toolchain`], overridable with `EXO_CC`), compiles the source to
+//!    a shared object in a per-user artifact directory
+//!    ([`store::default_artifact_dir`]; override with `EXO_AOT_DIR`),
+//!    and keys artifacts by (source, host arch/OS, compiler version) so
+//!    warm processes `dlopen` without recompiling. Writes are atomic
+//!    (write-then-rename) and unloadable entries are quarantined to
+//!    `<path>.corrupt` and rebuilt.
+//! 3. **Dispatch** — [`NativeKernel`] / [`NativeDispatch`] guard every
+//!    call with the same affine-interval bounds proof as the simd tier
+//!    and route unproven calls to the checked tiers below.
+//!
+//! On a matching ISA the compiled code is bit-identical to the simd
+//! closure chain (both contract every FMA lane individually; the scalar
+//! floor is kept two-rounding with `-ffp-contract=off`), so swapping the
+//! tiers is invisible except for speed.
+
+#![warn(missing_docs)]
+
+pub mod dylib;
+pub mod engine;
+pub mod error;
+pub mod kernel;
+pub mod store;
+pub mod toolchain;
+
+pub use engine::{arm_compile_fail, engine, AotEngine};
+pub use error::{AotError, Result};
+pub use kernel::{KernelFn, NativeDispatch, NativeKernel, KERNEL_SYMBOL};
+pub use store::{artifact_key, default_artifact_dir, ArtifactStore};
+pub use toolchain::{native_available, toolchain, Toolchain};

@@ -1,0 +1,287 @@
+//! End-to-end tests of the ahead-of-time pipeline: emit → compile →
+//! load → run, the artifact cache's warm-start and quarantine behaviour,
+//! and the decline paths.
+//!
+//! Everything that needs a real C compiler branches on
+//! [`exo_aot::native_available`]: on a toolchain-less host (or under the
+//! `EXO_CC`-poisoned CI leg) those tests assert the decline instead.
+
+use std::sync::Arc;
+
+use exo_aot::{AotEngine, AotError, NativeDispatch};
+use exo_codegen::{active_isa, IsaKind, SimdDispatch, SimdKernel, SuperwordKernel};
+use exo_ir::builder::*;
+use exo_ir::{Expr, MemSpace, ScalarType};
+
+/// The staged laneq-shaped micro-kernel every scheduled kernel lowers to
+/// (the same staging as the exo-codegen superword tests): `C` tile and
+/// operand stages in registers, packed FMA runs in the `KC` loop.
+fn staged_superword(mr: i64, nr: i64) -> Arc<SuperwordKernel> {
+    let p = proc("ukr_staged")
+        .size_arg("KC")
+        .tensor_arg("Ac", ScalarType::F32, vec![var("KC"), int(mr)], MemSpace::Dram)
+        .tensor_arg("Bc", ScalarType::F32, vec![var("KC"), int(nr)], MemSpace::Dram)
+        .tensor_arg("C", ScalarType::F32, vec![int(nr * mr)], MemSpace::Dram)
+        .body(vec![
+            alloc("Ct", ScalarType::F32, vec![int(nr), int(mr)], MemSpace::Neon),
+            alloc("Ra", ScalarType::F32, vec![int(mr)], MemSpace::Neon),
+            alloc("Rb", ScalarType::F32, vec![int(nr)], MemSpace::Neon),
+            for_(
+                "j",
+                0,
+                nr,
+                vec![for_(
+                    "i",
+                    0,
+                    mr,
+                    vec![assign(
+                        "Ct",
+                        vec![var("j"), var("i")],
+                        read("C", vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))]),
+                    )],
+                )],
+            ),
+            for_(
+                "k",
+                0,
+                var("KC"),
+                vec![
+                    for_(
+                        "i",
+                        0,
+                        mr,
+                        vec![assign("Ra", vec![var("i")], read("Ac", vec![var("k"), var("i")]))],
+                    ),
+                    for_(
+                        "j",
+                        0,
+                        nr,
+                        vec![assign("Rb", vec![var("j")], read("Bc", vec![var("k"), var("j")]))],
+                    ),
+                    for_(
+                        "j",
+                        0,
+                        nr,
+                        vec![for_(
+                            "i",
+                            0,
+                            mr,
+                            vec![reduce(
+                                "Ct",
+                                vec![var("j"), var("i")],
+                                Expr::mul(read("Ra", vec![var("i")]), read("Rb", vec![var("j")])),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            for_(
+                "j",
+                0,
+                nr,
+                vec![for_(
+                    "i",
+                    0,
+                    mr,
+                    vec![assign(
+                        "C",
+                        vec![Expr::add(Expr::mul(var("j"), int(mr)), var("i"))],
+                        read("Ct", vec![var("j"), var("i")]),
+                    )],
+                )],
+            ),
+        ])
+        .build();
+    Arc::new(exo_codegen::compile(&p).unwrap().to_superword().unwrap())
+}
+
+fn packed_inputs(mr: usize, nr: usize, kc: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..kc * mr).map(|i| ((i * 7 + 3) % 13) as f32 * 0.5 - 2.0).collect();
+    let b: Vec<f32> = (0..kc * nr).map(|i| ((i * 5 + 1) % 11) as f32 * 0.25 - 1.0).collect();
+    let c0: Vec<f32> = (0..nr * mr).map(|i| (i % 5) as f32 * 0.5).collect();
+    (a, b, c0)
+}
+
+fn scratch_engine(tag: &str) -> (AotEngine, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("exo-aot-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (AotEngine::with_dir(dir.clone()), dir)
+}
+
+#[test]
+fn native_agrees_with_the_simd_chain_on_the_matching_isa() {
+    let (engine, dir) = scratch_engine("agree");
+    let sw = staged_superword(8, 4);
+    let isa = active_isa();
+    match engine.compile(&sw, isa) {
+        Ok(native) => {
+            let simd = SimdKernel::compile_for(Arc::clone(&sw), isa).expect("the active ISA compiles");
+            for &kc in &[0usize, 1, 2, 17, 64] {
+                let (a, b, c0) = packed_inputs(8, 4, kc);
+                let mut c_native = c0.clone();
+                native.run_packed(kc, &a, &b, &mut c_native).unwrap();
+                let mut c_simd = c0.clone();
+                simd.run_packed(kc, &a, &b, &mut c_simd).unwrap();
+                // Both tiers contract every FMA lane individually (and the
+                // scalar floor contracts none): bit equality, not a bound.
+                assert_eq!(c_native, c_simd, "native vs simd bits at kc={kc} on {}", isa.name());
+            }
+        }
+        Err(e) => {
+            assert!(!exo_aot::native_available(), "compile failed with a toolchain present: {e}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn the_dispatch_handle_memoises_proofs_and_falls_back_when_unproven() {
+    if !exo_aot::native_available() {
+        return;
+    }
+    let (engine, dir) = scratch_engine("dispatch");
+    let sw = staged_superword(8, 4);
+    let native = engine.compile(&sw, active_isa()).unwrap();
+    let chain = Arc::new(SimdKernel::compile(Arc::clone(&sw)).expect("the active ISA compiles"));
+    let mut dispatch = NativeDispatch::new(Arc::clone(&native), SimdDispatch::new(Arc::clone(&chain)));
+    let kc = 17usize;
+    let (a, b, c0) = packed_inputs(8, 4, kc);
+    let mut c_hot = c0.clone();
+    dispatch.run_packed(kc, &a, &b, &mut c_hot).unwrap();
+    let mut c_ref = c0.clone();
+    chain.run_packed(kc, &a, &b, &mut c_ref).unwrap();
+    // Native and the simd chain of the same ISA contract identically:
+    // bit equality through the dispatch handle too.
+    assert_eq!(c_hot, c_ref);
+
+    // Claim kc = 1000 over short operands: the proof declines, the call
+    // routes to the checked tiers, and the error is the tape's.
+    let err = dispatch.run_packed(1000, &a, &b, &mut c_hot);
+    assert!(err.is_err(), "an unprovable call must take the checked path and report");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn warm_start_skips_the_compiler_entirely() {
+    if !exo_aot::native_available() {
+        return;
+    }
+    let (cold, dir) = scratch_engine("warm");
+    let sw = staged_superword(8, 4);
+    cold.compile(&sw, active_isa()).unwrap();
+    assert_eq!(cold.compiler_invocations(), 1);
+    assert_eq!(cold.disk_hits(), 0);
+    // Same engine, same kernel: served from the in-process memo.
+    cold.compile(&sw, active_isa()).unwrap();
+    assert_eq!(cold.compiler_invocations(), 1);
+
+    // A fresh engine over the same directory models a second process: the
+    // artifact is on disk, so zero compiler invocations.
+    let warm = AotEngine::with_dir(dir.clone());
+    let k = warm.compile(&sw, active_isa()).unwrap();
+    assert_eq!(warm.compiler_invocations(), 0, "the warm start must not invoke the compiler");
+    assert_eq!(warm.disk_hits(), 1);
+    let (a, b, mut c) = packed_inputs(8, 4, 5);
+    k.run_packed(5, &a, &b, &mut c).unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_artifacts_are_quarantined_and_rebuilt() {
+    if !exo_aot::native_available() {
+        return;
+    }
+    let (cold, dir) = scratch_engine("corrupt");
+    let sw = staged_superword(8, 4);
+    let c_source = exo_codegen::emit_superword_c(&sw, active_isa(), exo_aot::KERNEL_SYMBOL).unwrap();
+    let key = exo_aot::artifact_key(&c_source, &exo_aot::toolchain().unwrap().version);
+    let artifact = cold.store().artifact_path(key);
+
+    // Plant garbage where the artifact belongs.
+    cold.store().write_atomic(&artifact, b"not an object file").unwrap();
+    let k = cold.compile(&sw, active_isa()).unwrap();
+    assert_eq!(cold.compiler_invocations(), 1, "the corrupt entry must be rebuilt");
+    assert_eq!(cold.disk_hits(), 0);
+    let mut quarantined = artifact.as_os_str().to_owned();
+    quarantined.push(".corrupt");
+    assert!(
+        std::path::Path::new(&quarantined).is_file(),
+        "the unloadable entry is kept as evidence at <path>.corrupt"
+    );
+    let (a, b, mut c) = packed_inputs(8, 4, 5);
+    k.run_packed(5, &a, &b, &mut c).unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn the_emitted_source_is_kept_next_to_the_artifact() {
+    if !exo_aot::native_available() {
+        return;
+    }
+    let (engine, dir) = scratch_engine("source");
+    let sw = staged_superword(4, 4);
+    let native = engine.compile(&sw, active_isa()).unwrap();
+    let key = exo_aot::artifact_key(native.c_source(), &exo_aot::toolchain().unwrap().version);
+    let src = engine.store().source_path(key);
+    assert_eq!(std::fs::read_to_string(&src).unwrap(), native.c_source());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_missing_toolchain_is_a_typed_decline() {
+    // This cannot force the process-wide probe (env reads are cached),
+    // but the engine's contract is observable either way: with no
+    // toolchain every compile reports `ToolchainMissing`; with one, the
+    // scalar lowering still compiles and runs.
+    let (engine, dir) = scratch_engine("decline");
+    let sw = staged_superword(4, 4);
+    match engine.compile(&sw, IsaKind::Scalar) {
+        Ok(k) => {
+            assert!(exo_aot::native_available());
+            let (a, b, c0) = packed_inputs(4, 4, 13);
+            let mut c_native = c0.clone();
+            k.run_packed(13, &a, &b, &mut c_native).unwrap();
+            let mut c_sw = c0.clone();
+            sw.run_packed(13, &a, &b, &mut c_sw).unwrap();
+            // The scalar floor is bit-exact against the portable tiers.
+            assert_eq!(c_native, c_sw, "the scalar lowering must match the superword tape bitwise");
+        }
+        Err(e) => {
+            assert!(!exo_aot::native_available());
+            assert_eq!(e, AotError::ToolchainMissing);
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn the_fault_hook_fails_compiles_without_touching_the_cache() {
+    let (engine, dir) = scratch_engine("fault");
+    let sw = staged_superword(4, 4);
+    exo_aot::arm_compile_fail(1);
+    let err = engine.compile(&sw, active_isa()).expect_err("the armed hook must fire");
+    assert_eq!(err, AotError::FaultInjected);
+    assert_eq!(engine.compiler_invocations(), 0, "the hook fires before the toolchain");
+    exo_aot::arm_compile_fail(0);
+    // Disarmed, the same engine compiles normally (when a toolchain
+    // exists).
+    if exo_aot::native_available() {
+        engine.compile(&sw, active_isa()).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn emission_declines_surface_as_unsupported() {
+    let (engine, dir) = scratch_engine("unsup");
+    let p = proc("notpacked")
+        .size_arg("N")
+        .tensor_arg("x", ScalarType::F32, vec![var("N")], MemSpace::Dram)
+        .body(vec![for_("i", 0, var("N"), vec![assign("x", vec![var("i")], flt(1.0))])])
+        .build();
+    let sw = Arc::new(exo_codegen::compile(&p).unwrap().to_superword().unwrap());
+    let err = engine.compile(&sw, active_isa()).expect_err("a non-packed kernel must decline");
+    assert!(matches!(err, AotError::Unsupported { .. }));
+    assert!(engine.compile_or_none(&sw).is_none());
+    let _ = std::fs::remove_dir_all(dir);
+}

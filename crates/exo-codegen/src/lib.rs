@@ -37,7 +37,7 @@ pub mod tape;
 pub mod trace;
 
 pub use asm::{count_mnemonics, emit_asm};
-pub use c::emit_c;
+pub use c::{emit_c, emit_superword_c};
 pub use env::env_once;
 pub use error::{CodegenError, Result};
 pub use exec::{compile, CompiledKernel, RunArg};

@@ -603,6 +603,16 @@ impl SimdDispatch {
         self.fallback.memoised_proofs()
     }
 
+    /// Whether a packed call with these operand lengths passes the
+    /// memoised affine-interval bounds proof. The native (`exo-aot`)
+    /// dispatch consults this before handing the call to the compiled C
+    /// kernel, which has no bounds checks of its own; a `false` answer
+    /// routes the call to this handle's checked tiers instead.
+    pub fn packed_provable(&mut self, kc: usize, ac_len: usize, bc_len: usize, c_len: usize) -> bool {
+        self.kernel.source().check_packed_signature().is_ok()
+            && self.fallback.provable(&[kc as i64], &[ac_len, bc_len, c_len])
+    }
+
     /// Runs the chain over borrowed tensor views, reusing the memoised
     /// proof and this handle's register file.
     ///

@@ -691,6 +691,16 @@ impl SuperwordKernel {
         Ok(())
     }
 
+    /// Whether a packed call `run_packed(kc, ac, bc, c)` with operands of
+    /// the given lengths would take the proven bounds-free path: the
+    /// kernel has the packed signature and the affine interval analysis
+    /// proves every tensor access in bounds. The native (`exo-aot`) tier
+    /// uses this as its dispatch guard — the compiled C kernel has no
+    /// bounds checks, so it only runs on calls this proof admits.
+    pub fn packed_bounds_provable(&self, kc: usize, ac_len: usize, bc_len: usize, c_len: usize) -> bool {
+        self.check_packed_signature().is_ok() && self.bounds_provable(&[kc as i64], &[ac_len, bc_len, c_len])
+    }
+
     /// Runs a packed micro-kernel signature `(KC, Ac, Bc, C)`:
     /// `c[nr][mr] += ac[kc][mr] * bc[kc][nr]` without copying the operands.
     ///

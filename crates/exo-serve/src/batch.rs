@@ -14,7 +14,8 @@
 //!    `KernelCache` lookup and one blocking per group;
 //! 2. each group builds its per-shard [`gemm_blis::GemmRunner`]s — one
 //!    arena reservation and one dispatch-proof memoisation per shard, not
-//!    per entry;
+//!    per entry (and [`CachedTunedGemm`] keeps them warm *across* batches:
+//!    once per shape family for the executor's lifetime);
 //! 3. small entries are dealt round-robin across the shared pool
 //!    ([`gemm_blis::ThreadPool::global`]), one shard per worker; large
 //!    entries keep the driver's internal `ic`/`jc` split.
@@ -32,16 +33,19 @@
 //! the batch completes. A failed or panicked entry whose `beta == 0` (its
 //! `C` is never read, so a re-run fully overwrites any partial write) is
 //! retried **once on the next execution tier down** the ladder
-//! simd → superword → tape → interp ([`gemm_blis::ExecBackend::degraded`]);
+//! native → simd → superword → tape → interp
+//! ([`gemm_blis::ExecBackend::degraded`]);
 //! a retried success is stamped [`GemmStats::degraded`]. The
 //! [`BatchReport`] carries the per-entry outcomes plus the isolation
 //! tallies (panics caught, retries, degraded completions).
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use gemm_blis::pool::{PoolJob, ThreadPool};
-use gemm_blis::{BlisGemm, GemmError, GemmExecutor, GemmProblem, GemmRunner, GemmStats};
+use gemm_blis::{BlisGemm, GemmError, GemmExecutor, GemmProblem, GemmRunner, GemmStats, RunnerScratch};
 
 use crate::fault;
 
@@ -118,6 +122,10 @@ pub struct BatchReport {
     pub retries: u64,
     /// Entries that completed on the retry tier ([`GemmStats::degraded`]).
     pub degraded_completions: u64,
+    /// Fresh per-shard runner constructions (arena + staged tile + dispatch
+    /// proof) this batch paid for. A [`CachedTunedGemm`] serving a warm
+    /// shape mix reports zero: every shard re-attached cached scratch.
+    pub runners_built: u64,
 }
 
 impl BatchReport {
@@ -173,6 +181,7 @@ struct Tally {
     panics: AtomicU64,
     retries: AtomicU64,
     degraded: AtomicU64,
+    runner_builds: AtomicU64,
 }
 
 /// Renders a contained panic payload into the `JobPanicked` message.
@@ -254,11 +263,17 @@ fn run_entry(
 /// the driver's own block-loop threading; small entries are dealt
 /// round-robin over pool-worker shards, each shard reusing one
 /// [`gemm_blis::GemmRunner`] (arena + dispatch proof) across its entries.
+/// Shard runners are drawn from `scratch` when it holds detached warm
+/// state from an earlier batch and returned to it afterwards — a caller
+/// passing a persistent pool ([`CachedTunedGemm`]) pays runner
+/// construction once per group lifetime, a caller passing an empty vec
+/// gets the old once-per-batch behaviour.
 fn run_group<'a>(
     driver: &BlisGemm,
     entries: Vec<(usize, GemmProblem<'a>)>,
     out: &mut [Option<Result<GemmStats, GemmError>>],
     tally: &Tally,
+    scratch: &mut Vec<RunnerScratch>,
 ) {
     let mut small: Vec<(usize, GemmProblem<'a>)> = Vec::new();
     let mut large: Vec<(usize, GemmProblem<'a>)> = Vec::new();
@@ -279,13 +294,23 @@ fn run_group<'a>(
     if small.is_empty() {
         return;
     }
+    // A shard's runner comes from the warm pool when it has one; building
+    // fresh is the counted cold path.
+    let take_runner = |scratch: Option<RunnerScratch>| match scratch {
+        Some(warm) => driver.runner_with(warm),
+        None => {
+            tally.runner_builds.fetch_add(1, Ordering::Relaxed);
+            driver.runner()
+        }
+    };
     let pool = ThreadPool::global();
     let shard_count = pool.workers().min(small.len());
     if shard_count <= 1 {
-        let mut runner = driver.runner();
+        let mut runner = take_runner(scratch.pop());
         for (idx, mut problem) in small {
             out[idx] = Some(run_entry(driver, Some(&mut runner), &mut problem, tally));
         }
+        scratch.push(runner.into_scratch());
         return;
     }
     let mut shards: Vec<Vec<(usize, GemmProblem<'a>)>> = (0..shard_count).map(|_| Vec::new()).collect();
@@ -294,18 +319,27 @@ fn run_group<'a>(
     }
     let mut shard_results: Vec<Vec<(usize, Result<GemmStats, GemmError>)>> =
         (0..shard_count).map(|_| Vec::new()).collect();
+    // One warm-or-fresh runner per shard; each shard hands its scratch back
+    // through its slot so the pool stays warm for the next batch. A shard
+    // that dies mid-run leaves its slot `None` — that scratch is lost with
+    // the shard, never returned half-valid.
+    let mut returned: Vec<Option<RunnerScratch>> = (0..shard_count).map(|_| None).collect();
+    let mut warm: Vec<Option<RunnerScratch>> = (0..shard_count).map(|_| scratch.pop()).collect();
+    let take_runner = &take_runner;
     let jobs: Vec<PoolJob<'_>> = shards
         .into_iter()
         .zip(shard_results.iter_mut())
-        .map(|(shard, results)| {
+        .zip(warm.iter_mut().zip(returned.iter_mut()))
+        .map(|((shard, results), (warm, returned))| {
             Box::new(move || {
                 // One runner per shard: the arena reservation and the
-                // dispatch proof are paid here, once, then reused by every
-                // entry of the shard.
-                let mut runner = driver.runner();
+                // dispatch proof are paid here (or re-attached warm), then
+                // reused by every entry of the shard.
+                let mut runner = take_runner(warm.take());
                 for (idx, mut problem) in shard {
                     results.push((idx, run_entry(driver, Some(&mut runner), &mut problem, tally)));
                 }
+                *returned = Some(runner.into_scratch());
             }) as PoolJob<'_>
         })
         .collect();
@@ -316,6 +350,7 @@ fn run_group<'a>(
     if pool.scope_run_captured(jobs).is_some() {
         tally.panics.fetch_add(1, Ordering::Relaxed);
     }
+    scratch.extend(returned.into_iter().flatten());
     for (idx, result) in shard_results.into_iter().flatten() {
         out[idx] = Some(result);
     }
@@ -341,19 +376,130 @@ fn collect_outcomes(out: Vec<Option<Result<GemmStats, GemmError>>>, tally: Tally
         panics_caught: tally.panics.into_inner(),
         retries: tally.retries.into_inner(),
         degraded_completions: tally.degraded.into_inner(),
+        runners_built: tally.runner_builds.into_inner(),
     }
 }
 
 impl GemmBatchExecutor for BlisGemm {
     /// One group: the driver's stored kernel and blocking serve every
-    /// entry, so the whole batch shares one kernel and per-shard arenas.
+    /// entry, so the whole batch shares one kernel and per-shard arenas
+    /// (rebuilt per batch — wrap a tuned executor in [`CachedTunedGemm`]
+    /// for cross-batch reuse).
     fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport {
         let entries = batch.into_problems();
         let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
         let tally = Tally::default();
-        run_group(self, entries.into_iter().enumerate().collect(), &mut out, &tally);
+        run_group(self, entries.into_iter().enumerate().collect(), &mut out, &tally, &mut Vec::new());
         collect_outcomes(out, tally)
     }
+}
+
+/// Group key of the tuned batch path: the verdict's register tile plus
+/// blocking — the complete dispatch identity (the kernel cache is keyed by
+/// `(mr, nr)`, the driver by the blocking).
+type GroupKey = (usize, usize, usize, usize, usize);
+
+/// The per-verdict-group state a [`CachedTunedGemm`] keeps warm across
+/// batches: the built driver (registry lookup + kernel clone paid once)
+/// and the detached shard runners (arena + staged tile + memoised
+/// dispatch proofs).
+#[derive(Default)]
+struct GroupPool {
+    driver: Option<BlisGemm>,
+    scratch: Vec<RunnerScratch>,
+}
+
+/// The shared body of the tuned batch executors: group entries by tuning
+/// verdict, run each group through one driver. With `pools`, drivers and
+/// shard runners come from (and return to) the per-key pool — the
+/// cross-batch amortisation of [`CachedTunedGemm`]; without, every group
+/// is built fresh, the per-batch amortisation of the plain
+/// [`exo_tune::TunedGemm`] impl.
+fn tuned_gemm_batch(
+    tuned: &exo_tune::TunedGemm,
+    batch: GemmBatch<'_>,
+    mut pools: Option<&mut HashMap<GroupKey, GroupPool>>,
+) -> BatchReport {
+    let entries = batch.into_problems();
+    let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
+    let tally = Tally::default();
+
+    // Insertion-ordered Vec lookup — a serving mix has a handful of
+    // groups, not thousands.
+    type Group<'a> = (GroupKey, BlisGemm, Vec<(usize, GemmProblem<'a>)>);
+    let mut groups: Vec<Group<'_>> = Vec::new();
+    let mut degenerate: Vec<(usize, GemmProblem<'_>)> = Vec::new();
+    for (idx, problem) in entries.into_iter().enumerate() {
+        let (m, n, k) = match problem.dims() {
+            Ok(d) => d,
+            Err(e) => {
+                out[idx] = Some(Err(e));
+                continue;
+            }
+        };
+        if m == 0 || n == 0 || k == 0 {
+            degenerate.push((idx, problem));
+            continue;
+        }
+        let verdict = match tuned.plan(m, n, k) {
+            Ok(v) => v,
+            Err(e) => {
+                out[idx] =
+                    Some(Err(GemmError::Backend { backend: "exo-tune".into(), message: e.to_string() }));
+                continue;
+            }
+        };
+        let key: GroupKey = (verdict.mr, verdict.nr, verdict.mc, verdict.kc, verdict.nc);
+        match groups.iter_mut().find(|(k0, _, _)| *k0 == key) {
+            Some((_, _, group)) => group.push((idx, problem)),
+            None => {
+                let cached =
+                    pools.as_mut().and_then(|pools| pools.get(&key)).and_then(|pool| pool.driver.clone());
+                let driver = match cached {
+                    Some(driver) => driver,
+                    None => {
+                        let kernel = match tuned.tuner().kernel_impl_for(&verdict) {
+                            Ok(k) => k,
+                            Err(e) => {
+                                out[idx] = Some(Err(GemmError::Backend {
+                                    backend: "exo-tune".into(),
+                                    message: e.to_string(),
+                                }));
+                                continue;
+                            }
+                        };
+                        let driver = BlisGemm::new(verdict.blocking())
+                            .with_threads(tuned.threads())
+                            .with_kernel(kernel);
+                        if let Some(pools) = pools.as_mut() {
+                            pools.entry(key).or_default().driver = Some(driver.clone());
+                        }
+                        driver
+                    }
+                };
+                groups.push((key, driver, vec![(idx, problem)]));
+            }
+        }
+    }
+
+    if !degenerate.is_empty() {
+        // Same driver TunedGemm::execute uses for untunable shapes.
+        let driver =
+            BlisGemm::new(gemm_blis::BlockingParams::carmel_defaults(8, 12)).with_threads(tuned.threads());
+        for (idx, mut problem) in degenerate {
+            out[idx] = Some(run_entry(&driver, None, &mut problem, &tally));
+        }
+    }
+    let mut transient = Vec::new();
+    for (key, driver, group) in groups {
+        let scratch = match pools.as_mut() {
+            Some(pools) => &mut pools.entry(key).or_default().scratch,
+            None => &mut transient,
+        };
+        run_group(&driver, group, &mut out, &tally, scratch);
+        transient.clear();
+    }
+    collect_outcomes(out, tally)
 }
 
 impl GemmBatchExecutor for exo_tune::TunedGemm {
@@ -362,71 +508,61 @@ impl GemmBatchExecutor for exo_tune::TunedGemm {
     /// by `(mr, nr)`) — so each distinct shape family pays one registry
     /// lookup, one kernel clone, and one driver construction for the whole
     /// batch. Degenerate entries form their own group on the default
-    /// blocking, exactly as `TunedGemm::execute` treats them.
+    /// blocking, exactly as `TunedGemm::execute` treats them. Runners are
+    /// still rebuilt per batch; wrap in [`CachedTunedGemm`] to keep them
+    /// warm across batches.
     fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport {
-        let entries = batch.into_problems();
-        let mut out: Vec<Option<Result<GemmStats, GemmError>>> = (0..entries.len()).map(|_| None).collect();
-        let tally = Tally::default();
+        tuned_gemm_batch(self, batch, None)
+    }
+}
 
-        // Group key: the verdict's blocking + tile. Insertion-ordered Vec
-        // lookup — a serving mix has a handful of groups, not thousands.
-        type Key = (usize, usize, usize, usize, usize);
-        type Group<'a> = (Key, BlisGemm, Vec<(usize, GemmProblem<'a>)>);
-        let mut groups: Vec<Group<'_>> = Vec::new();
-        let mut degenerate: Vec<(usize, GemmProblem<'_>)> = Vec::new();
-        for (idx, problem) in entries.into_iter().enumerate() {
-            let (m, n, k) = match problem.dims() {
-                Ok(d) => d,
-                Err(e) => {
-                    out[idx] = Some(Err(e));
-                    continue;
-                }
-            };
-            if m == 0 || n == 0 || k == 0 {
-                degenerate.push((idx, problem));
-                continue;
-            }
-            let verdict = match self.plan(m, n, k) {
-                Ok(v) => v,
-                Err(e) => {
-                    out[idx] =
-                        Some(Err(GemmError::Backend { backend: "exo-tune".into(), message: e.to_string() }));
-                    continue;
-                }
-            };
-            let key: Key = (verdict.mr, verdict.nr, verdict.mc, verdict.kc, verdict.nc);
-            match groups.iter_mut().find(|(k0, _, _)| *k0 == key) {
-                Some((_, _, group)) => group.push((idx, problem)),
-                None => {
-                    let kernel = match self.tuner().kernel_impl_for(&verdict) {
-                        Ok(k) => k,
-                        Err(e) => {
-                            out[idx] = Some(Err(GemmError::Backend {
-                                backend: "exo-tune".into(),
-                                message: e.to_string(),
-                            }));
-                            continue;
-                        }
-                    };
-                    let driver =
-                        BlisGemm::new(verdict.blocking()).with_threads(self.threads()).with_kernel(kernel);
-                    groups.push((key, driver, vec![(idx, problem)]));
-                }
-            }
-        }
+/// A tuned batch executor that keeps its per-verdict-group machinery warm
+/// **across batches**: the built driver (registry lookup + kernel clone)
+/// and every shard's [`gemm_blis::RunnerScratch`] (packing arena, staged
+/// `C` tile, memoised dispatch proofs) persist in a per-key pool, so a
+/// steady-state serving mix pays those costs once per shape family for the
+/// executor's lifetime instead of once per batch —
+/// [`BatchReport::runners_built`] is zero from the second batch of a
+/// repeated mix on. Results are bit-identical to the plain
+/// [`exo_tune::TunedGemm`] executor: the scratch carries no numeric state,
+/// only warm capacity and proofs.
+///
+/// The pool is behind a mutex, taken once per batch — the service's
+/// single collector thread never contends on it.
+pub struct CachedTunedGemm {
+    tuned: exo_tune::TunedGemm,
+    pools: Mutex<HashMap<GroupKey, GroupPool>>,
+}
 
-        if !degenerate.is_empty() {
-            // Same driver TunedGemm::execute uses for untunable shapes.
-            let driver =
-                BlisGemm::new(gemm_blis::BlockingParams::carmel_defaults(8, 12)).with_threads(self.threads());
-            for (idx, mut problem) in degenerate {
-                out[idx] = Some(run_entry(&driver, None, &mut problem, &tally));
-            }
-        }
-        for (_, driver, group) in groups {
-            run_group(&driver, group, &mut out, &tally);
-        }
-        collect_outcomes(out, tally)
+impl CachedTunedGemm {
+    /// Wraps a tuned executor with a cross-batch runner pool.
+    pub fn new(tuned: exo_tune::TunedGemm) -> Self {
+        CachedTunedGemm { tuned, pools: Mutex::new(HashMap::new()) }
+    }
+
+    /// The wrapped executor.
+    pub fn tuned(&self) -> &exo_tune::TunedGemm {
+        &self.tuned
+    }
+
+    /// Number of verdict groups with cached state.
+    pub fn cached_groups(&self) -> usize {
+        self.pools.lock().expect("runner pool poisoned").len()
+    }
+
+    /// Total idle runner scratch held across all groups (shards currently
+    /// executing are not counted — they hold their scratch).
+    pub fn cached_runners(&self) -> usize {
+        self.pools.lock().expect("runner pool poisoned").values().map(|p| p.scratch.len()).sum()
+    }
+}
+
+impl GemmBatchExecutor for CachedTunedGemm {
+    /// As the [`exo_tune::TunedGemm`] impl, with drivers and shard runners
+    /// drawn from — and returned to — the warm per-group pool.
+    fn gemm_batch(&self, batch: GemmBatch<'_>) -> BatchReport {
+        let mut pools = self.pools.lock().expect("runner pool poisoned");
+        tuned_gemm_batch(&self.tuned, batch, Some(&mut pools))
     }
 }
 
@@ -503,6 +639,46 @@ mod tests {
         assert_eq!(stats[0].flop_count, 0);
         assert!(stats[0].batched);
         assert_eq!(ec.get(2, 3), 22.0);
+    }
+
+    #[test]
+    fn cached_executors_reuse_runners_across_batches() {
+        let executor = CachedTunedGemm::new(exo_tune::TunedGemm::new());
+        let shapes = [(13usize, 9usize, 7usize), (48, 48, 32), (30, 17, 23)];
+        let run_batch = |seed: usize| {
+            let inputs: Vec<(Matrix, Matrix, Matrix)> = shapes
+                .iter()
+                .enumerate()
+                .map(|(s, &(m, n, k))| (fill(m, k, s + seed), fill(k, n, s + seed + 5), fill(m, n, s + 9)))
+                .collect();
+            let mut cs: Vec<Matrix> = inputs.iter().map(|(_, _, c)| c.clone()).collect();
+            let mut batch = GemmBatch::new();
+            for ((a, b, _), c) in inputs.iter().zip(cs.iter_mut()) {
+                batch.push(GemmProblem::new(a.view(), b.view(), c.view_mut()).alpha(1.25).beta(-0.5));
+            }
+            let report = executor.gemm_batch(batch);
+            assert!(report.outcomes.iter().all(Result::is_ok), "healthy batch");
+            (report.runners_built, inputs, cs)
+        };
+        let (cold_builds, inputs, cold_cs) = run_batch(0);
+        assert!(cold_builds > 0, "the first batch must build its shard runners");
+        assert!(executor.cached_groups() > 0);
+        let idle = executor.cached_runners();
+        assert!(idle > 0, "finished shards must return their scratch to the pool");
+        // The same shape mix again: every shard re-attaches warm scratch —
+        // no new arenas, no new dispatch proofs.
+        let (warm_builds, _, _) = run_batch(0);
+        assert_eq!(warm_builds, 0, "a warm batch must allocate no new runners");
+        assert_eq!(executor.cached_runners(), idle, "scratch count is steady state");
+        // And the cache changes when fixed costs are paid, never results:
+        // the cold batch's outputs are bit-identical to the plain executor.
+        for (i, ((a, b, c0), c_got)) in inputs.iter().zip(&cold_cs).enumerate() {
+            let mut c_plain = c0.clone();
+            exo_tune::TunedGemm::new()
+                .execute(GemmProblem::new(a.view(), b.view(), c_plain.view_mut()).alpha(1.25).beta(-0.5))
+                .unwrap();
+            assert_eq!(c_plain.data, c_got.data, "entry {i}: cached executor vs plain TunedGemm");
+        }
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! | `slow@N=MS`      | the Nth batch entry sleeps `MS` ms first         |
 //! | `decline@N`      | the Nth batch entry reports a kernel decline     |
 //! | `collector-panic@N` | the collector panics before its Nth batch     |
+//! | `aot-compile-fail@N` | the Nth native-kernel compile attempt fails  |
 //!
 //! The pool-level classes are implemented by hooks inside
-//! `gemm_blis::pool` (the dependency arrow points down, so the pool cannot
-//! call into this crate); the entry and collector classes live here and
-//! are called from the batch executor and the service collector. Counters
+//! `gemm_blis::pool`, and the aot class by a hook inside
+//! `exo_aot::engine` (the dependency arrows point down, so those crates
+//! cannot call into this one); the entry and collector classes live here
+//! and are called from the batch executor and the service collector. Counters
 //! are process-global: arm one plan at a time and [`disarm`] between
 //! experiments (the stress suite serialises its tests for this reason).
 
@@ -106,6 +108,11 @@ pub struct FaultPlan {
     pub decline: Option<u64>,
     /// `collector-panic@N`: the collector panics before its Nth batch.
     pub collector_panic: Option<u64>,
+    /// `aot-compile-fail@N`: the Nth attempt to compile a native kernel
+    /// fails with [`exo_aot::AotError::FaultInjected`] — the shape a
+    /// mid-serve toolchain outage takes; dispatch degrades to the simd
+    /// tier.
+    pub aot_compile_fail: Option<u64>,
 }
 
 impl FaultPlan {
@@ -133,6 +140,7 @@ impl FaultPlan {
             slow: Some((next(span), next(8))),
             decline: Some(next(span)),
             collector_panic: None,
+            aot_compile_fail: None,
         }
     }
 
@@ -178,6 +186,13 @@ impl FaultPlan {
         self
     }
 
+    /// The Nth native-kernel compile attempt fails.
+    #[must_use]
+    pub fn aot_compile_fail(mut self, nth: u64) -> Self {
+        self.aot_compile_fail = Some(nth);
+        self
+    }
+
     /// Parses the `EXO_FAULT` grammar: comma-separated `class@N` items
     /// (`slow` takes `slow@N=MS`), e.g.
     /// `EXO_FAULT=entry-panic@3,slow@5=20,decline@7`.
@@ -204,6 +219,7 @@ impl FaultPlan {
                 "entry-panic" => plan.entry_panic(nth(rest)?),
                 "decline" => plan.decline(nth(rest)?),
                 "collector-panic" => plan.collector_panic(nth(rest)?),
+                "aot-compile-fail" => plan.aot_compile_fail(nth(rest)?),
                 "slow" => {
                     let (n, ms) = rest
                         .split_once('=')
@@ -216,7 +232,7 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "unknown fault class `{other}` (expected one of: pool-panic, worker-death, \
-                         entry-panic, slow, decline, collector-panic)"
+                         entry-panic, slow, decline, collector-panic, aot-compile-fail)"
                     ))
                 }
             };
@@ -244,6 +260,7 @@ impl FaultPlan {
         ENTRY_SLOW_MS.store(self.slow.map_or(0, |(_, ms)| ms as i64), Ordering::Relaxed);
         set(&ENTRY_DECLINE_IN, self.decline);
         set(&COLLECTOR_PANIC_IN, self.collector_panic);
+        exo_aot::arm_compile_fail(self.aot_compile_fail.unwrap_or(0));
     }
 }
 
@@ -276,7 +293,8 @@ mod tests {
     #[test]
     fn the_spec_grammar_round_trips_every_class() {
         let plan = FaultPlan::parse(
-            "pool-panic@2, worker-death@3,entry-panic@4,slow@5=20,decline@6,collector-panic@7",
+            "pool-panic@2, worker-death@3,entry-panic@4,slow@5=20,decline@6,collector-panic@7,\
+             aot-compile-fail@8",
         )
         .unwrap();
         assert_eq!(
@@ -288,6 +306,7 @@ mod tests {
                 .slow(5, 20)
                 .decline(6)
                 .collector_panic(7)
+                .aot_compile_fail(8)
         );
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
     }

@@ -39,8 +39,8 @@
 //!   **only that job** with [`gemm_blis::GemmError::JobPanicked`]; the rest
 //!   of the batch completes normally and the pool respawns dead workers.
 //! - Executional failures on `beta == 0` jobs are retried once on the next
-//!   backend tier down (`simd → superword → tape`); successes are stamped
-//!   `degraded` in their [`gemm_blis::GemmStats`].
+//!   backend tier down (`native → simd → superword → tape`); successes are
+//!   stamped `degraded` in their [`gemm_blis::GemmStats`].
 //! - Jobs carry optional queue deadlines ([`GemmJob::deadline`]); expired
 //!   jobs resolve with `DeadlineExceeded` instead of executing stale work.
 //! - If the collector thread itself dies, every outstanding and future
@@ -56,7 +56,7 @@ pub mod fault;
 pub mod job;
 pub mod service;
 
-pub use batch::{BatchReport, GemmBatch, GemmBatchExecutor};
+pub use batch::{BatchReport, CachedTunedGemm, GemmBatch, GemmBatchExecutor};
 pub use fault::FaultPlan;
 pub use gemm_blis::pool::{env_threads_override, PoolJob, ThreadPool};
 pub use job::{CompletedJob, GemmJob, OwnedMat};

@@ -296,6 +296,28 @@ impl BlisGemm {
         }
     }
 
+    /// Re-attaches detached runner scratch ([`GemmRunner::into_scratch`])
+    /// to this driver: the warm arena, staged tile, and memoised dispatch
+    /// proofs are reused when the scratch was built for this driver's
+    /// kernel and backend, so a caller keeping scratch across batches pays
+    /// the [`BlisGemm::runner`] costs once per kernel group instead of
+    /// once per batch. Scratch from a *different* kernel or backend keeps
+    /// only its warm buffers — the dispatch handle is rebuilt, so results
+    /// never depend on where the scratch came from.
+    pub fn runner_with(&self, scratch: RunnerScratch) -> GemmRunner<'_> {
+        let RunnerScratch { dispatch, arena, mut c_tile } = scratch;
+        let matches = {
+            let built_for = dispatch.kernel();
+            built_for.name == self.kernel.name
+                && built_for.mr == self.kernel.mr
+                && built_for.nr == self.kernel.nr
+                && built_for.backend == self.kernel.backend
+        };
+        let dispatch = if matches { dispatch } else { self.kernel.dispatcher() };
+        c_tile.resize(self.kernel.mr * self.kernel.nr, 0.0);
+        GemmRunner { driver: self, dispatch, arena, c_tile }
+    }
+
     /// Solves a [`GemmProblem`] with an explicitly supplied micro-kernel
     /// (the stored one is ignored): the full-control entry point behind the
     /// [`GemmExecutor`] impl, used by harnesses that sweep kernels over one
@@ -694,7 +716,29 @@ pub struct GemmRunner<'d> {
     c_tile: Vec<f32>,
 }
 
+/// The owned state of a [`GemmRunner`] — packing arena, staged `C` tile,
+/// and prove-once dispatch handle — detached from the driver borrow.
+///
+/// A runner borrows its [`BlisGemm`] for its whole life, which stops a
+/// caller from keeping it warm across scopes that rebuild the driver (the
+/// `exo-serve` batch executor builds one driver borrow per batch). The
+/// scratch is the movable part: [`GemmRunner::into_scratch`] detaches it,
+/// [`BlisGemm::runner_with`] re-attaches it, and the arena capacity plus
+/// the memoised dispatch proofs survive the round trip.
+pub struct RunnerScratch {
+    dispatch: KernelDispatch,
+    arena: PackArena,
+    c_tile: Vec<f32>,
+}
+
 impl GemmRunner<'_> {
+    /// Detaches the runner's owned scratch from the driver borrow, for
+    /// re-attachment (to the same or an equivalent driver) with
+    /// [`BlisGemm::runner_with`].
+    pub fn into_scratch(self) -> RunnerScratch {
+        RunnerScratch { dispatch: self.dispatch, arena: self.arena, c_tile: self.c_tile }
+    }
+
     /// Solves one problem on the calling thread with the reused scratch.
     ///
     /// # Errors

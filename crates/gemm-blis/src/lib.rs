@@ -37,13 +37,14 @@ pub mod pool;
 pub mod problem;
 pub mod views;
 
-pub use algorithm::{naive_gemm, BlisGemm, GemmRunner, Matrix};
+pub use algorithm::{naive_gemm, BlisGemm, GemmRunner, Matrix, RunnerScratch};
 pub use baselines::{
-    blis_assembly_kernel, env_backend_override, exo_kernel, exo_kernel_interp, exo_kernel_superword,
-    exo_kernel_tape, neon_intrinsics_kernel, reference_kernel, ExecBackend, KernelDispatch, KernelImpl,
-    KernelKind,
+    blis_assembly_kernel, env_backend_override, exo_kernel, exo_kernel_interp, exo_kernel_simd,
+    exo_kernel_superword, exo_kernel_tape, neon_intrinsics_kernel, reference_kernel, ExecBackend,
+    KernelDispatch, KernelImpl, KernelKind,
 };
 pub use blocking::BlockingParams;
+pub use exo_aot::{native_available, toolchain, Toolchain};
 pub use exo_codegen::{active_isa, env_isa_override, env_once, simd_available, IsaKind};
 pub use model::{modelled_gemm_cycles, GemmSimulator, Implementation, SimOptions, SimResult};
 pub use packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackArena};

@@ -2,7 +2,7 @@
 //! packaging of every artefact a consumer needs (scheduled IR, C code,
 //! pseudo-assembly, machine trace, executable form).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use exo_codegen::{
     compile, emit_asm, emit_c, extract_trace, CompiledKernel, KernelTrace, RunArg, SimdKernel,
@@ -111,6 +111,15 @@ pub struct GeneratedKernel {
     /// FMA-contraction ULP bound of the other tiers; the scalar chain is
     /// bit-identical to them.
     pub simd: Option<Arc<SimdKernel>>,
+    /// Ahead-of-time compiled native kernel: [`Self::superword`] lowered
+    /// to C, built with the host toolchain, and `dlopen`ed — the top
+    /// tier. Compiled lazily on first [`Self::native`] access (a compiler
+    /// invocation is too heavy for generation, and warm processes load
+    /// from the artifact cache); `None` when the host has no C toolchain,
+    /// the emitter declines the tape, or the build fails — all silent
+    /// declines onto [`Self::simd`]. Bit-identical to the simd chain of
+    /// the same ISA.
+    native: OnceLock<Option<Arc<exo_aot::NativeKernel>>>,
 }
 
 impl GeneratedKernel {
@@ -133,6 +142,42 @@ impl GeneratedKernel {
         match &self.simd {
             Some(simd) => simd.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
             None => self.run_packed_superword_unchecked(kc, ac, bc, c),
+        }
+    }
+
+    /// The ahead-of-time compiled native kernel, building it on first
+    /// access: the superword tape is lowered to C for the active ISA,
+    /// compiled with the host toolchain through the process-wide
+    /// [`exo_aot::engine`] (which serves warm starts from its artifact
+    /// cache), and `dlopen`ed. `None` — permanently, the verdict is
+    /// cached — when the host has no C toolchain, the emitter declines
+    /// the tape, or the build fails: callers silently stay on the simd
+    /// chain.
+    pub fn native(&self) -> Option<&Arc<exo_aot::NativeKernel>> {
+        self.native
+            .get_or_init(|| self.superword.as_ref().and_then(|sw| exo_aot::engine().compile_or_none(sw)))
+            .as_ref()
+    }
+
+    /// Runs the kernel through the ahead-of-time compiled native tier
+    /// when one is available (compiling it on first call), and through
+    /// [`Self::run_packed`]'s simd-first ladder otherwise — the
+    /// `ExecBackend::Native` entry point. On a matching ISA the native
+    /// tier is bit-identical to the simd chain, so the fallback is
+    /// invisible except for speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Codegen`] if the buffers do not match the
+    /// kernel's shape.
+    pub fn run_packed_native(&self, kc: usize, ac: &[f32], bc: &[f32], c: &mut [f32]) -> Result<()> {
+        self.check_packed_shape(kc, ac, bc, c)?;
+        match self.native() {
+            Some(native) => native.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+            None => match &self.simd {
+                Some(simd) => simd.run_packed(kc, ac, bc, c).map_err(GenError::Codegen),
+                None => self.run_packed_superword_unchecked(kc, ac, bc, c),
+            },
         }
     }
 
@@ -332,6 +377,7 @@ impl MicroKernelGenerator {
             tape,
             superword,
             simd,
+            native: OnceLock::new(),
         })
     }
 }

@@ -117,6 +117,26 @@ impl KernelCache {
         Ok(self.get_or_generate(generator, mr, nr)?.simd.clone())
     }
 
+    /// The cached ahead-of-time native kernel for `(generator ISA, mr,
+    /// nr)`, generating the kernel on the first request and compiling
+    /// the native artifact on the first call (later calls share the
+    /// per-kernel verdict; warm processes load from the exo-aot artifact
+    /// cache without invoking the compiler). `None` means the host has
+    /// no C toolchain, the emitter declined the shape, or the build
+    /// failed — dispatch stays on the simd tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::GenError`] if the shape cannot be generated.
+    pub fn get_or_generate_native(
+        &self,
+        generator: &MicroKernelGenerator,
+        mr: usize,
+        nr: usize,
+    ) -> Result<Option<Arc<exo_aot::NativeKernel>>> {
+        Ok(self.get_or_generate(generator, mr, nr)?.native().cloned())
+    }
+
     /// Inserts an externally generated kernel (e.g. one built with custom
     /// [`crate::KernelOptions`]) without counting a generator invocation.
     pub fn insert(&self, kernel: Arc<GeneratedKernel>) {
@@ -226,6 +246,30 @@ mod tests {
         let again = cache.get_or_generate_simd(&generator, 8, 12).unwrap().unwrap();
         assert_eq!(cache.generator_invocations(), 1);
         assert!(Arc::ptr_eq(&simd, &again));
+    }
+
+    #[test]
+    fn native_kernels_are_cached_alongside_kernels() {
+        let cache = KernelCache::new();
+        let generator = MicroKernelGenerator::new(neon_f32());
+        let native = cache.get_or_generate_native(&generator, 8, 12).unwrap();
+        assert_eq!(cache.generator_invocations(), 1);
+        match native {
+            // With a host toolchain the artifact compiles once and the
+            // verdict is shared: a second request serves the same handle.
+            Some(native) => {
+                assert_eq!(native.isa(), exo_codegen::active_isa());
+                let again = cache.get_or_generate_native(&generator, 8, 12).unwrap().unwrap();
+                assert_eq!(cache.generator_invocations(), 1);
+                assert!(Arc::ptr_eq(&native, &again));
+            }
+            // Without one the decline is silent, permanent, and equally
+            // cached.
+            None => {
+                assert!(cache.get_or_generate_native(&generator, 8, 12).unwrap().is_none());
+                assert_eq!(cache.generator_invocations(), 1);
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 pub use carmel_sim;
 pub use dnn_models;
+pub use exo_aot;
 pub use exo_codegen;
 pub use exo_ir;
 pub use exo_isa;

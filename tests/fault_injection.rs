@@ -346,6 +346,73 @@ fn shutdown_with_outstanding_handles_resolves_them_all() {
     }
 }
 
+/// The toolchain-outage fault class: the ahead-of-time compile for a
+/// freshly generated kernel fails mid-serve (`aot-compile-fail@1` — the
+/// shape a broken `cc`, a full disk, or a revoked cache dir takes at
+/// runtime). The contract is *silent* degradation, one tier down and
+/// pre-dispatch: every job completes, none is stamped `degraded` (no
+/// executional failure ever surfaced), the results are bit-identical to
+/// a pinned-simd run, and the failed compile is cached as a permanent
+/// decline on the kernel rather than retried per job.
+#[test]
+fn a_mid_serve_compile_failure_degrades_to_simd_without_failing_jobs() {
+    if exo_gemm::gemm_blis::env_backend_override().is_some() {
+        return; // a pinned backend never consults the native tier
+    }
+    let _guard = serial();
+    fault::disarm();
+    let kernel = std::sync::Arc::new(
+        exo_gemm::ukernel_gen::MicroKernelGenerator::new(exo_gemm::exo_isa::neon_f32())
+            .generate(8, 12)
+            .expect("8x12 generates"),
+    );
+    let blocking = BlockingParams::carmel_defaults(8, 12);
+    let shapes = [(24usize, 20usize, 16usize), (16, 16, 16), (33, 9, 21)];
+
+    // Reference: the same jobs through the pinned-simd tier, faults
+    // disarmed — the tier the outage must silently land on.
+    let simd_driver = BlisGemm::new(blocking)
+        .with_kernel(exo_gemm::gemm_blis::exo_kernel_simd(std::sync::Arc::clone(&kernel)));
+    let refs: Vec<OwnedMat> = shapes
+        .iter()
+        .enumerate()
+        .map(|(s, &(m, n, k))| {
+            let mut job = make_job(m, n, k, s, 0.0);
+            simd_driver.gemm(job.problem()).expect("reference gemm");
+            job.into_c()
+        })
+        .collect();
+
+    // The serve run: Native-tier kernel (the default ladder), with the
+    // first — and only — compile attempt failing.
+    FaultPlan::new().aot_compile_fail(1).arm();
+    let native_driver =
+        BlisGemm::new(blocking).with_kernel(exo_gemm::gemm_blis::exo_kernel(std::sync::Arc::clone(&kernel)));
+    let service = GemmService::new(native_driver);
+    let handles: Vec<JobHandle> = shapes
+        .iter()
+        .enumerate()
+        .map(|(s, &(m, n, k))| service.submit(make_job(m, n, k, s, 0.0)).expect("accepting"))
+        .collect();
+    let outcomes: Vec<_> = handles.iter().map(wait_or_hang).collect();
+    fault::disarm();
+
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let done = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("job {idx}: a compile failure must never fail a job, got {e:?}"));
+        assert!(!done.stats.degraded, "job {idx}: pre-dispatch fallback is not a degraded completion");
+        assert_bits(&done.c, &refs[idx], &format!("job {idx} (simd fallback)"));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, shapes.len() as u64);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.retries, 0, "the fallback happens before dispatch, not via the retry path");
+    assert_eq!(service.health(), ServiceHealth::Healthy, "a toolchain outage must not degrade the service");
+    // The decline is memoised on the kernel: no per-job recompile storms.
+    assert!(kernel.native().is_none(), "the failed compile must be cached as a permanent decline");
+}
+
 /// CI's entry point: when `EXO_FAULT` is set, the first service
 /// construction arms it and this generic liveness run must survive
 /// whatever the spec throws. Without `EXO_FAULT` the test is a no-op.

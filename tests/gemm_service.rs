@@ -9,12 +9,15 @@
 //!   batch, single-entry batch, mixed-shape batch with degenerate entries.
 //! * Pool-reuse: after warm-up, the hot path never spawns another OS
 //!   thread — the shared pool is borrowed, not recreated.
+//! * Runner-reuse: a [`CachedTunedGemm`] executor builds runner scratch
+//!   (dispatch, arena, accumulator tile) on the cold batch only — warm
+//!   batches of the same shapes report `runners_built == 0`.
 
 mod common;
 
 use common::{poison_filler, reference, Cases, Stored};
 use exo_gemm::exo_serve::{
-    GemmBatch, GemmBatchExecutor, GemmJob, GemmService, OwnedMat, ServiceConfig, ThreadPool,
+    CachedTunedGemm, GemmBatch, GemmBatchExecutor, GemmJob, GemmService, OwnedMat, ServiceConfig, ThreadPool,
 };
 use exo_gemm::exo_tune::TunedGemm;
 use exo_gemm::gemm_blis::{BlisGemm, BlockingParams};
@@ -255,4 +258,39 @@ fn hot_paths_reuse_the_pool_without_spawning_threads() {
         "hot-path execution must borrow the shared pool, not spawn threads"
     );
     assert_eq!(service.stats().pool_workers, pool.workers());
+}
+
+/// Runner scratch (dispatch handle, packing arena, accumulator tile) is
+/// pooled per verdict group by `CachedTunedGemm`: the cold batch builds
+/// runners, warm batches of the same shapes build **zero** and allocate
+/// no new arenas, and the pooling never changes a bit of the results.
+#[test]
+fn warm_batches_through_the_cached_executor_build_zero_runners() {
+    let executor = CachedTunedGemm::new(TunedGemm::new());
+    let mut cases = Cases::new(0xCA5E_D001);
+    let pool: Vec<Case> = (0..12).map(|_| Case::random(&mut cases, executor.tuned())).collect();
+    let run = || {
+        let mut jobs: Vec<GemmJob> = pool.iter().map(Case::job).collect();
+        let mut batch = GemmBatch::new();
+        for job in &mut jobs {
+            batch.push(job.problem());
+        }
+        let report = executor.gemm_batch(batch);
+        for outcome in &report.outcomes {
+            outcome.as_ref().expect("batch entry");
+        }
+        for (case, job) in pool.iter().zip(jobs) {
+            case.check(&job.into_c(), "cached batch");
+        }
+        report.runners_built
+    };
+    let cold = run();
+    assert!(cold > 0, "the cold batch must build runners");
+    assert!(executor.cached_groups() > 0, "verdict groups must be pooled");
+    let steady = executor.cached_runners();
+    assert!(steady > 0, "runner scratch must be pooled for reuse");
+    for rerun in 0..3 {
+        assert_eq!(run(), 0, "warm batch {rerun} must reuse pooled runner scratch, not build anew");
+        assert_eq!(executor.cached_runners(), steady, "warm batch {rerun} must not grow the pool");
+    }
 }

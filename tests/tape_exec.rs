@@ -1,18 +1,26 @@
-//! Differential suite for the execution engines, now a **four-way**
-//! comparison with an **ISA axis**: the native SIMD chain (compiled per
-//! vector ISA — AVX2/FMA, NEON, or the scalar reference), the superword
-//! backend, the scalar tape, the tree-walking interpreter, and the naive
-//! reference must agree. Where the computation is literally the same
-//! sequence of f32 operations (superword vs. tape vs. interpreter, arena
-//! vs. legacy driver, 1 vs. N threads, ic vs. jc split — and any one SIMD
-//! chain against *itself* across drivers and thread counts), they must
-//! agree **bit for bit**. The native ISAs contract their FMAs, so against
-//! the portable tiers they are held to the accumulation-scaled ULP bound
-//! of `common::assert_fma_close`; the scalar ISA chain does not contract
+//! Differential suite for the execution engines, now a **five-way**
+//! comparison with an **ISA axis**: the ahead-of-time compiled native
+//! tier (a dlopen'd `.so` emitted from the same superword tape), the
+//! in-process SIMD chain (compiled per vector ISA — AVX2/FMA, NEON, or
+//! the scalar reference), the superword backend, the scalar tape, the
+//! tree-walking interpreter, and the naive reference must agree. Where
+//! the computation is literally the same sequence of f32 operations
+//! (superword vs. tape vs. interpreter, arena vs. legacy driver, 1 vs. N
+//! threads, ic vs. jc split — and any one SIMD chain against *itself*
+//! across drivers and thread counts), they must agree **bit for bit**.
+//! The native tier is emitted so that each lane performs the same fused
+//! (or, on the scalar floor, unfused) operations as the simd chain, so
+//! native vs. simd is held to exact equality on every host — including
+//! hosts without a C toolchain, where "native" silently *is* the simd
+//! chain. The native ISAs contract their FMAs, so against the portable
+//! tiers they are held to the accumulation-scaled ULP bound of
+//! `common::assert_fma_close`; the scalar ISA chain does not contract
 //! and is held to exact equality — which is also what `EXO_ISA=scalar`
 //! (the CI forced-scalar leg) pins process-wide, and what
 //! `EXO_BACKEND=superword` (the CI fallback leg) gets by skipping the
-//! chains entirely.
+//! chains entirely. `EXO_CC=/nonexistent/cc` (the CI poisoned-toolchain
+//! leg) disables only the ahead-of-time tier; every test here must still
+//! pass, with the native legs collapsing onto the simd chain.
 
 mod common;
 
@@ -22,8 +30,9 @@ use common::{assert_fma_close, Cases};
 use exo_gemm::exo_codegen::SimdKernel;
 use exo_gemm::exo_isa::neon_f32;
 use exo_gemm::gemm_blis::{
-    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_superword, exo_kernel_tape, naive_gemm, BlisGemm,
-    BlockingParams, ExecBackend, GemmProblem, IsaKind, Matrix,
+    active_isa, exo_kernel, exo_kernel_interp, exo_kernel_simd, exo_kernel_superword, exo_kernel_tape,
+    naive_gemm, native_available, toolchain, BlisGemm, BlockingParams, ExecBackend, GemmProblem, IsaKind,
+    Matrix,
 };
 use exo_gemm::ukernel_gen::{KernelCache, KernelSet, MicroKernelGenerator};
 
@@ -34,11 +43,14 @@ fn packed_operands(mr: usize, nr: usize, kc: usize, cases: &mut Cases) -> (Vec<f
     (a, b, c)
 }
 
-/// Four-way differential on every registry tile shape, across several KC
+/// Five-way differential on every registry tile shape, across several KC
 /// values including `k = 0` and `k = 1`: superword ≡ tape ≡ interpreter
-/// bit-for-bit, and the SIMD chain within the FMA-contraction bound.
+/// bit-for-bit, the SIMD chain within the FMA-contraction bound, and the
+/// ahead-of-time native tier **bit-identical to the SIMD chain** — with a
+/// toolchain because the emitted C performs the same per-lane fused ops,
+/// without one because the fallback *is* the chain.
 #[test]
-fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
+fn native_simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
     let cache = KernelCache::new();
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x7a9e);
@@ -51,6 +63,13 @@ fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
             panic!("{mr}x{nr} must compile a SIMD chain (the scalar ISA floor exists everywhere)")
         });
         assert_eq!(chain.isa(), exo_gemm::gemm_blis::active_isa(), "{mr}x{nr}: chain targets the active ISA");
+        match kernel.native() {
+            Some(native) => {
+                assert!(native_available(), "{mr}x{nr}: a native kernel implies an answering toolchain");
+                assert_eq!(native.isa(), active_isa(), "{mr}x{nr}: native artifact targets the active ISA");
+            }
+            None => {} // no toolchain, or the engine declined — fallback covers it below
+        }
         for kc in [0usize, 1, 2, 17, 64] {
             let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
             let mut c_simd = c0.clone();
@@ -61,6 +80,9 @@ fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
             kernel.run_packed_tape(kc, &a, &b, &mut c_tape).unwrap();
             let mut c_interp = c0.clone();
             kernel.run_packed_interp(kc, &a, &b, &mut c_interp).unwrap();
+            let mut c_native = c0.clone();
+            kernel.run_packed_native(kc, &a, &b, &mut c_native).unwrap();
+            assert_eq!(c_native, c_simd, "{mr}x{nr} kc={kc}: native must be bit-faithful to simd");
             assert_eq!(c_sw, c_tape, "{mr}x{nr} kc={kc}: superword vs tape");
             assert_eq!(c_tape, c_interp, "{mr}x{nr} kc={kc}: tape vs interpreter");
             assert_fma_close(&c_simd, &c_sw, kc, &format!("{mr}x{nr} kc={kc}: simd vs superword"));
@@ -74,12 +96,13 @@ fn simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
     assert_eq!(cache.generator_invocations(), KernelSet::paper_shapes().len() as u64);
 }
 
-/// All four tiers agree with `naive_gemm` (to accumulation tolerance) on
+/// All five tiers agree with `naive_gemm` (to accumulation tolerance) on
 /// fringe-heavy problems through the full five-loop driver; the portable
-/// driver runs are bit-identical to each other and the SIMD driver run
-/// stays within the FMA bound of them.
+/// driver runs are bit-identical to each other, the native (default)
+/// driver run is bit-identical to the pinned-simd run, and both stay
+/// within the FMA bound of the portable tiers.
 #[test]
-fn simd_driver_matches_naive_on_fringe_heavy_problems() {
+fn native_and_simd_drivers_match_naive_on_fringe_heavy_problems() {
     let generator = MicroKernelGenerator::new(neon_f32());
     let mut cases = Cases::new(0x51ab);
     // (mr, nr) x (m, n, k) including m < mr, n < nr, and k = 1.
@@ -100,10 +123,15 @@ fn simd_driver_matches_naive_on_fringe_heavy_problems() {
                 c
             };
 
-            let c_simd = run(exo_kernel(Arc::clone(&kernel)));
+            let c_native = run(exo_kernel(Arc::clone(&kernel)));
+            let c_simd = run(exo_kernel_simd(Arc::clone(&kernel)));
             let c_sw = run(exo_kernel_superword(Arc::clone(&kernel)));
             let c_tape = run(exo_kernel_tape(Arc::clone(&kernel)));
             let c_interp = run(exo_kernel_interp(Arc::clone(&kernel)));
+            assert_eq!(
+                c_native.data, c_simd.data,
+                "{mr}x{nr} on {m}x{n}x{k}: native (default) vs pinned-simd driver"
+            );
             assert_eq!(c_sw.data, c_tape.data, "{mr}x{nr} on {m}x{n}x{k}: superword vs tape driver");
             assert_eq!(c_tape.data, c_interp.data, "{mr}x{nr} on {m}x{n}x{k}: tape vs interp driver");
             assert_fma_close(
@@ -441,4 +469,66 @@ fn the_active_isa_is_the_native_one_unless_pinned() {
     // The generator's chains report the same selection.
     let kernel = MicroKernelGenerator::new(neon_f32()).generate(4, 4).unwrap();
     assert_eq!(kernel.simd.as_ref().expect("scalar floor").isa(), active);
+}
+
+/// The native-tier probe the CI toolchain legs assert against. With an
+/// answering C compiler (the ordinary runners), the registry kernel must
+/// actually compile, load, and target the active ISA — the tier being
+/// "available but silently declined" would hide a real regression. With
+/// none (`EXO_CC=/nonexistent/cc` on the poisoned leg, or a genuinely
+/// bare host), the tier must vanish without a single error surfacing:
+/// `native_available()` is false, no artifact exists, and the Native
+/// entry points still answer — running the simd chain, bit for bit.
+#[test]
+fn the_native_tier_follows_the_toolchain_probe_and_never_errors() {
+    assert_eq!(ExecBackend::default(), ExecBackend::Native, "Native is the top of the default ladder");
+    assert_eq!(ExecBackend::Native.degraded(), Some(ExecBackend::Simd), "and degrades onto simd");
+    let kernel = Arc::new(MicroKernelGenerator::new(neon_f32()).generate(8, 12).unwrap());
+    match toolchain() {
+        Some(tc) => {
+            assert!(native_available());
+            assert!(!tc.cc.is_empty() && !tc.version.is_empty(), "the probe records cc and version");
+            let native = kernel.native().unwrap_or_else(|| {
+                panic!("toolchain `{}` answered but the 8x12 kernel did not compile natively", tc.cc)
+            });
+            assert_eq!(native.isa(), active_isa(), "the artifact targets the active ISA");
+        }
+        None => {
+            assert!(!native_available());
+            assert!(kernel.native().is_none(), "no toolchain, no artifact — and no error either");
+        }
+    }
+    // Both probe branches continue here: the packed entry point and the
+    // full driver under an explicit `Native` pin answer identically to
+    // the simd chain, so a toolchain outage is invisible except in speed.
+    let mut cases = Cases::new(0xaa07);
+    for kc in [0usize, 1, 7, 33] {
+        let (a, b, c0) = packed_operands(8, 12, kc, &mut cases);
+        let mut c_native = c0.clone();
+        kernel.run_packed_native(kc, &a, &b, &mut c_native).unwrap();
+        let mut c_simd = c0.clone();
+        kernel.simd.as_ref().expect("scalar floor").run_packed(kc, &a, &b, &mut c_simd).unwrap();
+        assert_eq!(c_native, c_simd, "kc={kc}: native entry point vs simd chain");
+    }
+    let blocking = BlockingParams { mc: 16, kc: 8, nc: 24, mr: 8, nr: 12 };
+    for &(m, n, k) in &[(37usize, 29usize, 23usize), (8, 60, 9)] {
+        let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
+        let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
+        let c0 = Matrix::from_fn(m, n, |_, _| cases.f32_unit());
+        let mut c_native = c0.clone();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel(Arc::clone(&kernel)).with_backend(ExecBackend::Native),
+                GemmProblem::new(a.view(), b.view(), c_native.view_mut()),
+            )
+            .unwrap();
+        let mut c_simd = c0.clone();
+        BlisGemm::new(blocking)
+            .gemm_with(
+                &exo_kernel_simd(Arc::clone(&kernel)),
+                GemmProblem::new(a.view(), b.view(), c_simd.view_mut()),
+            )
+            .unwrap();
+        assert_eq!(c_native.data, c_simd.data, "{m}x{n}x{k}: Native pin vs simd pin through the driver");
+    }
 }
