@@ -497,6 +497,11 @@ fn main() {
     let kernel = Arc::new(generator.generate(8, 12).expect("8x12 kernel generates"));
     assert!(kernel.tape.is_some(), "the 8x12 kernel must tape-compile");
     assert!(kernel.superword.is_some(), "the 8x12 kernel must superword-compile");
+    // Settle the asynchronous native build before any measurement: the
+    // `native` series must bench the promoted artifact (when a toolchain
+    // answers), not race the background compile and silently measure the
+    // simd fallback on its early iterations.
+    let _ = kernel.native_wait();
     let blocking = BlockingParams::analytical(&carmel_sim::CacheHierarchy::carmel(), 8, 12, 4);
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 

@@ -49,6 +49,21 @@ pub enum AotError {
         /// The OS error rendered to a string (keeps the type `Clone`).
         reason: String,
     },
+    /// The C compiler exceeded its deadline (`EXO_AOT_TIMEOUT_MS`) and
+    /// was killed.
+    CompileTimeout {
+        /// The compiler invoked.
+        compiler: String,
+        /// The deadline it exceeded, in milliseconds.
+        ms: u64,
+    },
+    /// The loaded kernel computed a wrong answer on the verification
+    /// probe: the artifact was quarantined to `<path>.wrong-result` and
+    /// the key is pinned to the simd tier for the rest of this process.
+    WrongResult {
+        /// The quarantine path holding the rejected artifact.
+        path: String,
+    },
     /// A fault-injection hook forced this compilation to fail (the
     /// `aot-compile-fail` class of the exo-serve harness).
     FaultInjected,
@@ -71,6 +86,12 @@ impl fmt::Display for AotError {
             }
             AotError::Unsupported { what } => {
                 write!(f, "the aot backend does not support {what}")
+            }
+            AotError::CompileTimeout { compiler, ms } => {
+                write!(f, "`{compiler}` exceeded the {ms} ms compile deadline and was killed")
+            }
+            AotError::WrongResult { path } => {
+                write!(f, "compiled kernel failed probe verification; quarantined at `{path}`")
             }
             AotError::Io { context, reason } => write!(f, "artifact store: {context}: {reason}"),
             AotError::FaultInjected => write!(f, "aot compilation failed by fault injection"),
@@ -104,5 +125,9 @@ mod tests {
         assert!(AotError::ToolchainMissing.to_string().contains("EXO_CC"));
         let e = AotError::SymbolMissing { symbol: "exo_aot_kernel".into() };
         assert!(e.to_string().contains("exo_aot_kernel"));
+        let e = AotError::CompileTimeout { compiler: "cc".into(), ms: 150 };
+        assert!(e.to_string().contains("150 ms"));
+        let e = AotError::WrongResult { path: "/tmp/x.so.wrong-result".into() };
+        assert!(e.to_string().contains("wrong-result"));
     }
 }

@@ -12,21 +12,33 @@
 //!    (AVX2/NEON intrinsics, or plain C for the portable floor) with the
 //!    packed `(KC, Ac, Bc, C)` kernel ABI.
 //! 2. **Build + cache** — [`AotEngine`] detects a host C compiler
-//!    ([`toolchain`], overridable with `EXO_CC`), compiles the source to
+//!    ([`toolchain()`], overridable with `EXO_CC`), compiles the source to
 //!    a shared object in a per-user artifact directory
 //!    ([`store::default_artifact_dir`]; override with `EXO_AOT_DIR`),
 //!    and keys artifacts by (source, host arch/OS, compiler version) so
 //!    warm processes `dlopen` without recompiling. Writes are atomic
-//!    (write-then-rename) and unloadable entries are quarantined to
-//!    `<path>.corrupt` and rebuilt.
+//!    (write-then-rename), every artifact carries an integrity
+//!    [`manifest`] sidecar checked before `dlopen`, and untrusted
+//!    entries are quarantined (`<path>.corrupt`) and rebuilt.
 //! 3. **Dispatch** — [`NativeKernel`] / [`NativeDispatch`] guard every
 //!    call with the same affine-interval bounds proof as the simd tier
 //!    and route unproven calls to the checked tiers below.
 //!
+//! The engine is *asynchronous by default* — trust-but-verify. A
+//! kernel's first [`AotEngine::poll`] kicks a bounded background build
+//! and returns `None` (the caller serves on the simd tier); the key
+//! promotes atomically once the build lands **and** the loaded code
+//! passes a deterministic probe run against the portable tier (a
+//! mismatch quarantines the artifact as `<path>.wrong-result` and pins
+//! the key to simd). Compiler invocations run under a kill-on-deadline
+//! wrapper (`EXO_AOT_TIMEOUT_MS`), failed keys retry with exponential
+//! backoff at most [`engine::MAX_BUILD_ATTEMPTS`] times per process, and
+//! engine init sweeps stale cache debris.
+//!
 //! On a matching ISA the compiled code is bit-identical to the simd
 //! closure chain (both contract every FMA lane individually; the scalar
-//! floor is kept two-rounding with `-ffp-contract=off`), so swapping the
-//! tiers is invisible except for speed.
+//! floor is kept two-rounding with `-ffp-contract=off`), so a mid-run
+//! promotion is invisible except for speed.
 
 #![warn(missing_docs)]
 
@@ -34,11 +46,16 @@ pub mod dylib;
 pub mod engine;
 pub mod error;
 pub mod kernel;
+pub mod manifest;
 pub mod store;
 pub mod toolchain;
 
-pub use engine::{arm_compile_fail, engine, AotEngine};
+pub use engine::{
+    arm_bad_artifact, arm_compile_fail, arm_hang, arm_wrong_result, compile_deadline, engine, AotEngine,
+    AotRequest, AotStats, MAX_BUILD_ATTEMPTS,
+};
 pub use error::{AotError, Result};
 pub use kernel::{KernelFn, NativeDispatch, NativeKernel, KERNEL_SYMBOL};
-pub use store::{artifact_key, default_artifact_dir, ArtifactStore};
+pub use manifest::Manifest;
+pub use store::{artifact_key, content_hash, default_artifact_dir, ArtifactStore};
 pub use toolchain::{native_available, toolchain, Toolchain};

@@ -1,0 +1,164 @@
+//! Integrity manifests: a `<artifact>.meta` sidecar recording the
+//! content hash of the dylib bytes, the toolchain version, the ISA, and
+//! the emitted-source key — checked *before* `dlopen`, so truncation,
+//! tampering, foreign-arch files, and stale toolchains are caught
+//! without trusting the loader to object.
+//!
+//! The sidecar is written with the same write-then-rename discipline as
+//! the artifact itself, and always before the artifact is published: a
+//! reader accepts a dylib only when both halves landed. An artifact with
+//! a missing, unparseable, or mismatching manifest is quarantined to
+//! `<path>.corrupt` and rebuilt — which also retires pre-manifest cache
+//! entries exactly once.
+
+use std::path::Path;
+
+use exo_codegen::IsaKind;
+
+use crate::error::Result;
+use crate::store::{content_hash, ArtifactStore};
+
+/// First line of every sidecar; bumping it retires all older sidecars.
+pub const MANIFEST_VERSION: &str = "exo-aot-meta v1";
+
+/// Everything the engine must re-verify before trusting an on-disk
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// FNV-1a 64 of the artifact's bytes.
+    pub hash: u64,
+    /// The artifact's length in bytes (a cheap pre-hash truncation check,
+    /// and it keeps the sidecar human-diagnosable).
+    pub len: u64,
+    /// The compiler's `--version` line that produced the artifact.
+    pub cc_version: String,
+    /// The ISA the kernel was emitted for.
+    pub isa: String,
+    /// The artifact's cache key (redundant with the filename, but a
+    /// renamed file should not pass).
+    pub key: u64,
+}
+
+impl Manifest {
+    /// The manifest describing `bytes` as produced by this toolchain for
+    /// this ISA and key.
+    pub fn for_bytes(bytes: &[u8], cc_version: &str, isa: IsaKind, key: u64) -> Manifest {
+        Manifest {
+            hash: content_hash(bytes),
+            len: bytes.len() as u64,
+            cc_version: cc_version.to_string(),
+            isa: isa.name().to_string(),
+            key,
+        }
+    }
+
+    /// The sidecar's on-disk text form.
+    pub fn render(&self) -> String {
+        format!(
+            "{MANIFEST_VERSION}\nhash {:016x}\nlen {}\ncc {}\nisa {}\nkey {:016x}\n",
+            self.hash, self.len, self.cc_version, self.isa, self.key
+        )
+    }
+
+    /// Parses a sidecar; `None` for anything malformed or from another
+    /// manifest version (the caller treats both as "untrusted").
+    pub fn parse(text: &str) -> Option<Manifest> {
+        let mut lines = text.lines();
+        if lines.next()? != MANIFEST_VERSION {
+            return None;
+        }
+        let (mut hash, mut len, mut cc, mut isa, mut key) = (None, None, None, None, None);
+        for line in lines {
+            let (field, value) = line.split_once(' ')?;
+            match field {
+                "hash" => hash = Some(u64::from_str_radix(value, 16).ok()?),
+                "len" => len = Some(value.parse().ok()?),
+                "cc" => cc = Some(value.to_string()),
+                "isa" => isa = Some(value.to_string()),
+                "key" => key = Some(u64::from_str_radix(value, 16).ok()?),
+                _ => return None,
+            }
+        }
+        Some(Manifest { hash: hash?, len: len?, cc_version: cc?, isa: isa?, key: key? })
+    }
+
+    /// Checks artifact bytes against this manifest and the provenance the
+    /// engine expects right now. `Err` carries the human-readable reason
+    /// the artifact is untrusted.
+    pub fn check(
+        &self,
+        bytes: &[u8],
+        cc_version: &str,
+        isa: IsaKind,
+        key: u64,
+    ) -> std::result::Result<(), String> {
+        if self.key != key {
+            return Err(format!("manifest key {:016x} does not match expected {key:016x}", self.key));
+        }
+        if self.isa != isa.name() {
+            return Err(format!("manifest ISA `{}` does not match expected `{}`", self.isa, isa.name()));
+        }
+        if self.cc_version != cc_version {
+            return Err(format!("manifest toolchain `{}` does not match `{cc_version}`", self.cc_version));
+        }
+        if self.len != bytes.len() as u64 {
+            return Err(format!("artifact is {} bytes, manifest says {}", bytes.len(), self.len));
+        }
+        if self.hash != content_hash(bytes) {
+            return Err("artifact content hash mismatch (truncated or tampered)".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Writes the sidecar for `key` atomically (write-then-rename).
+pub fn write(store: &ArtifactStore, key: u64, manifest: &Manifest) -> Result<()> {
+    store.write_atomic(&store.manifest_path(key), manifest.render().as_bytes())
+}
+
+/// Loads the sidecar for `key` and verifies `artifact` against it.
+/// `Err(reason)` means the artifact must not be `dlopen`ed.
+pub fn verify_file(
+    store: &ArtifactStore,
+    key: u64,
+    artifact: &Path,
+    cc_version: &str,
+    isa: IsaKind,
+) -> std::result::Result<(), String> {
+    let text = std::fs::read_to_string(store.manifest_path(key))
+        .map_err(|e| format!("no readable manifest sidecar: {e}"))?;
+    let manifest = Manifest::parse(&text).ok_or("unparseable manifest sidecar")?;
+    let bytes = std::fs::read(artifact).map_err(|e| format!("unreadable artifact: {e}"))?;
+    manifest.check(&bytes, cc_version, isa, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifests_round_trip_through_the_text_form() {
+        let m = Manifest::for_bytes(b"dylib bytes", "cc (test) 1.0", IsaKind::Scalar, 0xabcd);
+        assert_eq!(Manifest::parse(&m.render()), Some(m.clone()));
+        assert!(m.check(b"dylib bytes", "cc (test) 1.0", IsaKind::Scalar, 0xabcd).is_ok());
+    }
+
+    #[test]
+    fn every_provenance_mismatch_is_named() {
+        let m = Manifest::for_bytes(b"dylib bytes", "cc 1.0", IsaKind::Scalar, 7);
+        assert!(m.check(b"dylib bytes", "cc 1.0", IsaKind::Scalar, 8).unwrap_err().contains("key"));
+        assert!(m.check(b"dylib bytes", "cc 2.0", IsaKind::Scalar, 7).unwrap_err().contains("toolchain"));
+        assert!(m.check(b"dylib byte", "cc 1.0", IsaKind::Scalar, 7).unwrap_err().contains("bytes"));
+        // Same length, different content: only the hash catches it.
+        assert!(m.check(b"dylib bytez", "cc 1.0", IsaKind::Scalar, 7).unwrap_err().contains("hash"));
+    }
+
+    #[test]
+    fn malformed_sidecars_parse_to_none() {
+        assert_eq!(Manifest::parse(""), None);
+        assert_eq!(Manifest::parse("exo-aot-meta v0\nhash 0\n"), None);
+        assert_eq!(Manifest::parse("exo-aot-meta v1\nhash zz\n"), None);
+        assert_eq!(Manifest::parse("exo-aot-meta v1\nhash 0\nlen 1\ncc x\nisa scalar\n"), None);
+        assert_eq!(Manifest::parse("exo-aot-meta v1\nbogus line here\n"), None);
+    }
+}

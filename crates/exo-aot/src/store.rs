@@ -44,6 +44,12 @@ pub fn default_artifact_dir() -> &'static Path {
     })
 }
 
+/// FNV-1a 64 over one byte string — the hash the integrity manifest
+/// records for the artifact's dylib bytes.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    fnv1a64(&[bytes])
+}
+
 /// FNV-1a 64, the workspace's dependency-free content hash.
 fn fnv1a64(parts: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -98,6 +104,12 @@ impl ArtifactStore {
         self.dir.join(format!("exo_aot_{key:016x}.c"))
     }
 
+    /// Path of the integrity manifest sidecar (`<artifact>.meta`) checked
+    /// before the dylib for `key` is ever `dlopen`ed.
+    pub fn manifest_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("exo_aot_{key:016x}.meta"))
+    }
+
     /// A process-unique scratch path next to `final_path`, for
     /// write-then-rename (same filesystem, so the rename is atomic).
     pub fn scratch_path(&self, final_path: &Path, tag: &str) -> PathBuf {
@@ -131,8 +143,16 @@ impl ArtifactStore {
     /// and the next load attempt will not trip over it again. Returns the
     /// quarantine path.
     pub fn quarantine(&self, path: &Path) -> PathBuf {
+        self.quarantine_as(path, "corrupt")
+    }
+
+    /// Moves an untrusted artifact aside to `<path>.<kind>` (`corrupt`
+    /// for integrity/load failures, `wrong-result` for artifacts that
+    /// failed probe verification). Returns the quarantine path.
+    pub fn quarantine_as(&self, path: &Path, kind: &str) -> PathBuf {
         let mut q = path.as_os_str().to_owned();
-        q.push(".corrupt");
+        q.push(".");
+        q.push(kind);
         let q = PathBuf::from(q);
         // Best effort: if even the rename fails, delete; if that fails
         // too, the next writer's atomic rename will replace the entry.
@@ -140,6 +160,41 @@ impl ArtifactStore {
             let _ = std::fs::remove_file(path);
         }
         q
+    }
+
+    /// Garbage-collects cache debris: scratch files (`.*.tmp`) left by
+    /// crashed processes and quarantine evidence (`.corrupt` /
+    /// `.wrong-result`) older than `older_than`, plus any quarantine
+    /// files beyond the newest `max_quarantine` (the freshest evidence is
+    /// the most useful). Best effort and silent — a missing or read-only
+    /// directory sweeps nothing. Returns how many files were removed.
+    pub fn sweep(&self, older_than: std::time::Duration, max_quarantine: usize) -> usize {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(_) => return 0,
+        };
+        let now = std::time::SystemTime::now();
+        let mut removed = 0usize;
+        let mut quarantined: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_scratch = name.starts_with('.') && name.ends_with(".tmp");
+            let is_quarantine = name.ends_with(".corrupt") || name.ends_with(".wrong-result");
+            if !is_scratch && !is_quarantine {
+                continue;
+            }
+            let modified = entry.metadata().and_then(|m| m.modified()).unwrap_or(now);
+            if now.duration_since(modified).unwrap_or_default() >= older_than {
+                removed += usize::from(std::fs::remove_file(entry.path()).is_ok());
+            } else if is_quarantine {
+                quarantined.push((modified, entry.path()));
+            }
+        }
+        quarantined.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        for (_, path) in quarantined.into_iter().skip(max_quarantine) {
+            removed += usize::from(std::fs::remove_file(path).is_ok());
+        }
+        removed
     }
 }
 
@@ -184,6 +239,31 @@ mod tests {
         assert!(q.extension().is_some_and(|e| e == "corrupt"));
         assert_eq!(std::fs::read(&q).unwrap(), b"payload", "the evidence is kept");
         let _ = std::fs::remove_file(&q);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_removes_stale_scratch_and_caps_quarantine_evidence() {
+        let store = temp_store("sweep");
+        store.ensure_dir().unwrap();
+        let artifact = store.artifact_path(artifact_key("swept", "cc"));
+        std::fs::write(store.scratch_path(&artifact, "cc"), b"half-written").unwrap();
+        for kind in ["corrupt", "wrong-result"] {
+            std::fs::write(store.dir().join(format!("a.so.{kind}")), b"evidence").unwrap();
+            std::fs::write(store.dir().join(format!("b.so.{kind}")), b"evidence").unwrap();
+        }
+        std::fs::write(&artifact, b"a finished artifact").unwrap();
+
+        // Young files survive a long-TTL sweep, but the quarantine cap
+        // still applies: of four evidence files only one remains.
+        let removed = store.sweep(std::time::Duration::from_secs(3600), 1);
+        assert_eq!(removed, 3);
+        // Zero TTL mows down everything that is debris…
+        let removed = store.sweep(std::time::Duration::ZERO, 0);
+        assert_eq!(removed, 2);
+        // …and never the finished artifact.
+        assert!(artifact.is_file());
+        assert_eq!(std::fs::read_dir(store.dir()).unwrap().count(), 1);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -701,6 +701,62 @@ impl SuperwordKernel {
         self.check_packed_signature().is_ok() && self.bounds_provable(&[kc as i64], &[ac_len, bc_len, c_len])
     }
 
+    /// The minimal packed operand lengths `(ac_len, bc_len, c_len)` that
+    /// cover every tensor access this kernel makes at the given `kc` —
+    /// the exact probe shape the ahead-of-time tier's verified promotion
+    /// runs a freshly built native artifact on before letting it into
+    /// dispatch. The same affine-interval walk as
+    /// [`Self::packed_bounds_provable`], but recording the maximal
+    /// touched index per buffer instead of checking against supplied
+    /// lengths. `None` when the kernel does not have the packed
+    /// `(KC, Ac, Bc, C)` signature, an access interval reaches below
+    /// zero, or an interval saturates (a dependent loop bound) — the
+    /// cases where no finite lengths would make the call provable either.
+    pub fn packed_probe_lens(&self, kc: usize) -> Option<(usize, usize, usize)> {
+        // Lengths past this are not a probe, they are a bug (or a
+        // saturated interval): refuse rather than allocate gigabytes.
+        const MAX_PROBE_LEN: i64 = 1 << 24;
+        self.check_packed_signature().ok()?;
+        let scalars = [kc as i64];
+        let mut iv: Vec<(i64, i64)> = vec![(0, 0); self.n_dyn_loops];
+        let mut ends = [0i64; 3];
+        let reach = |(lo, hi): (i64, i64), span: u32| -> Option<i64> {
+            let end = hi.saturating_add(i64::from(span));
+            (lo >= 0 && end <= MAX_PROBE_LEN).then_some(end)
+        };
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            let touched: Option<(u16, i64)> = match &self.ops[pc] {
+                VOp::Scalar(TOp::LoadT { buf, addr, .. }) | VOp::Scalar(TOp::StoreT { buf, addr, .. }) => {
+                    Some((*buf, reach(addr_interval(addr, &iv, &scalars), 1)?))
+                }
+                VOp::VFmaBcast { buf, addr, .. } => Some((*buf, reach(addr.interval(&iv, &scalars), 1)?)),
+                VOp::VLoad { buf, addr, lanes, .. } | VOp::VStore { buf, addr, lanes, .. } => {
+                    Some((*buf, reach(addr.interval(&iv, &scalars), *lanes)?))
+                }
+                VOp::LoopBegin { slot, lo, hi, end } => {
+                    let (lo_min, _) = lo.interval(&iv, &scalars);
+                    let (_, hi_max) = hi.interval(&iv, &scalars);
+                    if hi_max.saturating_sub(1) < lo_min {
+                        // The loop never executes for any outer
+                        // assignment: its body touches nothing.
+                        pc = *end as usize;
+                        continue;
+                    }
+                    iv[*slot as usize] = (lo_min, hi_max - 1);
+                    None
+                }
+                _ => None,
+            };
+            if let Some((buf, end)) = touched {
+                let slot = ends.get_mut(buf as usize)?;
+                *slot = (*slot).max(end);
+            }
+            pc += 1;
+        }
+        Some((ends[0] as usize, ends[1] as usize, ends[2] as usize))
+    }
+
     /// Runs a packed micro-kernel signature `(KC, Ac, Bc, C)`:
     /// `c[nr][mr] += ac[kc][mr] * bc[kc][nr]` without copying the operands.
     ///

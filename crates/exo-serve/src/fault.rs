@@ -19,9 +19,15 @@
 //! | `decline@N`      | the Nth batch entry reports a kernel decline     |
 //! | `collector-panic@N` | the collector panics before its Nth batch     |
 //! | `aot-compile-fail@N` | the Nth native-kernel compile attempt fails  |
+//! | `aot-hang@N`     | the Nth compiler invocation hangs (killed on the |
+//! |                  | deadline; surfaces as a compile timeout)         |
+//! | `aot-bad-artifact@N` | the Nth successful compile seals garbage     |
+//! |                  | (caught by `dlopen`, quarantined `.corrupt`)     |
+//! | `aot-wrong-result@N` | the Nth promotion probe reports a mismatch   |
+//! |                  | (quarantined `.wrong-result`, key pinned to simd)|
 //!
 //! The pool-level classes are implemented by hooks inside
-//! `gemm_blis::pool`, and the aot class by a hook inside
+//! `gemm_blis::pool`, and the aot classes by hooks inside
 //! `exo_aot::engine` (the dependency arrows point down, so those crates
 //! cannot call into this one); the entry and collector classes live here
 //! and are called from the batch executor and the service collector. Counters
@@ -113,6 +119,19 @@ pub struct FaultPlan {
     /// mid-serve toolchain outage takes; dispatch degrades to the simd
     /// tier.
     pub aot_compile_fail: Option<u64>,
+    /// `aot-hang@N`: the Nth compiler invocation hangs until the
+    /// kill-on-deadline wrapper reaps it — the shape a wedged `cc` takes;
+    /// the attempt surfaces as [`exo_aot::AotError::CompileTimeout`] and
+    /// no GEMM waits on it.
+    pub aot_hang: Option<u64>,
+    /// `aot-bad-artifact@N`: the Nth successful compile seals garbage
+    /// bytes behind a valid manifest — the shape a torn disk takes; the
+    /// loader declines and the artifact is quarantined as `.corrupt`.
+    pub aot_bad_artifact: Option<u64>,
+    /// `aot-wrong-result@N`: the Nth promotion probe reports a mismatch —
+    /// the shape a miscompiled kernel takes; the artifact is quarantined
+    /// as `.wrong-result` and the key is pinned to the simd tier.
+    pub aot_wrong_result: Option<u64>,
 }
 
 impl FaultPlan {
@@ -141,6 +160,9 @@ impl FaultPlan {
             decline: Some(next(span)),
             collector_panic: None,
             aot_compile_fail: None,
+            aot_hang: None,
+            aot_bad_artifact: None,
+            aot_wrong_result: None,
         }
     }
 
@@ -193,6 +215,27 @@ impl FaultPlan {
         self
     }
 
+    /// The Nth compiler invocation hangs and is killed on deadline.
+    #[must_use]
+    pub fn aot_hang(mut self, nth: u64) -> Self {
+        self.aot_hang = Some(nth);
+        self
+    }
+
+    /// The Nth successful compile seals an unloadable artifact.
+    #[must_use]
+    pub fn aot_bad_artifact(mut self, nth: u64) -> Self {
+        self.aot_bad_artifact = Some(nth);
+        self
+    }
+
+    /// The Nth promotion probe reports a wrong result.
+    #[must_use]
+    pub fn aot_wrong_result(mut self, nth: u64) -> Self {
+        self.aot_wrong_result = Some(nth);
+        self
+    }
+
     /// Parses the `EXO_FAULT` grammar: comma-separated `class@N` items
     /// (`slow` takes `slow@N=MS`), e.g.
     /// `EXO_FAULT=entry-panic@3,slow@5=20,decline@7`.
@@ -220,6 +263,9 @@ impl FaultPlan {
                 "decline" => plan.decline(nth(rest)?),
                 "collector-panic" => plan.collector_panic(nth(rest)?),
                 "aot-compile-fail" => plan.aot_compile_fail(nth(rest)?),
+                "aot-hang" => plan.aot_hang(nth(rest)?),
+                "aot-bad-artifact" => plan.aot_bad_artifact(nth(rest)?),
+                "aot-wrong-result" => plan.aot_wrong_result(nth(rest)?),
                 "slow" => {
                     let (n, ms) = rest
                         .split_once('=')
@@ -232,7 +278,8 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "unknown fault class `{other}` (expected one of: pool-panic, worker-death, \
-                         entry-panic, slow, decline, collector-panic, aot-compile-fail)"
+                         entry-panic, slow, decline, collector-panic, aot-compile-fail, aot-hang, \
+                         aot-bad-artifact, aot-wrong-result)"
                     ))
                 }
             };
@@ -261,6 +308,9 @@ impl FaultPlan {
         set(&ENTRY_DECLINE_IN, self.decline);
         set(&COLLECTOR_PANIC_IN, self.collector_panic);
         exo_aot::arm_compile_fail(self.aot_compile_fail.unwrap_or(0));
+        exo_aot::arm_hang(self.aot_hang.unwrap_or(0));
+        exo_aot::arm_bad_artifact(self.aot_bad_artifact.unwrap_or(0));
+        exo_aot::arm_wrong_result(self.aot_wrong_result.unwrap_or(0));
     }
 }
 
@@ -294,7 +344,7 @@ mod tests {
     fn the_spec_grammar_round_trips_every_class() {
         let plan = FaultPlan::parse(
             "pool-panic@2, worker-death@3,entry-panic@4,slow@5=20,decline@6,collector-panic@7,\
-             aot-compile-fail@8",
+             aot-compile-fail@8,aot-hang@9,aot-bad-artifact@10,aot-wrong-result@11",
         )
         .unwrap();
         assert_eq!(
@@ -307,6 +357,9 @@ mod tests {
                 .decline(6)
                 .collector_panic(7)
                 .aot_compile_fail(8)
+                .aot_hang(9)
+                .aot_bad_artifact(10)
+                .aot_wrong_result(11)
         );
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
     }

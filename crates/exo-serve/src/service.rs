@@ -191,6 +191,20 @@ pub struct ServiceStats {
     pub degraded_completions: u64,
     /// Jobs whose queue deadline expired before execution.
     pub deadline_expired: u64,
+    /// Native kernels verified and promoted since this service was
+    /// constructed (the engine counters are process-wide; the service
+    /// reports deltas against its construction-time baseline).
+    pub aot_promotions: u64,
+    /// Native-kernel build attempts that failed since construction —
+    /// every one is a degradation: the affected kernels serve on the
+    /// simd tier.
+    pub aot_builds_failed: u64,
+    /// Compiler invocations killed on the `EXO_AOT_TIMEOUT_MS` deadline
+    /// since construction (a subset of `aot_builds_failed`).
+    pub aot_compile_timeouts: u64,
+    /// Kernels that failed probe verification since construction (also a
+    /// subset of `aot_builds_failed`; their keys are pinned to simd).
+    pub aot_wrong_results: u64,
     /// Current service health (raise-only: healthy → degraded → failed).
     pub health: ServiceHealth,
 }
@@ -201,7 +215,8 @@ impl std::fmt::Display for ServiceStats {
             f,
             "{} submitted / {} completed / {} failed in {} batches (largest {}); \
              queue high-water {}/{}; pool {} workers, {} tasks; {:.3} GFLOP total; \
-             {} panics caught, {} retries, {} degraded, {} deadline-expired; health {}",
+             {} panics caught, {} retries, {} degraded, {} deadline-expired; \
+             aot {} promoted, {} build-failures ({} timeouts, {} wrong-results); health {}",
             self.jobs_submitted,
             self.jobs_completed,
             self.jobs_failed,
@@ -216,6 +231,10 @@ impl std::fmt::Display for ServiceStats {
             self.retries,
             self.degraded_completions,
             self.deadline_expired,
+            self.aot_promotions,
+            self.aot_builds_failed,
+            self.aot_compile_timeouts,
+            self.aot_wrong_results,
             self.health,
         )
     }
@@ -236,6 +255,11 @@ struct Counters {
     degraded_jobs: AtomicU64,
     deadline_expired: AtomicU64,
     health: AtomicU8,
+    /// The process-wide AOT engine counters at service construction.
+    /// Engine counters span every engine user in the process, so the
+    /// service reports (and judges its health by) deltas against this
+    /// baseline: only degradations on *this service's* watch count.
+    aot_base: exo_aot::AotStats,
     /// Serializes submission accounting against the collector's terminal
     /// drain, so `jobs_submitted == jobs_completed + jobs_failed` holds
     /// exactly even when the collector dies mid-submission.
@@ -245,6 +269,29 @@ struct Counters {
 impl Counters {
     fn raise_health(&self, to: ServiceHealth) {
         self.health.fetch_max(to as u8, Ordering::Relaxed);
+    }
+
+    /// The engine's counter movement since this service was constructed:
+    /// `(promotions, builds_failed, compile_timeouts, wrong_results)`.
+    fn aot_deltas(&self) -> (u64, u64, u64, u64) {
+        let now = exo_aot::engine().stats();
+        (
+            now.verified_promotions.saturating_sub(self.aot_base.verified_promotions),
+            now.builds_failed.saturating_sub(self.aot_base.builds_failed),
+            now.compile_timeouts.saturating_sub(self.aot_base.compile_timeouts),
+            now.wrong_results.saturating_sub(self.aot_base.wrong_results),
+        )
+    }
+
+    /// Folds AOT degradations into service health: any failed build on
+    /// this service's watch means some kernel is serving below its best
+    /// tier — degraded, not failed (the simd fallback is bit-faithful
+    /// and jobs keep completing).
+    fn observe_aot_health(&self) {
+        let (_, builds_failed, _, _) = self.aot_deltas();
+        if builds_failed > 0 {
+            self.raise_health(ServiceHealth::Degraded);
+        }
     }
 
     fn gate(&self) -> std::sync::MutexGuard<'_, ()> {
@@ -344,7 +391,7 @@ impl GemmService {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         fault::arm_from_env();
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters { aot_base: exo_aot::engine().stats(), ..Counters::default() });
         let collector_counters = Arc::clone(&counters);
         let max_batch = config.max_batch;
         let collector = std::thread::Builder::new()
@@ -490,9 +537,15 @@ impl GemmService {
         ServiceHealth::from_u8(self.counters.health.load(Ordering::Relaxed))
     }
 
-    /// A snapshot of the aggregate counters.
+    /// A snapshot of the aggregate counters. Observing the snapshot also
+    /// folds any AOT build failures since construction into the health
+    /// (background builds settle between batches, so the collector alone
+    /// cannot see every late failure).
     pub fn stats(&self) -> ServiceStats {
         let pool = ThreadPool::global();
+        self.counters.observe_aot_health();
+        let (aot_promotions, aot_builds_failed, aot_compile_timeouts, aot_wrong_results) =
+            self.counters.aot_deltas();
         ServiceStats {
             jobs_submitted: self.counters.submitted.load(Ordering::Relaxed),
             jobs_completed: self.counters.completed.load(Ordering::Relaxed),
@@ -508,6 +561,10 @@ impl GemmService {
             retries: self.counters.retries.load(Ordering::Relaxed),
             degraded_completions: self.counters.degraded_jobs.load(Ordering::Relaxed),
             deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            aot_promotions,
+            aot_builds_failed,
+            aot_compile_timeouts,
+            aot_wrong_results,
             health: self.health(),
         }
     }
@@ -615,6 +672,10 @@ fn collector_loop<E: GemmBatchExecutor>(
         if report.panics_caught > 0 || report.degraded_completions > 0 {
             counters.raise_health(ServiceHealth::Degraded);
         }
+        // AOT builds land asynchronously; fold any failures since the
+        // last batch into health so degradation is visible without a
+        // stats() call.
+        counters.observe_aot_health();
         debug_assert_eq!(report.len(), in_flight.valid.len(), "one outcome per batch entry");
         for (submission, outcome) in in_flight.valid.drain(..).zip(report.outcomes) {
             match outcome {

@@ -111,15 +111,19 @@ pub struct GeneratedKernel {
     /// FMA-contraction ULP bound of the other tiers; the scalar chain is
     /// bit-identical to them.
     pub simd: Option<Arc<SimdKernel>>,
-    /// Ahead-of-time compiled native kernel: [`Self::superword`] lowered
-    /// to C, built with the host toolchain, and `dlopen`ed — the top
-    /// tier. Compiled lazily on first [`Self::native`] access (a compiler
-    /// invocation is too heavy for generation, and warm processes load
-    /// from the artifact cache); `None` when the host has no C toolchain,
-    /// the emitter declines the tape, or the build fails — all silent
-    /// declines onto [`Self::simd`]. Bit-identical to the simd chain of
-    /// the same ISA.
-    native: OnceLock<Option<Arc<exo_aot::NativeKernel>>>,
+    /// The prepared ahead-of-time request ([`Self::superword`] lowered to
+    /// C, toolchain probed, cache key computed), built lazily on the
+    /// first [`Self::native`] poll and reused by every later one. `None`
+    /// — permanently, the verdict is cached — when the host has no C
+    /// toolchain or the emitter declines the tape: silent declines onto
+    /// [`Self::simd`].
+    aot: OnceLock<Option<exo_aot::AotRequest>>,
+    /// The promoted native kernel: [`Self::superword`] compiled with the
+    /// host toolchain, `dlopen`ed, and probe-verified by the engine — the
+    /// top tier. Set once the engine's background build lands; until
+    /// then callers serve on [`Self::simd`], which is bit-identical on
+    /// the same ISA, so promotion is invisible except for speed.
+    native: OnceLock<Arc<exo_aot::NativeKernel>>,
 }
 
 impl GeneratedKernel {
@@ -145,26 +149,55 @@ impl GeneratedKernel {
         }
     }
 
-    /// The ahead-of-time compiled native kernel, building it on first
-    /// access: the superword tape is lowered to C for the active ISA,
-    /// compiled with the host toolchain through the process-wide
-    /// [`exo_aot::engine`] (which serves warm starts from its artifact
-    /// cache), and `dlopen`ed. `None` — permanently, the verdict is
-    /// cached — when the host has no C toolchain, the emitter declines
-    /// the tape, or the build fails: callers silently stay on the simd
-    /// chain.
-    pub fn native(&self) -> Option<&Arc<exo_aot::NativeKernel>> {
-        self.native
-            .get_or_init(|| self.superword.as_ref().and_then(|sw| exo_aot::engine().compile_or_none(sw)))
+    /// The prepared ahead-of-time request, emitting the C and probing the
+    /// toolchain once per kernel.
+    fn aot_request(&self) -> Option<&exo_aot::AotRequest> {
+        self.aot
+            .get_or_init(|| {
+                self.superword
+                    .as_ref()
+                    .and_then(|sw| exo_aot::engine().prepare(sw, exo_codegen::active_isa()).ok())
+            })
             .as_ref()
     }
 
+    /// The ahead-of-time compiled native kernel, if it has promoted —
+    /// **non-blocking**. The first call kicks a background build through
+    /// the process-wide [`exo_aot::engine()`] (warm starts promote from the
+    /// manifest-verified artifact cache on the first background attempt)
+    /// and returns `None`; callers serve on the simd chain until the
+    /// build lands and passes probe verification, after which the
+    /// promoted kernel is cached here and every call returns it. `None`
+    /// forever when the host has no C toolchain, the emitter declines
+    /// the tape, or the engine has terminally rejected the key: callers
+    /// silently stay on the simd chain.
+    pub fn native(&self) -> Option<Arc<exo_aot::NativeKernel>> {
+        if let Some(native) = self.native.get() {
+            return Some(Arc::clone(native));
+        }
+        let promoted = exo_aot::engine().poll(self.aot_request()?)?;
+        Some(Arc::clone(self.native.get_or_init(|| promoted)))
+    }
+
+    /// Blocks until the native tier settles for this kernel: the
+    /// promoted kernel, or `None` with the decline recorded in the
+    /// engine. For benches and tests that measure or assert the native
+    /// tier itself; serving paths use the non-blocking [`Self::native`].
+    pub fn native_wait(&self) -> Option<Arc<exo_aot::NativeKernel>> {
+        if let Some(native) = self.native.get() {
+            return Some(Arc::clone(native));
+        }
+        let promoted = exo_aot::engine().wait(self.aot_request()?).ok()?;
+        Some(Arc::clone(self.native.get_or_init(|| promoted)))
+    }
+
     /// Runs the kernel through the ahead-of-time compiled native tier
-    /// when one is available (compiling it on first call), and through
-    /// [`Self::run_packed`]'s simd-first ladder otherwise — the
-    /// `ExecBackend::Native` entry point. On a matching ISA the native
-    /// tier is bit-identical to the simd chain, so the fallback is
-    /// invisible except for speed.
+    /// when it has promoted (the first call kicks the background build),
+    /// and through [`Self::run_packed`]'s simd-first ladder otherwise —
+    /// the `ExecBackend::Native` entry point. On a matching ISA the
+    /// native tier is bit-identical to the simd chain, so serving on
+    /// simd while the build is in flight — and the moment of promotion —
+    /// is invisible except for speed.
     ///
     /// # Errors
     ///
@@ -377,6 +410,7 @@ impl MicroKernelGenerator {
             tape,
             superword,
             simd,
+            aot: OnceLock::new(),
             native: OnceLock::new(),
         })
     }

@@ -118,12 +118,13 @@ impl KernelCache {
     }
 
     /// The cached ahead-of-time native kernel for `(generator ISA, mr,
-    /// nr)`, generating the kernel on the first request and compiling
-    /// the native artifact on the first call (later calls share the
-    /// per-kernel verdict; warm processes load from the exo-aot artifact
-    /// cache without invoking the compiler). `None` means the host has
-    /// no C toolchain, the emitter declined the shape, or the build
-    /// failed — dispatch stays on the simd tier.
+    /// nr)`, generating the kernel on the first request — **non-blocking**.
+    /// The first call kicks a background build; `None` means "not
+    /// promoted (yet)": the build is still in flight, the host has no C
+    /// toolchain, the emitter declined the shape, or the engine
+    /// terminally rejected the key — dispatch stays on the simd tier
+    /// until the verified artifact lands (warm processes promote from
+    /// the exo-aot artifact cache without invoking the compiler).
     ///
     /// # Errors
     ///
@@ -134,7 +135,7 @@ impl KernelCache {
         mr: usize,
         nr: usize,
     ) -> Result<Option<Arc<exo_aot::NativeKernel>>> {
-        Ok(self.get_or_generate(generator, mr, nr)?.native().cloned())
+        Ok(self.get_or_generate(generator, mr, nr)?.native())
     }
 
     /// Inserts an externally generated kernel (e.g. one built with custom
@@ -252,11 +253,13 @@ mod tests {
     fn native_kernels_are_cached_alongside_kernels() {
         let cache = KernelCache::new();
         let generator = MicroKernelGenerator::new(neon_f32());
-        let native = cache.get_or_generate_native(&generator, 8, 12).unwrap();
+        // The first request may answer `None` while the background build
+        // is in flight; settle the verdict through the blocking path.
+        let settled = cache.get_or_generate(&generator, 8, 12).unwrap().native_wait();
         assert_eq!(cache.generator_invocations(), 1);
-        match native {
-            // With a host toolchain the artifact compiles once and the
-            // verdict is shared: a second request serves the same handle.
+        match settled {
+            // With a host toolchain the artifact promotes once and the
+            // handle is shared: the non-blocking path serves it too.
             Some(native) => {
                 assert_eq!(native.isa(), exo_codegen::active_isa());
                 let again = cache.get_or_generate_native(&generator, 8, 12).unwrap().unwrap();

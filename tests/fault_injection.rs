@@ -346,34 +346,98 @@ fn shutdown_with_outstanding_handles_resolves_them_all() {
     }
 }
 
-/// The toolchain-outage fault class: the ahead-of-time compile for a
-/// freshly generated kernel fails mid-serve (`aot-compile-fail@1` — the
-/// shape a broken `cc`, a full disk, or a revoked cache dir takes at
-/// runtime). The contract is *silent* degradation, one tier down and
-/// pre-dispatch: every job completes, none is stamped `degraded` (no
-/// executional failure ever surfaced), the results are bit-identical to
-/// a pinned-simd run, and the failed compile is cached as a permanent
-/// decline on the kernel rather than retried per job.
-#[test]
-fn a_mid_serve_compile_failure_degrades_to_simd_without_failing_jobs() {
-    if exo_gemm::gemm_blis::env_backend_override().is_some() {
-        return; // a pinned backend never consults the native tier
-    }
-    let _guard = serial();
-    fault::disarm();
-    let kernel = std::sync::Arc::new(
+/// Generates a fresh kernel for an AOT fault experiment. The AOT
+/// engine's per-key state is process-global, so each experiment needs a
+/// tile shape no other test in this binary serves (the shared 8x12 key
+/// may already be promoted, and an armed countdown must fire in the
+/// experiment that armed it, not in a neighbour's background build).
+fn fresh_kernel(mr: usize, nr: usize) -> std::sync::Arc<exo_gemm::ukernel_gen::GeneratedKernel> {
+    std::sync::Arc::new(
         exo_gemm::ukernel_gen::MicroKernelGenerator::new(exo_gemm::exo_isa::neon_f32())
-            .generate(8, 12)
-            .expect("8x12 generates"),
-    );
-    let blocking = BlockingParams::carmel_defaults(8, 12);
-    let shapes = [(24usize, 20usize, 16usize), (16, 16, 16), (33, 9, 21)];
+            .generate(mr, nr)
+            .unwrap_or_else(|e| panic!("{mr}x{nr} generates: {e}")),
+    )
+}
 
-    // Reference: the same jobs through the pinned-simd tier, faults
-    // disarmed — the tier the outage must silently land on.
+/// Settles any in-flight background build of the shared 8x12 key before
+/// an AOT fault is armed: earlier tests' drivers poll that key, and a
+/// build they kicked must not still be running (and consuming
+/// countdowns) when the experiment starts.
+fn settle_shared_native_key() {
+    let _ = fresh_kernel(8, 12).native_wait();
+}
+
+/// Computes the cache key the native tier will use for `kernel` on this
+/// host and evicts any cached artifact for it. AOT fault experiments
+/// need the build pipeline to actually run end to end: against a warm
+/// cache the compiler is never invoked, so a fault hooked into the
+/// compile path could never fire. Returns the artifact path.
+fn evict_artifact(kernel: &std::sync::Arc<exo_gemm::ukernel_gen::GeneratedKernel>) -> std::path::PathBuf {
+    let sw = kernel.superword.as_ref().expect("kernel superword-compiles");
+    let c_source = exo_gemm::exo_codegen::emit_superword_c(
+        sw,
+        exo_gemm::exo_codegen::active_isa(),
+        exo_gemm::exo_aot::KERNEL_SYMBOL,
+    )
+    .expect("kernel emits");
+    let key = exo_gemm::exo_aot::artifact_key(&c_source, &exo_gemm::gemm_blis::toolchain().unwrap().version);
+    let store = exo_gemm::exo_aot::engine().store();
+    let artifact = store.artifact_path(key);
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_file(store.manifest_path(key));
+    artifact
+}
+
+/// Runs `jobs` shapes through a fresh service over `driver`, requiring
+/// every job to complete ununusually — not failed, not degraded — and
+/// bit-identical to `refs`. Returns the service for stats assertions.
+fn run_clean_batch(
+    driver: BlisGemm,
+    shapes: &[(usize, usize, usize)],
+    refs: &[OwnedMat],
+    who: &str,
+) -> GemmService {
+    let service = GemmService::new(driver);
+    let handles: Vec<JobHandle> = shapes
+        .iter()
+        .enumerate()
+        .map(|(s, &(m, n, k))| service.submit(make_job(m, n, k, s, 0.0)).expect("accepting"))
+        .collect();
+    for (idx, handle) in handles.iter().enumerate() {
+        let done = wait_or_hang(handle)
+            .unwrap_or_else(|e| panic!("{who} job {idx}: an AOT fault must never fail a job, got {e:?}"));
+        assert!(!done.stats.degraded, "{who} job {idx}: pre-dispatch fallback is not a degraded completion");
+        assert_bits(&done.c, &refs[idx], &format!("{who} job {idx} (simd fallback)"));
+    }
+    service
+}
+
+/// Spin-waits until `get(stats)` reaches `want`: AOT builds settle in the
+/// background, after the jobs that triggered them may already be done.
+fn await_aot_stat(
+    service: &GemmService,
+    want: u64,
+    get: impl Fn(&exo_gemm::exo_serve::ServiceStats) -> u64,
+    what: &str,
+) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while get(&service.stats()) < want {
+        assert!(std::time::Instant::now() < deadline, "{what} never reached {want}: {}", service.stats());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The simd-pinned reference results for `shapes` through `kernel` —
+/// computed while faults are disarmed. This is the tier every AOT
+/// failure must silently land on, bit for bit.
+fn simd_refs(
+    kernel: &std::sync::Arc<exo_gemm::ukernel_gen::GeneratedKernel>,
+    blocking: BlockingParams,
+    shapes: &[(usize, usize, usize)],
+) -> Vec<OwnedMat> {
     let simd_driver = BlisGemm::new(blocking)
-        .with_kernel(exo_gemm::gemm_blis::exo_kernel_simd(std::sync::Arc::clone(&kernel)));
-    let refs: Vec<OwnedMat> = shapes
+        .with_kernel(exo_gemm::gemm_blis::exo_kernel_simd(std::sync::Arc::clone(kernel)));
+    shapes
         .iter()
         .enumerate()
         .map(|(s, &(m, n, k))| {
@@ -381,36 +445,203 @@ fn a_mid_serve_compile_failure_degrades_to_simd_without_failing_jobs() {
             simd_driver.gemm(job.problem()).expect("reference gemm");
             job.into_c()
         })
-        .collect();
+        .collect()
+}
+
+/// The toolchain-outage fault class: the first ahead-of-time build
+/// attempt for a freshly generated kernel fails mid-serve
+/// (`aot-compile-fail@1` — the shape a broken `cc`, a full disk, or a
+/// revoked cache dir takes at runtime). The build runs in the
+/// background, so the contract is *silent* degradation, one tier down
+/// and pre-dispatch: every job completes, none is stamped `degraded` (no
+/// executional failure ever surfaced), the results are bit-identical to
+/// a pinned-simd run — and the failed build surfaces in the service's
+/// AOT stats, raising health to `Degraded`.
+#[test]
+fn a_mid_serve_compile_failure_degrades_to_simd_without_failing_jobs() {
+    if exo_gemm::gemm_blis::env_backend_override().is_some() {
+        return; // a pinned backend never consults the native tier
+    }
+    let _guard = serial();
+    fault::disarm();
+    if !exo_gemm::gemm_blis::native_available() {
+        return; // no toolchain: no build ever starts, so no fault can fire
+    }
+    settle_shared_native_key();
+    let kernel = fresh_kernel(4, 8);
+    let _ = evict_artifact(&kernel);
+    let blocking = BlockingParams::carmel_defaults(4, 8);
+    let shapes = [(24usize, 20usize, 16usize), (16, 16, 16), (33, 9, 21)];
+    let refs = simd_refs(&kernel, blocking, &shapes);
 
     // The serve run: Native-tier kernel (the default ladder), with the
-    // first — and only — compile attempt failing.
+    // first background build attempt failing.
     FaultPlan::new().aot_compile_fail(1).arm();
     let native_driver =
         BlisGemm::new(blocking).with_kernel(exo_gemm::gemm_blis::exo_kernel(std::sync::Arc::clone(&kernel)));
-    let service = GemmService::new(native_driver);
-    let handles: Vec<JobHandle> = shapes
-        .iter()
-        .enumerate()
-        .map(|(s, &(m, n, k))| service.submit(make_job(m, n, k, s, 0.0)).expect("accepting"))
-        .collect();
-    let outcomes: Vec<_> = handles.iter().map(wait_or_hang).collect();
-    fault::disarm();
+    let service = run_clean_batch(native_driver, &shapes, &refs, "compile-fail");
 
-    for (idx, outcome) in outcomes.iter().enumerate() {
-        let done = outcome
-            .as_ref()
-            .unwrap_or_else(|e| panic!("job {idx}: a compile failure must never fail a job, got {e:?}"));
-        assert!(!done.stats.degraded, "job {idx}: pre-dispatch fallback is not a degraded completion");
-        assert_bits(&done.c, &refs[idx], &format!("job {idx} (simd fallback)"));
-    }
+    // The failed background build lands in the service's AOT deltas and
+    // raises health — visibly degraded, while every job stayed whole.
+    // Disarm only after the verdict is booked: the build runs in the
+    // background, and disarming while it is still in flight would zero
+    // the countdown before the builder reads it.
+    await_aot_stat(&service, 1, |s| s.aot_builds_failed, "aot_builds_failed");
+    fault::disarm();
     let stats = service.stats();
     assert_eq!(stats.jobs_completed, shapes.len() as u64);
     assert_eq!(stats.jobs_failed, 0);
     assert_eq!(stats.retries, 0, "the fallback happens before dispatch, not via the retry path");
-    assert_eq!(service.health(), ServiceHealth::Healthy, "a toolchain outage must not degrade the service");
-    // The decline is memoised on the kernel: no per-job recompile storms.
-    assert!(kernel.native().is_none(), "the failed compile must be cached as a permanent decline");
+    assert_eq!(service.health(), ServiceHealth::Degraded, "a lost build is a visible degradation");
+}
+
+/// The hung-compiler fault class (`aot-hang@1`): the first compiler
+/// invocation never returns and must be killed on the
+/// `EXO_AOT_TIMEOUT_MS` deadline — in the background. Four concurrent
+/// callers keep submitting the whole time; no GEMM ever waits on `cc`,
+/// every handle resolves, the books balance, the results are
+/// bit-identical to a simd-pinned run, and the timeout surfaces in the
+/// service's AOT stats.
+#[test]
+fn a_hung_compiler_never_delays_jobs_and_the_books_balance() {
+    if exo_gemm::gemm_blis::env_backend_override().is_some() {
+        return;
+    }
+    let _guard = serial();
+    fault::disarm();
+    if !exo_gemm::gemm_blis::native_available() {
+        return;
+    }
+    settle_shared_native_key();
+    let kernel = fresh_kernel(16, 8);
+    // The hang hook lives inside the compiler invocation: evict any
+    // cached artifact so the build cannot short-circuit via a disk hit.
+    let _ = evict_artifact(&kernel);
+    let blocking = BlockingParams::carmel_defaults(16, 8);
+    const CALLERS: usize = 4;
+    const JOBS: usize = 6;
+    let shape = |j: usize| [(24, 20, 16), (16, 16, 16), (33, 9, 21)][j % 3];
+    let refs: Vec<Vec<OwnedMat>> = (0..CALLERS)
+        .map(|caller| {
+            (0..JOBS)
+                .map(|j| {
+                    let (m, n, k) = shape(j);
+                    let mut job = make_job(m, n, k, caller * JOBS + j, 0.0);
+                    BlisGemm::new(blocking)
+                        .with_kernel(exo_gemm::gemm_blis::exo_kernel_simd(std::sync::Arc::clone(&kernel)))
+                        .gemm(job.problem())
+                        .expect("reference gemm");
+                    job.into_c()
+                })
+                .collect()
+        })
+        .collect();
+
+    FaultPlan::new().aot_hang(1).arm();
+    let native_driver =
+        BlisGemm::new(blocking).with_kernel(exo_gemm::gemm_blis::exo_kernel(std::sync::Arc::clone(&kernel)));
+    let service = GemmService::with_config(native_driver, ServiceConfig { queue_capacity: 16, max_batch: 8 });
+    let started = std::time::Instant::now();
+    let outcomes: Vec<Vec<Result<CompletedJob, GemmError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|caller| {
+                let service = &service;
+                scope.spawn(move || {
+                    let submitted: Vec<JobHandle> = (0..JOBS)
+                        .map(|j| {
+                            let (m, n, k) = shape(j);
+                            service
+                                .submit(make_job(m, n, k, caller * JOBS + j, 0.0))
+                                .expect("a live service accepts submissions")
+                        })
+                        .collect();
+                    submitted.iter().map(wait_or_hang).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("submitter thread")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    for (caller, (results, wants)) in outcomes.iter().zip(&refs).enumerate() {
+        for (j, (outcome, want)) in results.iter().zip(wants).enumerate() {
+            let who = format!("caller {caller} job {j}");
+            let done = outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{who}: a hung compiler must not fail jobs: {e:?}"));
+            assert!(!done.stats.degraded, "{who}: the simd fallback is pre-dispatch, not a degraded retry");
+            assert_bits(&done.c, want, &who);
+        }
+    }
+    // The hung child sleeps for 600 s; the jobs must not have waited on it.
+    assert!(elapsed < Duration::from_secs(300), "jobs waited on the hung compiler ({elapsed:?})");
+    // The kill lands in the background: wait for the timeout to be
+    // booked, and then for the attempt itself (booked a beat later).
+    // Only then disarm — disarming while the build is still in flight
+    // would zero the countdown before the builder reads it.
+    await_aot_stat(&service, 1, |s| s.aot_compile_timeouts, "aot_compile_timeouts");
+    await_aot_stat(&service, 1, |s| s.aot_builds_failed, "aot_builds_failed");
+    fault::disarm();
+    let stats = service.stats();
+    let total = (CALLERS * JOBS) as u64;
+    assert_eq!(stats.jobs_submitted, total);
+    assert_eq!(stats.jobs_completed + stats.jobs_failed, total, "the books must balance: {stats}");
+    assert_eq!(stats.jobs_failed, 0);
+    assert!(stats.aot_builds_failed >= 1, "the timed-out attempt is a failed build: {stats}");
+    assert_eq!(service.health(), ServiceHealth::Degraded, "a killed compiler is a visible degradation");
+}
+
+/// The wrong-result fault class (`aot-wrong-result@1`): a kernel that
+/// compiles, loads, and *runs* — but computes garbage. The verification
+/// probe must catch it before dispatch ever sees it: every job is
+/// bit-identical to the simd-pinned run, the artifact is quarantined as
+/// `<path>.wrong-result`, and the key is pinned to simd terminally.
+#[test]
+fn a_wrong_result_kernel_is_quarantined_before_dispatch_ever_sees_it() {
+    if exo_gemm::gemm_blis::env_backend_override().is_some() {
+        return;
+    }
+    let _guard = serial();
+    fault::disarm();
+    if !exo_gemm::gemm_blis::native_available() {
+        return;
+    }
+    settle_shared_native_key();
+    let kernel = fresh_kernel(8, 16);
+    let blocking = BlockingParams::carmel_defaults(8, 16);
+    let shapes = [(24usize, 20usize, 16usize), (16, 16, 16), (33, 9, 21)];
+    let refs = simd_refs(&kernel, blocking, &shapes);
+
+    // Evict any cached artifact (so the build runs end to end) and note
+    // where the quarantined evidence will land in the process-wide
+    // engine's store (cleaned from any earlier run).
+    let artifact = evict_artifact(&kernel);
+    let mut quarantined = artifact.as_os_str().to_owned();
+    quarantined.push(".wrong-result");
+    let quarantined = std::path::PathBuf::from(quarantined);
+    let _ = std::fs::remove_file(&quarantined);
+
+    FaultPlan::new().aot_wrong_result(1).arm();
+    let native_driver =
+        BlisGemm::new(blocking).with_kernel(exo_gemm::gemm_blis::exo_kernel(std::sync::Arc::clone(&kernel)));
+    let service = run_clean_batch(native_driver, &shapes, &refs, "wrong-result");
+
+    // The probe verdict lands first, the failed attempt a beat later;
+    // health keys off the latter. Disarm only after both are booked:
+    // the build runs in the background, and disarming while it is still
+    // in flight would zero the countdown before the builder reads it.
+    await_aot_stat(&service, 1, |s| s.aot_wrong_results, "aot_wrong_results");
+    await_aot_stat(&service, 1, |s| s.aot_builds_failed, "aot_builds_failed");
+    fault::disarm();
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, shapes.len() as u64);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(service.health(), ServiceHealth::Degraded, "a rejected kernel is a visible degradation");
+    assert!(quarantined.is_file(), "the wrong-result artifact is kept as evidence at {quarantined:?}");
+    // The pin is terminal: polling the key again must stay on simd, not
+    // rebuild the same wrong answer.
+    assert!(kernel.native().is_none(), "a wrong-result key must stay pinned to simd");
+    let _ = std::fs::remove_file(&quarantined);
 }
 
 /// CI's entry point: when `EXO_FAULT` is set, the first service

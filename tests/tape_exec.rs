@@ -63,12 +63,13 @@ fn native_simd_superword_tape_and_interpreter_agree_across_registry_shapes() {
             panic!("{mr}x{nr} must compile a SIMD chain (the scalar ISA floor exists everywhere)")
         });
         assert_eq!(chain.isa(), exo_gemm::gemm_blis::active_isa(), "{mr}x{nr}: chain targets the active ISA");
-        match kernel.native() {
-            Some(native) => {
-                assert!(native_available(), "{mr}x{nr}: a native kernel implies an answering toolchain");
-                assert_eq!(native.isa(), active_isa(), "{mr}x{nr}: native artifact targets the active ISA");
-            }
-            None => {} // no toolchain, or the engine declined — fallback covers it below
+        // Settle the asynchronous native verdict before measuring, so the
+        // bit-faithfulness leg below actually exercises the compiled tier
+        // whenever a toolchain answers. A None verdict (no toolchain, or
+        // the engine declined) is fine — the fallback covers it below.
+        if let Some(native) = kernel.native_wait() {
+            assert!(native_available(), "{mr}x{nr}: a native kernel implies an answering toolchain");
+            assert_eq!(native.isa(), active_isa(), "{mr}x{nr}: native artifact targets the active ISA");
         }
         for kc in [0usize, 1, 2, 17, 64] {
             let (a, b, c0) = packed_operands(mr, nr, kc, &mut cases);
@@ -110,6 +111,10 @@ fn native_and_simd_drivers_match_naive_on_fringe_heavy_problems() {
     let problems = [(3usize, 5usize, 1usize), (5, 40, 9), (13, 7, 23), (50, 45, 16), (8, 12, 1)];
     for &(mr, nr) in &shapes {
         let kernel = Arc::new(generator.generate(mr, nr).unwrap());
+        // Settle the native tier up front so the default driver's runs
+        // exercise the compiled artifact deterministically (when a
+        // toolchain answers) instead of racing the background build.
+        let _ = kernel.native_wait();
         for &(m, n, k) in &problems {
             let a = Matrix::from_fn(m, k, |_, _| cases.f32_unit());
             let b = Matrix::from_fn(k, n, |_, _| cases.f32_unit());
@@ -488,14 +493,14 @@ fn the_native_tier_follows_the_toolchain_probe_and_never_errors() {
         Some(tc) => {
             assert!(native_available());
             assert!(!tc.cc.is_empty() && !tc.version.is_empty(), "the probe records cc and version");
-            let native = kernel.native().unwrap_or_else(|| {
+            let native = kernel.native_wait().unwrap_or_else(|| {
                 panic!("toolchain `{}` answered but the 8x12 kernel did not compile natively", tc.cc)
             });
             assert_eq!(native.isa(), active_isa(), "the artifact targets the active ISA");
         }
         None => {
             assert!(!native_available());
-            assert!(kernel.native().is_none(), "no toolchain, no artifact — and no error either");
+            assert!(kernel.native_wait().is_none(), "no toolchain, no artifact — and no error either");
         }
     }
     // Both probe branches continue here: the packed entry point and the
